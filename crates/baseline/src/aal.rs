@@ -1,0 +1,205 @@
+//! AAL5-style framing (Appendix B; Lyon's SEAL).
+//!
+//! "The type 5 ATM Adaptation Layer provides a single bit of higher-layer
+//! framing information in the ATM cell header … No explicit ID, SN, or TYPE
+//! fields are needed because ATM links do not misorder. Because no SN is
+//! used … a cell is considered to contain the beginning of a frame if the
+//! previous cell was the end of a frame."
+//!
+//! The model shows exactly what that buys and costs: framing overhead is a
+//! single bit, but any loss or misordering silently corrupts frames until
+//! the next boundary — caught only by the end-of-frame CRC.
+
+use chunks_wsc::compare::Crc32;
+
+/// ATM cell payload size in bytes.
+pub const CELL_PAYLOAD: usize = 48;
+
+/// Frame trailer: payload length (4) + CRC-32 (4), as in AAL5.
+pub const TRAILER_LEN: usize = 8;
+
+/// One cell: 48 payload bytes plus the end-of-frame bit.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cell {
+    /// Cell payload (always 48 bytes; final cell zero-padded before the
+    /// trailer).
+    pub payload: [u8; CELL_PAYLOAD],
+    /// End-of-frame indication (the PTI bit).
+    pub eof: bool,
+}
+
+/// Segments a frame into cells, appending the AAL5 length+CRC trailer in
+/// the final cell (padding as needed).
+pub fn to_cells(frame: &[u8]) -> Vec<Cell> {
+    let mut buf = frame.to_vec();
+    // Pad so that payload + trailer is a whole number of cells.
+    let content = buf.len() + TRAILER_LEN;
+    let padded = content.div_ceil(CELL_PAYLOAD) * CELL_PAYLOAD;
+    buf.resize(padded - TRAILER_LEN, 0);
+    buf.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&Crc32::of(frame).to_be_bytes());
+    buf.chunks(CELL_PAYLOAD)
+        .enumerate()
+        .map(|(i, c)| {
+            let mut payload = [0u8; CELL_PAYLOAD];
+            payload.copy_from_slice(c);
+            Cell {
+                payload,
+                eof: (i + 1) * CELL_PAYLOAD == padded,
+            }
+        })
+        .collect()
+}
+
+/// Outcome of feeding a cell to the reassembler.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CellEvent {
+    /// Cell absorbed; frame still open.
+    Absorbed,
+    /// A frame completed and its CRC checked out.
+    Frame(Vec<u8>),
+    /// A frame boundary arrived but the CRC or length failed — loss or
+    /// misordering upstream corrupted it.
+    BadFrame,
+}
+
+/// In-order cell reassembler. Has no sequence numbers to recover from
+/// disorder — by design.
+#[derive(Debug, Default)]
+pub struct CellReassembler {
+    current: Vec<u8>,
+    /// Good frames delivered.
+    pub frames: u64,
+    /// Frames discarded on CRC/length failure.
+    pub bad_frames: u64,
+}
+
+impl CellReassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds the next cell *in arrival order*.
+    pub fn push(&mut self, cell: &Cell) -> CellEvent {
+        self.current.extend_from_slice(&cell.payload);
+        if !cell.eof {
+            return CellEvent::Absorbed;
+        }
+        let buf = std::mem::take(&mut self.current);
+        if buf.len() < TRAILER_LEN {
+            self.bad_frames += 1;
+            return CellEvent::BadFrame;
+        }
+        let tail = buf.len() - TRAILER_LEN;
+        let len = u32::from_be_bytes(buf[tail..tail + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_be_bytes(buf[tail + 4..].try_into().unwrap());
+        if len > tail || Crc32::of(&buf[..len]) != crc {
+            self.bad_frames += 1;
+            return CellEvent::BadFrame;
+        }
+        self.frames += 1;
+        CellEvent::Frame(buf[..len].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 7) as u8).collect()
+    }
+
+    #[test]
+    fn cells_roundtrip_in_order() {
+        for n in [1usize, 40, 48, 100, 500] {
+            let f = frame(n);
+            let cells = to_cells(&f);
+            let mut r = CellReassembler::new();
+            let mut got = None;
+            for c in &cells {
+                if let CellEvent::Frame(out) = r.push(c) {
+                    got = Some(out);
+                }
+            }
+            assert_eq!(got.unwrap(), f, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn exactly_one_eof_per_frame() {
+        let cells = to_cells(&frame(200));
+        assert_eq!(cells.iter().filter(|c| c.eof).count(), 1);
+        assert!(cells.last().unwrap().eof);
+    }
+
+    #[test]
+    fn trailer_makes_whole_cells() {
+        for n in [1usize, 39, 40, 41, 48, 96] {
+            let cells = to_cells(&frame(n));
+            assert_eq!(cells.len(), (n + TRAILER_LEN).div_ceil(CELL_PAYLOAD));
+        }
+    }
+
+    #[test]
+    fn lost_cell_corrupts_frame() {
+        let f = frame(200);
+        let mut cells = to_cells(&f);
+        cells.remove(1); // lose one mid-frame cell
+        let mut r = CellReassembler::new();
+        let mut events = Vec::new();
+        for c in &cells {
+            events.push(r.push(c));
+        }
+        assert_eq!(*events.last().unwrap(), CellEvent::BadFrame);
+        assert_eq!(r.bad_frames, 1);
+    }
+
+    #[test]
+    fn misordered_cells_corrupt_frame() {
+        // This is the Appendix B point: with no SNs, AAL5 cannot tolerate
+        // the multipath-skew reordering that chunks shrug off.
+        let f = frame(200);
+        let mut cells = to_cells(&f);
+        cells.swap(0, 1);
+        let mut r = CellReassembler::new();
+        let mut last = CellEvent::Absorbed;
+        for c in &cells {
+            last = r.push(c);
+        }
+        assert_eq!(last, CellEvent::BadFrame);
+    }
+
+    #[test]
+    fn loss_of_eof_merges_frames_and_fails() {
+        let f1 = frame(100);
+        let f2: Vec<u8> = (0..60).map(|i| (i * 13 + 5) as u8).collect();
+        let mut cells = to_cells(&f1);
+        let eof_at = cells.len() - 1;
+        cells.remove(eof_at); // lose the end-of-frame cell
+        cells.extend(to_cells(&f2));
+        let mut r = CellReassembler::new();
+        let mut outcomes = Vec::new();
+        for c in &cells {
+            outcomes.push(r.push(c));
+        }
+        // The two frames fused into one bad frame.
+        assert_eq!(outcomes.iter().filter(|e| **e == CellEvent::BadFrame).count(), 1);
+        assert_eq!(r.frames, 0);
+    }
+
+    #[test]
+    fn back_to_back_frames_delimited_by_eof() {
+        let f1 = frame(50);
+        let f2 = frame(70);
+        let mut r = CellReassembler::new();
+        let mut delivered = Vec::new();
+        for c in to_cells(&f1).iter().chain(to_cells(&f2).iter()) {
+            if let CellEvent::Frame(out) = r.push(c) {
+                delivered.push(out);
+            }
+        }
+        assert_eq!(delivered, vec![f1, f2]);
+    }
+}

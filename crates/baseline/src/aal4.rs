@@ -1,0 +1,281 @@
+//! AAL type 4 framing (Appendix B; DEPR 91).
+//!
+//! "The type 4 AAL protocol uses a C.ID (MID), a 4-bit C.SN, and framing
+//! information denoting the beginning, continuation, or end of message
+//! (BOM, COM, EOM). EOM is equivalent to X.ST, and with BOM, the X.ID and
+//! X.SN can be derived from the C.SN. No C.ST is used. LEN information is
+//! explicit."
+//!
+//! Compared with AAL5 the MID lets frames from different sources interleave
+//! on one channel; compared with chunks the 4-bit sequence number wraps
+//! every 16 cells, so an aligned burst loss passes the SN check and is
+//! caught only by the frame-length backstop — one of the implicit-framing
+//! fragilities Appendix B tabulates.
+
+use std::collections::HashMap;
+
+/// Payload bytes per AAL4 cell (48 minus the 2+2 byte SAR overhead).
+pub const CELL_PAYLOAD: usize = 44;
+
+/// Segment type of a cell.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SegType {
+    /// Beginning of message (carries the declared frame length).
+    Bom,
+    /// Continuation of message.
+    Com,
+    /// End of message.
+    Eom,
+    /// Single-segment message.
+    Ssm,
+}
+
+/// One AAL4 SAR cell.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Aal4Cell {
+    /// Multiplexing identifier (the `C.ID` analogue, 10 bits in hardware).
+    pub mid: u16,
+    /// 4-bit sequence number, wrapping modulo 16.
+    pub sn: u8,
+    /// Segment type.
+    pub seg: SegType,
+    /// Declared total frame length (meaningful in BOM/SSM cells).
+    pub frame_len: u32,
+    /// Payload bytes carried (≤ [`CELL_PAYLOAD`]).
+    pub payload: Vec<u8>,
+}
+
+/// Segments a frame for `mid` into AAL4 cells with wrapping 4-bit SNs.
+pub fn to_cells(mid: u16, frame: &[u8]) -> Vec<Aal4Cell> {
+    let pieces: Vec<&[u8]> = frame.chunks(CELL_PAYLOAD).collect();
+    let n = pieces.len().max(1);
+    if n == 1 {
+        return vec![Aal4Cell {
+            mid,
+            sn: 0,
+            seg: SegType::Ssm,
+            frame_len: frame.len() as u32,
+            payload: frame.to_vec(),
+        }];
+    }
+    pieces
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Aal4Cell {
+            mid,
+            sn: (i % 16) as u8,
+            seg: if i == 0 {
+                SegType::Bom
+            } else if i == n - 1 {
+                SegType::Eom
+            } else {
+                SegType::Com
+            },
+            frame_len: frame.len() as u32,
+            payload: p.to_vec(),
+        })
+        .collect()
+}
+
+/// Outcome of feeding a cell.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Aal4Event {
+    /// Cell absorbed into an open frame.
+    Absorbed,
+    /// A frame completed for this MID.
+    Frame(Vec<u8>),
+    /// Sequence-number discontinuity: the open frame is discarded.
+    SnViolation,
+    /// The frame ended with a length different from the BOM declaration —
+    /// the backstop that catches 16-aligned burst loss.
+    LengthMismatch,
+    /// A COM/EOM arrived with no open frame (its BOM was lost).
+    NoOpenFrame,
+}
+
+#[derive(Debug)]
+struct OpenFrame {
+    expect_sn: u8,
+    declared_len: u32,
+    buf: Vec<u8>,
+}
+
+/// Per-MID reassembler: frames from different MIDs interleave freely; cells
+/// *within* a MID must stay in order.
+#[derive(Debug, Default)]
+pub struct Aal4Reassembler {
+    open: HashMap<u16, OpenFrame>,
+    /// Completed frames delivered.
+    pub frames: u64,
+    /// Frames discarded for any reason.
+    pub discarded: u64,
+}
+
+impl Aal4Reassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds the next cell in arrival order.
+    pub fn push(&mut self, cell: &Aal4Cell) -> Aal4Event {
+        match cell.seg {
+            SegType::Ssm => {
+                self.frames += 1;
+                Aal4Event::Frame(cell.payload.clone())
+            }
+            SegType::Bom => {
+                // A BOM while a frame is open abandons the old frame.
+                if self.open.remove(&cell.mid).is_some() {
+                    self.discarded += 1;
+                }
+                self.open.insert(
+                    cell.mid,
+                    OpenFrame {
+                        expect_sn: (cell.sn + 1) % 16,
+                        declared_len: cell.frame_len,
+                        buf: cell.payload.clone(),
+                    },
+                );
+                Aal4Event::Absorbed
+            }
+            SegType::Com | SegType::Eom => {
+                let Some(frame) = self.open.get_mut(&cell.mid) else {
+                    self.discarded += 1;
+                    return Aal4Event::NoOpenFrame;
+                };
+                if cell.sn != frame.expect_sn {
+                    self.open.remove(&cell.mid);
+                    self.discarded += 1;
+                    return Aal4Event::SnViolation;
+                }
+                frame.expect_sn = (frame.expect_sn + 1) % 16;
+                frame.buf.extend_from_slice(&cell.payload);
+                if cell.seg == SegType::Com {
+                    return Aal4Event::Absorbed;
+                }
+                let done = self.open.remove(&cell.mid).expect("open");
+                if done.buf.len() as u32 != done.declared_len {
+                    self.discarded += 1;
+                    return Aal4Event::LengthMismatch;
+                }
+                self.frames += 1;
+                Aal4Event::Frame(done.buf)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(n: usize, seed: u8) -> Vec<u8> {
+        (0..n).map(|i| (i as u8).wrapping_mul(7).wrapping_add(seed)).collect()
+    }
+
+    #[test]
+    fn roundtrip_single_and_multi_cell() {
+        for n in [10usize, 44, 45, 200, 44 * 20] {
+            let f = frame(n, 1);
+            let mut r = Aal4Reassembler::new();
+            let mut got = None;
+            for c in to_cells(5, &f) {
+                if let Aal4Event::Frame(out) = r.push(&c) {
+                    got = Some(out);
+                }
+            }
+            assert_eq!(got.unwrap(), f, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn mids_interleave_freely() {
+        // The AAL4 advantage over AAL5: two frames in flight at once.
+        let fa = frame(200, 1);
+        let fb = frame(150, 2);
+        let ca = to_cells(1, &fa);
+        let cb = to_cells(2, &fb);
+        let mut r = Aal4Reassembler::new();
+        let mut delivered = Vec::new();
+        let mut ia = ca.iter();
+        let mut ib = cb.iter();
+        loop {
+            let mut progressed = false;
+            for it in [&mut ia, &mut ib] {
+                if let Some(c) = it.next() {
+                    progressed = true;
+                    if let Aal4Event::Frame(f) = r.push(c) {
+                        delivered.push(f);
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        assert_eq!(delivered, vec![fb.clone(), fa.clone()]);
+        assert_eq!(r.frames, 2);
+    }
+
+    #[test]
+    fn single_cell_loss_detected_by_sn() {
+        let f = frame(300, 3);
+        let mut cells = to_cells(7, &f);
+        cells.remove(3);
+        let mut r = Aal4Reassembler::new();
+        let mut events = Vec::new();
+        for c in &cells {
+            events.push(r.push(c));
+        }
+        assert!(events.contains(&Aal4Event::SnViolation));
+        assert_eq!(r.frames, 0);
+    }
+
+    #[test]
+    fn sixteen_cell_burst_loss_slips_past_sn_check() {
+        // The 4-bit SN wraps: losing exactly 16 consecutive COM cells keeps
+        // the SN sequence consistent, and only the BOM-declared length
+        // catches the damage at EOM — the Appendix B fragility.
+        let f = frame(44 * 40, 4);
+        let mut cells = to_cells(9, &f);
+        cells.drain(5..21); // 16 consecutive continuations
+        let mut r = Aal4Reassembler::new();
+        let mut events = Vec::new();
+        for c in &cells {
+            events.push(r.push(c));
+        }
+        assert!(
+            !events.contains(&Aal4Event::SnViolation),
+            "SN check is blind to the wrap-aligned burst"
+        );
+        assert!(events.contains(&Aal4Event::LengthMismatch));
+        assert_eq!(r.frames, 0);
+    }
+
+    #[test]
+    fn lost_bom_reported() {
+        let f = frame(200, 5);
+        let cells = to_cells(3, &f);
+        let mut r = Aal4Reassembler::new();
+        assert_eq!(r.push(&cells[1]), Aal4Event::NoOpenFrame);
+    }
+
+    #[test]
+    fn new_bom_abandons_stale_frame() {
+        let f1 = frame(200, 6);
+        let f2 = frame(90, 7);
+        let c1 = to_cells(4, &f1);
+        let c2 = to_cells(4, &f2);
+        let mut r = Aal4Reassembler::new();
+        r.push(&c1[0]); // BOM of frame 1, rest lost
+        let mut out = None;
+        for c in &c2 {
+            if let Aal4Event::Frame(f) = r.push(c) {
+                out = Some(f);
+            }
+        }
+        assert_eq!(out.unwrap(), f2);
+        assert_eq!(r.discarded, 1);
+    }
+}

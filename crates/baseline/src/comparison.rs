@@ -1,0 +1,202 @@
+//! The qualitative protocol-syntax comparison of Appendix B, reproduced as
+//! a queryable table.
+//!
+//! For each protocol the paper asks which of the chunk header fields exist
+//! explicitly, which are implicit (derivable from other fields or from
+//! channel ordering), and which are absent. "Chunks provide the best of
+//! both worlds because multiple chunks, each of which delimits a frame, can
+//! be placed in a single packet" while keeping every field explicit.
+
+/// How a protocol represents one piece of chunk-equivalent information.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FieldSupport {
+    /// Carried as an explicit header field.
+    Explicit,
+    /// Derivable from other fields, position, or in-order delivery.
+    Implicit,
+    /// Not representable.
+    Absent,
+}
+
+/// One row of the Appendix B comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct ProtocolRow {
+    /// Protocol name.
+    pub name: &'static str,
+    /// `TYPE` field.
+    pub ty: FieldSupport,
+    /// Connection-level `(ID, SN, ST)`.
+    pub c: [FieldSupport; 3],
+    /// Transport-level `(ID, SN, ST)`.
+    pub t: [FieldSupport; 3],
+    /// External-level `(ID, SN, ST)`.
+    pub x: [FieldSupport; 3],
+    /// `LEN` information.
+    pub len: FieldSupport,
+    /// Whether the protocol tolerates misordered arrival at this framing.
+    pub tolerates_misorder: bool,
+}
+
+use FieldSupport::{Absent, Explicit, Implicit};
+
+/// The Appendix B table. Entries follow the paper's prose description of
+/// each protocol. Executable models exist for every row except Delta-t and
+/// Axon: see [`crate::ip`], [`crate::xtp`], [`crate::aal`], [`crate::aal4`],
+/// [`crate::hdlc`] and [`crate::urp`], plus the chunk implementation itself
+/// in `chunks-core`/`chunks-transport` and VMTP in [`crate::vmtp`].
+pub const COMPARISON: &[ProtocolRow] = &[
+    ProtocolRow {
+        name: "Chunks",
+        ty: Explicit,
+        c: [Explicit, Explicit, Explicit],
+        t: [Explicit, Explicit, Explicit],
+        x: [Explicit, Explicit, Explicit],
+        len: Explicit,
+        tolerates_misorder: true,
+    },
+    ProtocolRow {
+        name: "AAL5",
+        ty: Implicit,
+        c: [Implicit, Absent, Absent],
+        t: [Absent, Absent, Explicit], // the single framing bit ~ T.ST
+        x: [Absent, Absent, Absent],
+        len: Explicit,
+        tolerates_misorder: false,
+    },
+    ProtocolRow {
+        name: "AAL4",
+        ty: Implicit,
+        c: [Explicit, Explicit, Absent], // MID + 4-bit SN
+        t: [Absent, Absent, Absent],
+        x: [Implicit, Implicit, Explicit], // BOM/COM/EOM; EOM ~ X.ST
+        len: Explicit,
+        tolerates_misorder: false,
+    },
+    ProtocolRow {
+        name: "HDLC",
+        ty: Implicit,
+        c: [Explicit, Explicit, Implicit], // address, SN; disconnect ~ C.ST
+        t: [Implicit, Implicit, Implicit], // flags delimit frames
+        x: [Implicit, Implicit, Explicit], // P/F bit ~ X.ST
+        len: Implicit,
+        tolerates_misorder: false,
+    },
+    ProtocolRow {
+        name: "URP",
+        ty: Implicit,
+        c: [Implicit, Explicit, Implicit],
+        t: [Implicit, Implicit, Explicit], // BOT/BOTM markers
+        x: [Implicit, Implicit, Explicit], // BOT marker
+        len: Implicit,
+        tolerates_misorder: false,
+    },
+    ProtocolRow {
+        name: "IP",
+        ty: Implicit,
+        c: [Absent, Absent, Absent],
+        t: [Explicit, Explicit, Explicit], // identification, offset, !MF
+        x: [Absent, Absent, Absent],
+        len: Explicit,
+        tolerates_misorder: true,
+    },
+    ProtocolRow {
+        name: "VMTP",
+        ty: Implicit,
+        c: [Absent, Absent, Absent],
+        t: [Implicit, Implicit, Implicit], // per-packet error detection
+        x: [Explicit, Explicit, Explicit], // transaction id, segOffset, EOM
+        len: Implicit,
+        tolerates_misorder: true,
+    },
+    ProtocolRow {
+        name: "Axon",
+        ty: Explicit,
+        c: [Absent, Explicit, Explicit], // index + limit per level,
+        t: [Absent, Explicit, Explicit], // but no per-level ID:
+        x: [Absent, Explicit, Explicit], // frames hierarchically nested
+        len: Implicit,
+        tolerates_misorder: true,
+    },
+    ProtocolRow {
+        name: "Delta-t",
+        ty: Implicit,
+        c: [Explicit, Explicit, Absent],
+        t: [Implicit, Implicit, Implicit],
+        x: [Implicit, Implicit, Explicit], // B/E symbols in the stream
+        len: Implicit,
+        tolerates_misorder: false, // reorder needed above connection level
+    },
+    ProtocolRow {
+        name: "XTP",
+        ty: Implicit,
+        c: [Explicit, Explicit, Absent],
+        t: [Implicit, Implicit, Implicit],
+        x: [Implicit, Implicit, Explicit], // BTAG/ETAG fields
+        len: Explicit,
+        tolerates_misorder: false,
+    },
+];
+
+impl ProtocolRow {
+    /// Count of explicit fields — a proxy for how self-describing each
+    /// packet is.
+    pub fn explicit_count(&self) -> usize {
+        let mut n = usize::from(self.ty == Explicit) + usize::from(self.len == Explicit);
+        for lvl in [self.c, self.t, self.x] {
+            n += lvl.iter().filter(|&&f| f == Explicit).count();
+        }
+        n
+    }
+}
+
+/// Looks a protocol up by name (case-insensitive).
+pub fn lookup(name: &str) -> Option<&'static ProtocolRow> {
+    COMPARISON
+        .iter()
+        .find(|r| r.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_are_fully_explicit() {
+        let chunks = lookup("chunks").unwrap();
+        assert_eq!(chunks.explicit_count(), 11);
+        assert!(chunks.tolerates_misorder);
+    }
+
+    #[test]
+    fn chunks_strictly_dominate_on_explicitness() {
+        let chunks = lookup("Chunks").unwrap().explicit_count();
+        for row in COMPARISON.iter().filter(|r| r.name != "Chunks") {
+            assert!(
+                row.explicit_count() < chunks,
+                "{} should carry less explicit framing than chunks",
+                row.name
+            );
+        }
+    }
+
+    #[test]
+    fn in_order_protocols_lack_sequence_numbers() {
+        // Every protocol that cannot tolerate misorder leans on implicit
+        // framing somewhere below the connection level.
+        for row in COMPARISON.iter().filter(|r| !r.tolerates_misorder) {
+            let has_explicit_t_sn = row.t[1] == FieldSupport::Explicit;
+            assert!(
+                !has_explicit_t_sn,
+                "{} is in-order yet has an explicit T.SN?",
+                row.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(lookup("aal5").is_some());
+        assert!(lookup("XTP").is_some());
+        assert!(lookup("nonesuch").is_none());
+    }
+}

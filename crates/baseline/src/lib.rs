@@ -1,0 +1,46 @@
+//! Baseline fragmentation systems the paper compares chunks against
+//! (§3.2 and Appendix B).
+//!
+//! * [`ip`] — classical IP-style fragmentation: a single `(ID, offset, MF)`
+//!   framing level, never combined in the network, physically reassembled at
+//!   the receiver *before* any processing. This is the system that exhibits
+//!   two-step reassembly (fragments → TPDUs → stream) and reassembly-buffer
+//!   lock-up.
+//! * [`xtp`] — the XTP approach: avoid network fragmentation by converting
+//!   large PDUs into MTU-sized PDUs at the transport, paying full transport
+//!   header overhead per packet; SUPER packets combine several PDUs but use
+//!   a format distinct from the regular one, so combiners must speak XTP.
+//! * [`aal`] — AAL5-style framing: one stop bit per cell and *no* sequence
+//!   numbers, so it only works on in-order channels; misordering corrupts
+//!   frames (Appendix B).
+//! * [`aal4`] — AAL4-style framing: a MID lets frames interleave and a
+//!   4-bit SN detects single losses, but a wrap-aligned 16-cell burst slips
+//!   past it (Appendix B).
+//!
+//! * [`hdlc`] — HDLC-style flag-delimited, bit-stuffed link framing with a
+//!   CRC-16 FCS: all framing implicit in positions and flags, the
+//!   parse-the-stream cost chunks avoid (Appendix B).
+//!
+//! * [`urp`] — URP-style BOT/BOTM marker framing in the byte stream, with
+//!   escape transparency: another flags-in-data design (Appendix B).
+//! * [`vmtp`] — VMTP-style per-packet error detection with transaction id /
+//!   segOffset / EOM (Appendix B): misorder-tolerant like chunks, but the
+//!   PDU *is* the packet, so no in-network refragmentation exists.
+//!
+//! * [`delta_t`] — Delta-t-style framing: disorder tolerated at the
+//!   connection level (explicit C.SN), but B/E message symbols force a
+//!   resequencing pass before frames can be delimited (Appendix B).
+//!
+//! Only Axon remains purely tabular (its framing structure is a strict
+//! subset of chunks'); the full qualitative comparison is queryable data in
+//! [`comparison`].
+
+pub mod aal;
+pub mod aal4;
+pub mod comparison;
+pub mod delta_t;
+pub mod hdlc;
+pub mod ip;
+pub mod urp;
+pub mod vmtp;
+pub mod xtp;

@@ -1,0 +1,184 @@
+//! URP-style byte-stream framing (Appendix B; FRAS 89, Datakit).
+//!
+//! "URP delimits messages with a BOT marker (similar to X.ST) and delimits
+//! blocks (TPDUs) with a BOT marker or BOTM marker (similar to T.ST). The
+//! error detection code is found by its position in the frame; thus TYPE,
+//! T.ID, and T.SN are implicit … LEN also is implicit."
+//!
+//! The model: control codes live *in the byte stream* (with an escape for
+//! transparency), blocks carry a 3-bit-equivalent `C.SN` and a trailing
+//! checksum, and the receiver must scan every byte — the flags-in-data cost
+//! chunks trade away for explicit headers.
+
+use chunks_wsc::compare::crc16_x25;
+
+/// Beginning-of-transmission marker: ends a block.
+pub const BOT: u8 = 0x01;
+/// Block marker that also ends a message (the `X.ST` analogue).
+pub const BOTM: u8 = 0x02;
+/// Escape for transparency: a control byte in data is prefixed with ESC.
+pub const ESC: u8 = 0x10;
+
+/// A decoded URP block.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UrpBlock {
+    /// Block sequence number (wraps mod 8, as in URP's window).
+    pub seq: u8,
+    /// True when this block ends a message.
+    pub eom: bool,
+    /// Block payload.
+    pub payload: Vec<u8>,
+}
+
+/// Encodes blocks onto a byte stream.
+pub fn encode_stream(blocks: &[UrpBlock]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for b in blocks {
+        // Body: seq byte + payload, escaped; then FCS (escaped); then the
+        // terminating marker.
+        let mut body = vec![b.seq & 0x7];
+        body.extend_from_slice(&b.payload);
+        let fcs = crc16_x25(&body);
+        body.extend_from_slice(&fcs.to_le_bytes());
+        for &byte in &body {
+            if byte == BOT || byte == BOTM || byte == ESC {
+                out.push(ESC);
+            }
+            out.push(byte);
+        }
+        out.push(if b.eom { BOTM } else { BOT });
+    }
+    out
+}
+
+/// Decode outcome per block candidate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum UrpEvent {
+    /// A block with a valid trailer checksum.
+    Block(UrpBlock),
+    /// A candidate whose checksum failed (corruption, or a marker byte
+    /// destroyed by the channel fusing two blocks).
+    BadBlock,
+}
+
+/// Decodes a byte stream, scanning for markers and honouring escapes —
+/// the per-byte parse Appendix B contrasts with chunk headers.
+pub fn decode_stream(stream: &[u8]) -> Vec<UrpEvent> {
+    let mut events = Vec::new();
+    let mut body: Vec<u8> = Vec::new();
+    let mut i = 0;
+    while i < stream.len() {
+        let byte = stream[i];
+        i += 1;
+        match byte {
+            ESC => {
+                if i < stream.len() {
+                    body.push(stream[i]);
+                    i += 1;
+                }
+            }
+            BOT | BOTM => {
+                events.push(finish_block(&body, byte == BOTM));
+                body.clear();
+            }
+            other => body.push(other),
+        }
+    }
+    // Trailing unterminated bytes are an incomplete block: dropped, as a
+    // byte-stream receiver waits for its marker forever.
+    events
+}
+
+fn finish_block(body: &[u8], eom: bool) -> UrpEvent {
+    if body.len() < 3 {
+        return UrpEvent::BadBlock;
+    }
+    let n = body.len();
+    let fcs = u16::from_le_bytes([body[n - 2], body[n - 1]]);
+    if crc16_x25(&body[..n - 2]) != fcs {
+        return UrpEvent::BadBlock;
+    }
+    UrpEvent::Block(UrpBlock {
+        seq: body[0] & 0x7,
+        eom,
+        payload: body[1..n - 2].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(seq: u8, eom: bool, payload: &[u8]) -> UrpBlock {
+        UrpBlock {
+            seq,
+            eom,
+            payload: payload.to_vec(),
+        }
+    }
+
+    fn decode_blocks(stream: &[u8]) -> Vec<UrpBlock> {
+        decode_stream(stream)
+            .into_iter()
+            .filter_map(|e| match e {
+                UrpEvent::Block(b) => Some(b),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_blocks_and_messages() {
+        let blocks = vec![
+            block(0, false, b"first block"),
+            block(1, true, b"end of message"),
+            block(2, false, b""),
+        ];
+        let stream = encode_stream(&blocks);
+        assert_eq!(decode_blocks(&stream), blocks);
+    }
+
+    #[test]
+    fn control_bytes_in_payload_are_escaped() {
+        let nasty = vec![BOT, BOTM, ESC, BOT, 0x41, ESC, ESC];
+        let blocks = vec![block(3, true, &nasty)];
+        let stream = encode_stream(&blocks);
+        assert_eq!(decode_blocks(&stream), blocks);
+    }
+
+    #[test]
+    fn lost_marker_fuses_blocks_and_fails_checksum() {
+        let blocks = vec![block(0, false, b"aaaa"), block(1, false, b"bbbb")];
+        let mut stream = encode_stream(&blocks);
+        // Remove the first block's terminating BOT (it is unescaped).
+        let bot_at = stream
+            .iter()
+            .enumerate()
+            .position(|(k, &b)| b == BOT && (k == 0 || stream[k - 1] != ESC))
+            .unwrap();
+        stream.remove(bot_at);
+        let events = decode_stream(&stream);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0], UrpEvent::BadBlock, "fused blocks fail the FCS");
+    }
+
+    #[test]
+    fn corruption_detected_positionally() {
+        let mut stream = encode_stream(&[block(5, false, b"some payload data")]);
+        stream[4] ^= 0x20;
+        let events = decode_stream(&stream);
+        assert!(events.iter().all(|e| *e == UrpEvent::BadBlock));
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage() {
+        for seed in 0..50u64 {
+            let bytes: Vec<u8> = (0..97)
+                .map(|i| ((seed.wrapping_mul(6364136223846793005) >> (i % 57)) & 0xFF) as u8)
+                .collect();
+            let _ = decode_stream(&bytes);
+        }
+        let _ = decode_stream(&[ESC]); // dangling escape
+        let _ = decode_stream(&[BOT]);
+    }
+}

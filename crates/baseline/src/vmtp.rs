@@ -1,0 +1,206 @@
+//! VMTP-style framing (Appendix B; CHER 86).
+//!
+//! "The VMTP protocol provides error detection per packet, so T.ID, T.SN,
+//! T.ST, and TYPE information is implicit. VMTP also provides an X.ID
+//! (transaction identifier), a X.SN (segOffset), and X.ST bit
+//! (End-of-Message). LEN is implicit."
+//!
+//! Per-packet error detection means a packet is self-checking (misordering
+//! tolerated, like chunks) — but because the transport PDU *is* the packet,
+//! there is no in-network refragmentation: a VMTP segment that meets a
+//! smaller MTU can only be dropped.
+
+use chunks_wsc::compare::crc16_x25;
+
+/// A VMTP segment (one packet).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VmtpSegment {
+    /// Transaction identifier — the `X.ID` analogue.
+    pub transaction: u32,
+    /// Byte offset within the message — the `X.SN` analogue (segOffset).
+    pub seg_offset: u32,
+    /// End-of-Message — the `X.ST` analogue.
+    pub eom: bool,
+    /// Segment payload.
+    pub payload: Vec<u8>,
+}
+
+/// Header length: transaction + offset + flags byte + checksum.
+pub const VMTP_HEADER_LEN: usize = 4 + 4 + 1 + 2;
+
+impl VmtpSegment {
+    /// Encodes the segment with its per-packet checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(VMTP_HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&self.transaction.to_be_bytes());
+        out.extend_from_slice(&self.seg_offset.to_be_bytes());
+        out.push(self.eom as u8);
+        out.extend_from_slice(&self.payload);
+        let fcs = crc16_x25(&out);
+        out.extend_from_slice(&fcs.to_le_bytes());
+        out
+    }
+
+    /// Decodes and checks a segment. `None` on truncation or checksum
+    /// failure — per-packet detection, no cross-packet state needed.
+    pub fn decode(buf: &[u8]) -> Option<VmtpSegment> {
+        if buf.len() < VMTP_HEADER_LEN {
+            return None;
+        }
+        let n = buf.len();
+        let fcs = u16::from_le_bytes([buf[n - 2], buf[n - 1]]);
+        if crc16_x25(&buf[..n - 2]) != fcs {
+            return None;
+        }
+        Some(VmtpSegment {
+            transaction: u32::from_be_bytes(buf[..4].try_into().ok()?),
+            seg_offset: u32::from_be_bytes(buf[4..8].try_into().ok()?),
+            eom: buf[8] != 0,
+            payload: buf[9..n - 2].to_vec(),
+        })
+    }
+}
+
+/// Segments a message for one transaction.
+pub fn segment_message(transaction: u32, message: &[u8], mtu: usize) -> Option<Vec<VmtpSegment>> {
+    let room = mtu.checked_sub(VMTP_HEADER_LEN)?;
+    if room == 0 {
+        return None;
+    }
+    let mut out = Vec::new();
+    let mut at = 0;
+    while at < message.len() || out.is_empty() {
+        let take = room.min(message.len() - at);
+        out.push(VmtpSegment {
+            transaction,
+            seg_offset: at as u32,
+            eom: at + take == message.len(),
+            payload: message[at..at + take].to_vec(),
+        });
+        at += take;
+        if message.is_empty() {
+            break;
+        }
+    }
+    Some(out)
+}
+
+/// In-progress message state: a byte tracker plus offset-keyed pieces.
+type PartialMessage = (chunks_vreasm::PduTracker, Vec<(u32, Vec<u8>)>);
+
+/// Message reassembly by transaction: segments may arrive in any order
+/// (they are self-checking and self-locating), but an EOM fixes the length.
+#[derive(Debug, Default)]
+pub struct VmtpReassembler {
+    messages: std::collections::HashMap<u32, PartialMessage>,
+    /// Completed messages.
+    pub completed: u64,
+}
+
+impl VmtpReassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers a segment; returns the whole message on completion.
+    pub fn offer(&mut self, seg: VmtpSegment) -> Option<Vec<u8>> {
+        use chunks_vreasm::TrackEvent;
+        let entry = self.messages.entry(seg.transaction).or_default();
+        let len = seg.payload.len().max(1) as u64;
+        match entry.0.offer(seg.seg_offset as u64, len, seg.eom) {
+            TrackEvent::Accepted => {}
+            _ => return None,
+        }
+        entry.1.push((seg.seg_offset, seg.payload));
+        if !entry.0.is_complete() {
+            return None;
+        }
+        let (_, mut pieces) = self.messages.remove(&seg.transaction).unwrap();
+        pieces.sort_by_key(|&(o, _)| o);
+        let mut out = Vec::new();
+        for (_, p) in pieces {
+            out.extend_from_slice(&p);
+        }
+        self.completed += 1;
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 3 + 1) as u8).collect()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = VmtpSegment {
+            transaction: 0x7A,
+            seg_offset: 128,
+            eom: true,
+            payload: msg(64),
+        };
+        assert_eq!(VmtpSegment::decode(&s.encode()), Some(s));
+    }
+
+    #[test]
+    fn per_packet_detection_catches_corruption() {
+        let s = VmtpSegment {
+            transaction: 1,
+            seg_offset: 0,
+            eom: false,
+            payload: msg(64),
+        };
+        let mut raw = s.encode();
+        raw[20] ^= 0x4;
+        assert_eq!(VmtpSegment::decode(&raw), None);
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let m = msg(500);
+        let mut segs = segment_message(9, &m, 128).unwrap();
+        segs.reverse();
+        let mut r = VmtpReassembler::new();
+        let mut got = None;
+        for s in segs {
+            if let Some(whole) = r.offer(s) {
+                got = Some(whole);
+            }
+        }
+        assert_eq!(got.unwrap(), m);
+        assert_eq!(r.completed, 1);
+    }
+
+    #[test]
+    fn transactions_interleave() {
+        let a = msg(200);
+        let b = msg(300);
+        let sa = segment_message(1, &a, 100).unwrap();
+        let sb = segment_message(2, &b, 100).unwrap();
+        let mut r = VmtpReassembler::new();
+        let mut done = Vec::new();
+        for (x, y) in sa.iter().zip(sb.iter()) {
+            if let Some(m) = r.offer(x.clone()) {
+                done.push(m);
+            }
+            if let Some(m) = r.offer(y.clone()) {
+                done.push(m);
+            }
+        }
+        for s in sb.iter().skip(sa.len()) {
+            if let Some(m) = r.offer(s.clone()) {
+                done.push(m);
+            }
+        }
+        assert!(done.contains(&a) && done.contains(&b));
+    }
+
+    #[test]
+    fn mtu_too_small_refused() {
+        assert!(segment_message(1, &msg(10), VMTP_HEADER_LEN).is_none());
+    }
+}

@@ -1,0 +1,214 @@
+//! XTP-style conversion of large PDUs into small PDUs (§3.2).
+//!
+//! "An alternative to fragmentation is to convert large PDUs into smaller
+//! PDUs, as is done in XTP." The costs the paper calls out, all modelled:
+//!
+//! * full transport-header overhead in every packet;
+//! * the conversion must happen at the transport, so the path MTU must be
+//!   known end-to-end (Kent–Mogul MTU discovery) — in-network conversion
+//!   would require every fragmenting entity to speak XTP;
+//! * SUPER packets (several PDUs per packet) use a format *different from*
+//!   the regular packet format, so parsers need two code paths — unlike
+//!   chunks, which look identical whatever combining occurred.
+
+use bytes::Bytes;
+
+/// Modelled XTP transport header length per PDU (the XTP 3.5 fixed header).
+pub const XTP_HEADER_LEN: usize = 40;
+
+/// Extra envelope header a SUPER packet carries.
+pub const SUPER_HEADER_LEN: usize = 8;
+
+/// One transport PDU (post-conversion, sized to the path MTU).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct XtpPdu {
+    /// Stream sequence number of the first payload byte.
+    pub seq: u64,
+    /// End-of-message flag.
+    pub eom: bool,
+    /// PDU payload.
+    pub payload: Bytes,
+}
+
+impl XtpPdu {
+    /// Wire length of a stand-alone PDU packet.
+    pub fn wire_len(&self) -> usize {
+        XTP_HEADER_LEN + self.payload.len()
+    }
+
+    /// Encodes a stand-alone (non-SUPER) packet: marker 0, seq, eom, len.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.push(0); // regular-format marker
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.push(self.eom as u8);
+        out.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
+        out.resize(XTP_HEADER_LEN, 0); // remaining fixed-header fields
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decodes a stand-alone packet.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        if buf.len() < XTP_HEADER_LEN || buf[0] != 0 {
+            return None;
+        }
+        let seq = u64::from_be_bytes(buf[1..9].try_into().ok()?);
+        let eom = buf[9] != 0;
+        let len = u32::from_be_bytes(buf[10..14].try_into().ok()?) as usize;
+        if buf.len() != XTP_HEADER_LEN + len {
+            return None;
+        }
+        Some(XtpPdu {
+            seq,
+            eom,
+            payload: Bytes::copy_from_slice(&buf[XTP_HEADER_LEN..]),
+        })
+    }
+}
+
+/// Converts a message into MTU-sized PDUs — the sender-side MTU-matching
+/// XTP relies on instead of network fragmentation.
+pub fn segment_message(seq0: u64, message: &Bytes, path_mtu: usize) -> Option<Vec<XtpPdu>> {
+    let room = path_mtu.checked_sub(XTP_HEADER_LEN)?;
+    if room == 0 {
+        return None;
+    }
+    let mut out = Vec::new();
+    let total = message.len();
+    let mut at = 0;
+    while at < total {
+        let take = room.min(total - at);
+        out.push(XtpPdu {
+            seq: seq0 + at as u64,
+            eom: at + take == total,
+            payload: message.slice(at..at + take),
+        });
+        at += take;
+    }
+    if out.is_empty() {
+        out.push(XtpPdu {
+            seq: seq0,
+            eom: true,
+            payload: Bytes::new(),
+        });
+    }
+    Some(out)
+}
+
+/// Encodes several PDUs as a SUPER packet — *a different wire format* from
+/// the regular packet (marker 1 + count + concatenated regular packets).
+pub fn encode_super(pdus: &[XtpPdu]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.push(1); // SUPER-format marker
+    out.extend_from_slice(&(pdus.len() as u32).to_be_bytes());
+    out.resize(SUPER_HEADER_LEN, 0);
+    for p in pdus {
+        let enc = p.encode();
+        out.extend_from_slice(&(enc.len() as u32).to_be_bytes());
+        out.extend_from_slice(&enc);
+    }
+    out
+}
+
+/// Decodes a SUPER packet. A parser that only knows the regular format
+/// cannot read this — the format-divergence cost §3.2 notes.
+pub fn decode_super(buf: &[u8]) -> Option<Vec<XtpPdu>> {
+    if buf.len() < SUPER_HEADER_LEN || buf[0] != 1 {
+        return None;
+    }
+    let count = u32::from_be_bytes(buf[1..5].try_into().ok()?) as usize;
+    // An attacker-controlled count must not drive allocation: each PDU needs
+    // at least a length word plus a header, bounding the plausible count.
+    if count > buf.len() / (4 + XTP_HEADER_LEN) + 1 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut at = SUPER_HEADER_LEN;
+    for _ in 0..count {
+        let len = u32::from_be_bytes(buf.get(at..at + 4)?.try_into().ok()?) as usize;
+        at += 4;
+        out.push(XtpPdu::decode(buf.get(at..at + len)?)?);
+        at += len;
+    }
+    (at == buf.len()).then_some(out)
+}
+
+/// Total header bytes XTP pays to move `message_len` bytes over a path of
+/// `path_mtu` (every PDU carries a full transport header).
+pub fn header_overhead(message_len: usize, path_mtu: usize) -> usize {
+    let room = path_mtu.saturating_sub(XTP_HEADER_LEN).max(1);
+    message_len.div_ceil(room) * XTP_HEADER_LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(n: usize) -> Bytes {
+        (0..n).map(|i| i as u8).collect::<Vec<u8>>().into()
+    }
+
+    #[test]
+    fn segmentation_sizes_to_mtu() {
+        let pdus = segment_message(0, &msg(1000), XTP_HEADER_LEN + 400).unwrap();
+        assert_eq!(pdus.len(), 3);
+        assert!(pdus.iter().all(|p| p.wire_len() <= XTP_HEADER_LEN + 400));
+        assert_eq!(pdus[0].seq, 0);
+        assert_eq!(pdus[1].seq, 400);
+        assert_eq!(pdus[2].seq, 800);
+        assert!(!pdus[0].eom && !pdus[1].eom && pdus[2].eom);
+    }
+
+    #[test]
+    fn segments_reconstruct_message() {
+        let m = msg(1000);
+        let pdus = segment_message(7, &m, 300).unwrap();
+        let mut rebuilt = Vec::new();
+        for p in &pdus {
+            rebuilt.extend_from_slice(&p.payload);
+        }
+        assert_eq!(Bytes::from(rebuilt), m);
+    }
+
+    #[test]
+    fn regular_roundtrip() {
+        let p = XtpPdu {
+            seq: 42,
+            eom: true,
+            payload: msg(100),
+        };
+        assert_eq!(XtpPdu::decode(&p.encode()), Some(p));
+    }
+
+    #[test]
+    fn super_roundtrip_and_format_divergence() {
+        let pdus = segment_message(0, &msg(300), XTP_HEADER_LEN + 100).unwrap();
+        let sup = encode_super(&pdus);
+        assert_eq!(decode_super(&sup), Some(pdus.clone()));
+        // The regular parser cannot read a SUPER packet, and vice versa.
+        assert_eq!(XtpPdu::decode(&sup), None);
+        assert_eq!(decode_super(&pdus[0].encode()), None);
+    }
+
+    #[test]
+    fn header_overhead_grows_with_shrinking_mtu() {
+        let big = header_overhead(64 * 1024, 9000);
+        let small = header_overhead(64 * 1024, 576);
+        assert!(small > big);
+        assert_eq!(header_overhead(100, 1000), XTP_HEADER_LEN);
+    }
+
+    #[test]
+    fn empty_message_gets_one_pdu() {
+        let pdus = segment_message(0, &Bytes::new(), 1000).unwrap();
+        assert_eq!(pdus.len(), 1);
+        assert!(pdus[0].eom);
+    }
+
+    #[test]
+    fn mtu_too_small_fails() {
+        assert!(segment_message(0, &msg(10), XTP_HEADER_LEN).is_none());
+        assert!(segment_message(0, &msg(10), 10).is_none());
+    }
+}

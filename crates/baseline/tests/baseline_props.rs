@@ -1,0 +1,120 @@
+//! Property tests for the baseline protocol models.
+
+use bytes::Bytes;
+use chunks_baseline::aal::{to_cells, CellEvent, CellReassembler};
+use chunks_baseline::aal4;
+use chunks_baseline::hdlc::{decode_line, encode_line, HdlcEvent, HdlcFrame};
+use chunks_baseline::ip::{fragment, IpPacket, IpReassembler, IP_HEADER_LEN};
+use chunks_baseline::xtp::{decode_super, encode_super, segment_message, XTP_HEADER_LEN};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn hdlc_roundtrip_arbitrary_frames(
+        frames in proptest::collection::vec(
+            (any::<u8>(), 0u8..8, any::<bool>(),
+             proptest::collection::vec(any::<u8>(), 0..96)),
+            0..6),
+    ) {
+        let frames: Vec<HdlcFrame> = frames
+            .into_iter()
+            .map(|(address, ns, pf, payload)| HdlcFrame { address, ns, pf, payload })
+            .collect();
+        let line = encode_line(&frames);
+        let decoded: Vec<HdlcFrame> = decode_line(&line)
+            .into_iter()
+            .filter_map(|e| match e {
+                HdlcEvent::Frame(f) => Some(f),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(decoded, frames);
+    }
+
+    #[test]
+    fn hdlc_decoder_never_panics(line in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_line(&line);
+    }
+
+    #[test]
+    fn ip_fragment_reassemble_roundtrip(
+        payload in proptest::collection::vec(any::<u8>(), 1..2048),
+        mtu_extra in 8usize..256,
+        seed in any::<u64>(),
+    ) {
+        let mtu = IP_HEADER_LEN + (mtu_extra / 8) * 8 + 8;
+        let dg = IpPacket::datagram(1, Bytes::from(payload.clone()));
+        let mut frags = fragment(&dg, mtu).unwrap();
+        // Pseudo-shuffle.
+        let n = frags.len();
+        for i in 0..n {
+            let j = (seed.wrapping_add(i as u64 * 2654435761) % n as u64) as usize;
+            frags.swap(i, j);
+        }
+        let mut r = IpReassembler::new(1 << 22);
+        let mut out = None;
+        for f in frags {
+            if let Some(d) = r.offer(f) {
+                out = Some(d);
+            }
+        }
+        prop_assert_eq!(out.unwrap().to_vec(), payload);
+    }
+
+    #[test]
+    fn xtp_segments_and_super_roundtrip(
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+        room in 1usize..512,
+    ) {
+        let mtu = XTP_HEADER_LEN + room;
+        let pdus = segment_message(0, &Bytes::from(payload.clone()), mtu).unwrap();
+        let mut rebuilt = Vec::new();
+        for p in &pdus {
+            prop_assert!(p.wire_len() <= mtu);
+            rebuilt.extend_from_slice(&p.payload);
+        }
+        prop_assert_eq!(&rebuilt, &payload);
+        prop_assert_eq!(decode_super(&encode_super(&pdus)), Some(pdus));
+    }
+
+    #[test]
+    fn aal5_roundtrip_in_order(payload in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let cells = to_cells(&payload);
+        let mut r = CellReassembler::new();
+        let mut got = None;
+        for c in &cells {
+            if let CellEvent::Frame(f) = r.push(c) {
+                got = Some(f);
+            }
+        }
+        prop_assert_eq!(got.unwrap(), payload);
+    }
+
+    #[test]
+    fn aal4_roundtrip_and_interleave(
+        a in proptest::collection::vec(any::<u8>(), 1..600),
+        b in proptest::collection::vec(any::<u8>(), 1..600),
+    ) {
+        let ca = aal4::to_cells(1, &a);
+        let cb = aal4::to_cells(2, &b);
+        let mut r = aal4::Aal4Reassembler::new();
+        let mut out = std::collections::HashMap::new();
+        let (mut ia, mut ib) = (ca.iter(), cb.iter());
+        loop {
+            let mut any = false;
+            for (mid, it) in [(1u16, &mut ia), (2, &mut ib)] {
+                if let Some(c) = it.next() {
+                    any = true;
+                    if let aal4::Aal4Event::Frame(f) = r.push(c) {
+                        out.insert(mid, f);
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        prop_assert_eq!(out.remove(&1).unwrap(), a);
+        prop_assert_eq!(out.remove(&2).unwrap(), b);
+    }
+}

@@ -1,0 +1,58 @@
+#![allow(missing_docs)] // criterion_main! generates an undocumented fn main
+
+//! B4 bench: error-detection code throughput — WSC-2 vs CRC-32 vs the
+//! Internet checksum, in order and disordered.
+
+use chunks_bench::buffer;
+use chunks_gf::Gf32;
+use chunks_wsc::compare::{internet_checksum, Crc32};
+use chunks_wsc::Wsc2;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_codes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codes");
+    for size in [1 << 10, 64 << 10, 1 << 20] {
+        let data = buffer(size);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("wsc2_inorder", size), &data, |b, d| {
+            b.iter(|| {
+                let mut w = Wsc2::new();
+                w.add_bytes(0, d);
+                w.digest()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("crc32", size), &data, |b, d| {
+            b.iter(|| Crc32::of(d))
+        });
+        g.bench_with_input(BenchmarkId::new("inet_checksum", size), &data, |b, d| {
+            b.iter(|| internet_checksum(d))
+        });
+        // Disordered arrival: WSC-2 absorbs 1 KiB fragments in a scrambled
+        // order — no buffering, same digest.
+        g.bench_with_input(BenchmarkId::new("wsc2_disordered", size), &data, |b, d| {
+            let frags: Vec<usize> = (0..d.len() / 1024).rev().collect();
+            b.iter(|| {
+                let mut w = Wsc2::new();
+                for &k in &frags {
+                    w.add_bytes((k * 256) as u64, &d[k * 1024..(k + 1) * 1024]);
+                }
+                w.digest()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_field(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf32");
+    let a = Gf32::new(0xDEAD_BEEF);
+    let b2 = Gf32::new(0x0BAD_F00D);
+    g.bench_function("mul", |b| b.iter(|| std::hint::black_box(a) * std::hint::black_box(b2)));
+    g.bench_function("mul_alpha", |b| b.iter(|| std::hint::black_box(a).mul_alpha()));
+    g.bench_function("alpha_pow", |b| b.iter(|| Gf32::alpha_pow(std::hint::black_box(123_456_789))));
+    g.bench_function("inv", |b| b.iter(|| std::hint::black_box(a).inv()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_codes, bench_field);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+#![allow(missing_docs)] // criterion_main! generates an undocumented fn main
+
+//! B5 bench: header codec cost under each Appendix A form.
+
+use chunks_bench::chunk_of;
+use chunks_core::compress::{
+    decode_header_form, decode_packet_delta, encode_header_form, encode_packet_delta,
+    implicit_tid, HeaderForm, SignalledContext,
+};
+use chunks_core::frag::split;
+use chunks_core::label::ChunkType;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_forms(c: &mut Criterion) {
+    let mut chunk = chunk_of(64);
+    chunk.header.tpdu.id = implicit_tid(chunk.header.conn.sn, chunk.header.tpdu.sn);
+    let mut ctx = SignalledContext::new();
+    ctx.signal_size(ChunkType::Data, 1);
+
+    let mut g = c.benchmark_group("header_forms");
+    for form in [
+        HeaderForm::Full,
+        HeaderForm::ImplicitTid,
+        HeaderForm::SizeElided,
+        HeaderForm::Compact,
+    ] {
+        let mut encoded = Vec::new();
+        encode_header_form(&chunk.header, form, &ctx, &mut encoded).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("encode", format!("{form:?}")),
+            &form,
+            |b, &form| {
+                b.iter(|| {
+                    let mut out = Vec::with_capacity(32);
+                    encode_header_form(&chunk.header, form, &ctx, &mut out).unwrap();
+                    out
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("decode", format!("{form:?}")),
+            &encoded,
+            |b, encoded| b.iter(|| decode_header_form(encoded, form, &ctx).unwrap()),
+        );
+    }
+    // Delta codec on a fragmented (continuing) pair.
+    let (a, b2) = split(&chunk, 32).unwrap();
+    let pair = vec![a, b2];
+    let buf = encode_packet_delta(&pair);
+    g.bench_function("delta_encode_pair", |b| b.iter(|| encode_packet_delta(&pair)));
+    g.bench_function("delta_decode_pair", |b| {
+        b.iter(|| decode_packet_delta(&buf).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_forms);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+#![allow(missing_docs)] // criterion_main! generates an undocumented fn main
+
+//! F3 bench: the Appendix C/D algorithms — split, merge, extract, and
+//! single-step pool reassembly; plus the paper's §3.2 ablation (three-level
+//! chunk label manipulation vs single-level IP fragmentation).
+
+use bytes::Bytes;
+use chunks_baseline::ip::{fragment, IpPacket};
+use chunks_bench::chunk_of;
+use chunks_core::frag::{extract, merge, split, split_to_fit, ReassemblyPool};
+use chunks_core::wire::WIRE_HEADER_LEN;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_split_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frag");
+    let big = chunk_of(8192);
+    g.throughput(Throughput::Bytes(8192));
+    g.bench_function("split", |b| {
+        b.iter(|| split(std::hint::black_box(&big), 4096).unwrap())
+    });
+    let (a, tail) = split(&big, 4096).unwrap();
+    g.bench_function("merge", |b| {
+        b.iter(|| merge(std::hint::black_box(&a), std::hint::black_box(&tail)).unwrap())
+    });
+    g.bench_function("extract_mid", |b| {
+        b.iter(|| extract(std::hint::black_box(&big), 1000, 2000).unwrap())
+    });
+    // The §3.2 ablation: manipulating three (ID, SN, ST) tuples (chunks)
+    // versus one (IP) per fragmentation operation.
+    g.bench_function("split_to_fit/chunk_3level", |b| {
+        b.iter(|| split_to_fit(big.clone(), WIRE_HEADER_LEN + 512).unwrap())
+    });
+    let dg = IpPacket::datagram(7, Bytes::from(vec![0u8; 8192]));
+    g.bench_function("split_to_fit/ip_1level", |b| {
+        b.iter(|| fragment(std::hint::black_box(&dg), 20 + 512).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reassembly_pool");
+    for pieces in [4u32, 16, 64] {
+        let big = chunk_of(4096);
+        let per = 4096 / pieces;
+        let frags = split_to_fit(big, WIRE_HEADER_LEN + per as usize).unwrap();
+        g.throughput(Throughput::Bytes(4096));
+        g.bench_with_input(
+            BenchmarkId::new("insert_reverse", pieces),
+            &frags,
+            |b, frags| {
+                b.iter(|| {
+                    let mut pool = ReassemblyPool::new();
+                    for f in frags.iter().rev() {
+                        pool.insert(f.clone());
+                    }
+                    assert!(pool.is_complete());
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_split_merge, bench_pool);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+#![allow(missing_docs)] // criterion_main! generates an undocumented fn main
+
+//! F5/F6 bench: cost of the fragmentation-invariant error detection —
+//! absorbing a TPDU as one chunk versus many fragments (the invariance must
+//! not make fragmented arrivals expensive).
+
+use chunks_bench::chunk_of;
+use chunks_core::frag::split_to_fit;
+use chunks_core::wire::WIRE_HEADER_LEN;
+use chunks_wsc::TpduInvariant;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_invariant(c: &mut Criterion) {
+    let mut g = c.benchmark_group("invariant");
+    let whole = chunk_of(8192);
+    g.throughput(Throughput::Bytes(8192));
+    for pieces in [1u32, 8, 64] {
+        let frags = if pieces == 1 {
+            vec![whole.clone()]
+        } else {
+            split_to_fit(whole.clone(), WIRE_HEADER_LEN + (8192 / pieces) as usize).unwrap()
+        };
+        g.bench_with_input(
+            BenchmarkId::new("absorb_fragments", pieces),
+            &frags,
+            |b, frags| {
+                b.iter(|| {
+                    let mut inv = TpduInvariant::with_default_layout();
+                    for f in frags {
+                        inv.absorb_chunk(&f.header, &f.payload).unwrap();
+                    }
+                    inv.digest()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_invariant);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+#![allow(missing_docs)] // criterion_main! generates an undocumented fn main
+
+//! B1 bench: receiver throughput in the three §3.3 delivery modes, on
+//! in-order and reversed arrivals.
+
+use chunks_transport::{
+    ConnectionParams, DeliveryMode, Framer, Receiver,
+};
+use chunks_wsc::InvariantLayout;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_receiver(c: &mut Criterion) {
+    let params = ConnectionParams {
+        conn_id: 1,
+        elem_size: 1,
+        initial_csn: 0,
+        tpdu_elements: 1024,
+    };
+    let layout = InvariantLayout::default();
+    let data = vec![0x5Au8; 64 * 1024];
+    let tpdus = Framer::new(params, layout).frame_simple(&data, 0xF, false);
+    let chunks: Vec<_> = tpdus.iter().flat_map(|t| t.all_chunks()).collect();
+    let mut reversed = chunks.clone();
+    reversed.reverse();
+
+    let mut g = c.benchmark_group("receiver");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for mode in [
+        DeliveryMode::Immediate,
+        DeliveryMode::Reorder,
+        DeliveryMode::Reassemble,
+    ] {
+        for (order, input) in [("inorder", &chunks), ("reversed", &reversed)] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), order),
+                input,
+                |b, input| {
+                    b.iter(|| {
+                        let mut rx = Receiver::new(mode, params, layout, 1 << 17);
+                        for ch in input {
+                            rx.handle_chunk(ch.clone(), 0);
+                        }
+                        assert_eq!(rx.stats.tpdus_delivered, tpdus.len() as u64);
+                        rx.stats.data_touches
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_receiver);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+#![allow(missing_docs)] // criterion_main! generates an undocumented fn main
+
+//! Codec bench: fixed-field encode/decode and packet pack/unpack, including
+//! the LEN=0 end-marker ablation (padded vs exact packets).
+
+use chunks_bench::chunk_of;
+use chunks_core::packet::{pack, unpack, PacketBuilder};
+use chunks_core::wire::{decode_chunk, encode_chunk, WIRE_HEADER_LEN};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    let chunk = chunk_of(1024);
+    let mut buf = Vec::new();
+    encode_chunk(&chunk, &mut buf);
+    g.throughput(Throughput::Bytes(buf.len() as u64));
+    g.bench_function("encode_chunk", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(1100);
+            encode_chunk(std::hint::black_box(&chunk), &mut out);
+            out
+        })
+    });
+    g.bench_function("decode_chunk", |b| {
+        b.iter(|| decode_chunk(std::hint::black_box(&buf)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_packets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packets");
+    let chunks: Vec<_> = (0..16).map(|_| chunk_of(256)).collect();
+    let total: u64 = chunks.iter().map(|c| c.wire_len() as u64).sum();
+    g.throughput(Throughput::Bytes(total));
+    g.bench_function("pack_1500", |b| {
+        b.iter(|| pack(chunks.clone(), 1500).unwrap())
+    });
+    let packets = pack(chunks.clone(), 1500).unwrap();
+    g.bench_function("unpack", |b| {
+        b.iter(|| {
+            packets
+                .iter()
+                .map(|p| unpack(p).unwrap().len())
+                .sum::<usize>()
+        })
+    });
+    // End-marker ablation: parsing exact-length packets vs padded cells.
+    let mut builder = PacketBuilder::new(2048);
+    builder.push(chunk_of(256)).unwrap();
+    let padded = builder.finish_padded();
+    let mut builder = PacketBuilder::new(256 + WIRE_HEADER_LEN);
+    builder.push(chunk_of(256)).unwrap();
+    let exact = builder.finish();
+    g.bench_function("unpack_exact", |b| b.iter(|| unpack(&exact).unwrap()));
+    g.bench_function("unpack_padded_endmarker", |b| b.iter(|| unpack(&padded).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire, bench_packets);
+criterion_main!(benches);

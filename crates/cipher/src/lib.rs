@@ -1,0 +1,179 @@
+//! Block encryption that can be performed on **disordered data**.
+//!
+//! The paper's §1 observes that "there exist protocol operations that
+//! provide the equivalent functionality of CRC error detection and DES
+//! cipher block chaining encryption, but with the additional property that
+//! they can be performed on disordered data" (citing FELD 92) — this is
+//! what removes the last ordering constraint from the receive path and lets
+//! Integrated Layer Processing fold decryption into the single per-arrival
+//! pass.
+//!
+//! Classic CBC chains each block to its predecessor, so decryption of block
+//! *i* needs ciphertext *i−1*: ordering is baked in. The replacement here is
+//! a **position-keyed (tweaked) mode**: each 64-bit block is whitened by a
+//! pad derived from its absolute element position before and after the
+//! block cipher,
+//!
+//! ```text
+//! C_i = E_K(P_i ⊕ T_i) ⊕ T_i        with   T_i = E_K(i)
+//! ```
+//!
+//! so any block encrypts/decrypts *independently given its position* — the
+//! same trick the WSC-2 code plays with its per-position weights. Chunk
+//! labels supply the position (the element's `T.SN`), and the chunk `SIZE`
+//! field guarantees fragmentation never splits a cipher block (§2's DES
+//! example verbatim).
+//!
+//! The block cipher itself is a 16-round Feistel network — a stand-in for
+//! DES with the same 64-bit block geometry. **It is a protocol-processing
+//! model, not a vetted cipher; do not use it to protect real data.**
+
+pub mod feistel;
+pub mod tweak;
+
+pub use feistel::{Feistel64, BLOCK_BYTES};
+pub use tweak::PositionCipher;
+
+use chunks_core::chunk::Chunk;
+use chunks_core::error::CoreError;
+
+/// Encrypts a data chunk in place (element `k` of the chunk is block
+/// `T.SN + k`). Requires `SIZE` to be the cipher block size so fragments
+/// never split blocks.
+pub fn encrypt_chunk(cipher: &PositionCipher, chunk: &Chunk) -> Result<Chunk, CoreError> {
+    crypt_chunk(chunk, |pos, block| cipher.encrypt_block(pos, block))
+}
+
+/// Decrypts a data chunk in place — usable on any fragment, in any arrival
+/// order, because each element carries its position in its labels.
+pub fn decrypt_chunk(cipher: &PositionCipher, chunk: &Chunk) -> Result<Chunk, CoreError> {
+    crypt_chunk(chunk, |pos, block| cipher.decrypt_block(pos, block))
+}
+
+fn crypt_chunk(
+    chunk: &Chunk,
+    mut f: impl FnMut(u64, [u8; BLOCK_BYTES]) -> [u8; BLOCK_BYTES],
+) -> Result<Chunk, CoreError> {
+    if chunk.header.size as usize != BLOCK_BYTES {
+        return Err(CoreError::ElementExceedsMtu {
+            size: chunk.header.size,
+            mtu: BLOCK_BYTES,
+        });
+    }
+    let mut out = Vec::with_capacity(chunk.payload.len());
+    for (k, block) in chunk.payload.chunks(BLOCK_BYTES).enumerate() {
+        let pos = chunk.header.tpdu.sn as u64 + k as u64;
+        let mut b = [0u8; BLOCK_BYTES];
+        b.copy_from_slice(block);
+        out.extend_from_slice(&f(pos, b));
+    }
+    Ok(Chunk {
+        header: chunk.header,
+        payload: out.into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chunks_core::chunk::{Chunk, ChunkHeader};
+    use chunks_core::frag::split;
+    use chunks_core::label::FramingTuple;
+
+    fn cipher() -> PositionCipher {
+        PositionCipher::new([0x0123_4567_89AB_CDEF, 0xFEDC_BA98_7654_3210])
+    }
+
+    fn block_chunk(t_sn: u32, blocks: u32) -> Chunk {
+        let payload: Vec<u8> = (0..blocks * 8).map(|i| (i * 7 + 3) as u8).collect();
+        Chunk::new(
+            ChunkHeader::data(
+                8,
+                blocks,
+                FramingTuple::new(1, 100 + t_sn, false),
+                FramingTuple::new(2, t_sn, false),
+                FramingTuple::new(3, t_sn, false),
+            ),
+            payload.into(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chunk_roundtrip() {
+        let c = block_chunk(0, 8);
+        let enc = encrypt_chunk(&cipher(), &c).unwrap();
+        assert_ne!(enc.payload, c.payload);
+        let dec = decrypt_chunk(&cipher(), &enc).unwrap();
+        assert_eq!(dec, c);
+    }
+
+    #[test]
+    fn fragments_decrypt_independently_in_any_order() {
+        // Encrypt whole, fragment in the network, decrypt each fragment on
+        // arrival — no waiting for predecessors (the anti-CBC property).
+        let c = block_chunk(0, 8);
+        let enc = encrypt_chunk(&cipher(), &c).unwrap();
+        let (a, rest) = split(&enc, 3).unwrap();
+        let (b, d) = split(&rest, 2).unwrap();
+        // Decrypt tail first.
+        let dec_d = decrypt_chunk(&cipher(), &d).unwrap();
+        let dec_b = decrypt_chunk(&cipher(), &b).unwrap();
+        let dec_a = decrypt_chunk(&cipher(), &a).unwrap();
+        let merged = chunks_core::frag::merge(
+            &chunks_core::frag::merge(&dec_a, &dec_b).unwrap(),
+            &dec_d,
+        )
+        .unwrap();
+        assert_eq!(merged, c);
+    }
+
+    #[test]
+    fn equal_plaintext_blocks_encrypt_differently() {
+        // Position whitening defeats the ECB give-away.
+        let payload = vec![0xAAu8; 32];
+        let c = Chunk::new(
+            ChunkHeader::data(
+                8,
+                4,
+                FramingTuple::new(1, 0, false),
+                FramingTuple::new(2, 0, false),
+                FramingTuple::new(3, 0, false),
+            ),
+            payload.into(),
+        )
+        .unwrap();
+        let enc = encrypt_chunk(&cipher(), &c).unwrap();
+        let blocks: Vec<&[u8]> = enc.payload.chunks(8).collect();
+        assert_ne!(blocks[0], blocks[1]);
+        assert_ne!(blocks[1], blocks[2]);
+    }
+
+    #[test]
+    fn wrong_size_rejected() {
+        let c = chunks_core::chunk::byte_chunk(
+            FramingTuple::new(1, 0, false),
+            FramingTuple::new(2, 0, false),
+            FramingTuple::new(3, 0, false),
+            b"not blocks",
+        );
+        assert!(encrypt_chunk(&cipher(), &c).is_err());
+    }
+
+    #[test]
+    fn position_matters() {
+        // The same bytes at a different T.SN produce different ciphertext —
+        // and decrypting at the wrong position yields garbage, which the
+        // end-to-end error detection then catches.
+        let c0 = block_chunk(0, 1);
+        let mut c5 = block_chunk(5, 1);
+        c5.payload = c0.payload.clone();
+        let e0 = encrypt_chunk(&cipher(), &c0).unwrap();
+        let e5 = encrypt_chunk(&cipher(), &c5).unwrap();
+        assert_ne!(e0.payload, e5.payload);
+        let mut wrong = e0.clone();
+        wrong.header.tpdu.sn = 5;
+        let garbage = decrypt_chunk(&cipher(), &wrong).unwrap();
+        assert_ne!(garbage.payload, c0.payload);
+    }
+}

@@ -1,0 +1,238 @@
+//! Explicit data labels: chunk types and `(ID, SN, ST)` framing tuples.
+//!
+//! Conventional protocols identify PDU elements implicitly by their position
+//! within the PDU; the paper's central move (§2) is to label each piece of a
+//! PDU *explicitly* so it can be processed without having seen any other
+//! piece.
+
+use std::fmt;
+
+/// The `TYPE` field of a chunk: how the payload is to be processed.
+///
+/// The basic PDU contains pieces of type *data* and *control*; a system may
+/// use several distinct control types (§2). Chunks can be demultiplexed to
+/// processing units purely on this field (Appendix A).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum ChunkType {
+    /// Reserved on-the-wire value `0`, used by zero padding; never a valid
+    /// chunk. Parsers treat a padding header as end-of-packet.
+    Padding,
+    /// PDU payload data (`TYPE = D` in the paper's figures).
+    Data,
+    /// Error-detection control: carries the end-to-end error detection code
+    /// of a TPDU (`TYPE = ED`, Figure 3).
+    ErrorDetection,
+    /// Connection signalling (establishment / teardown / parameter
+    /// announcement, §2 and Appendix A).
+    Signal,
+    /// Acknowledgment control for the error-control protocol. Chunks let
+    /// acks share packets with data, giving piggybacking "for free"
+    /// (Appendix A).
+    Ack,
+}
+
+impl ChunkType {
+    /// All valid non-padding chunk types.
+    pub const ALL: [ChunkType; 4] = [
+        ChunkType::Data,
+        ChunkType::ErrorDetection,
+        ChunkType::Signal,
+        ChunkType::Ack,
+    ];
+
+    /// Wire encoding of the type field.
+    pub const fn to_u8(self) -> u8 {
+        match self {
+            ChunkType::Padding => 0,
+            ChunkType::Data => 1,
+            ChunkType::ErrorDetection => 2,
+            ChunkType::Signal => 3,
+            ChunkType::Ack => 4,
+        }
+    }
+
+    /// Decodes a wire type byte.
+    pub const fn from_u8(v: u8) -> Option<ChunkType> {
+        match v {
+            0 => Some(ChunkType::Padding),
+            1 => Some(ChunkType::Data),
+            2 => Some(ChunkType::ErrorDetection),
+            3 => Some(ChunkType::Signal),
+            4 => Some(ChunkType::Ack),
+            _ => None,
+        }
+    }
+
+    /// Control information is indivisible (§2): control chunks carry exactly
+    /// one atomic element and are never split by fragmentation.
+    pub const fn is_control(self) -> bool {
+        matches!(
+            self,
+            ChunkType::ErrorDetection | ChunkType::Signal | ChunkType::Ack
+        )
+    }
+}
+
+impl fmt::Display for ChunkType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ChunkType::Padding => "PAD",
+            ChunkType::Data => "D",
+            ChunkType::ErrorDetection => "ED",
+            ChunkType::Signal => "SIG",
+            ChunkType::Ack => "ACK",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The three independent framing levels of a chunk (§2, Figure 2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Level {
+    /// `C` — the connection, treated as one large PDU whose sequence numbers
+    /// are reused over time.
+    Connection,
+    /// `T` — the transport PDU (the unit of error control).
+    Tpdu,
+    /// `X` — an external PDU, e.g. an Application Layer Frame.
+    External,
+}
+
+impl Level {
+    /// All three levels, in C/T/X order.
+    pub const ALL: [Level; 3] = [Level::Connection, Level::Tpdu, Level::External];
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::Connection => "C",
+            Level::Tpdu => "T",
+            Level::External => "X",
+        })
+    }
+}
+
+/// An `(ID, SN, ST)` framing tuple.
+///
+/// `ID` names the PDU the data belong to, `SN` is the first element's
+/// sequence number within that PDU's payload, and `ST` (the *STop* bit) is
+/// set when the chunk's **last** element is the final element of the PDU.
+/// Only the last element of a chunk can carry an ST bit, because all
+/// elements of a chunk share the same `ID` (§2, footnote 3).
+///
+/// Sequence numbers wrap modulo 2^32; the connection level explicitly reuses
+/// SNs over the life of a connection (§2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct FramingTuple {
+    /// PDU identifier.
+    pub id: u32,
+    /// Sequence number of the chunk's first data element within the PDU.
+    pub sn: u32,
+    /// STop bit: the chunk's last element ends the PDU.
+    pub st: bool,
+}
+
+impl FramingTuple {
+    /// Creates a tuple.
+    pub const fn new(id: u32, sn: u32, st: bool) -> Self {
+        FramingTuple { id, sn, st }
+    }
+
+    /// Tuple for the *leading* fragment when the chunk is split: same ID and
+    /// SN, ST cleared (Appendix C — no ST bits are set in any chunk except
+    /// the one carrying the original last element).
+    pub const fn head(self) -> Self {
+        FramingTuple {
+            id: self.id,
+            sn: self.sn,
+            st: false,
+        }
+    }
+
+    /// Tuple for the *trailing* fragment starting `offset` elements in: SN
+    /// advanced, ST preserved (Appendix C).
+    pub const fn tail(self, offset: u32) -> Self {
+        FramingTuple {
+            id: self.id,
+            sn: self.sn.wrapping_add(offset),
+            st: self.st,
+        }
+    }
+
+    /// Sequence number of the element `k` positions into the chunk.
+    pub const fn sn_at(self, k: u32) -> u32 {
+        self.sn.wrapping_add(k)
+    }
+
+    /// True when `other` continues this tuple immediately after `len`
+    /// elements: same ID and contiguous SN (Appendix D merge predicate).
+    pub const fn is_followed_by(self, len: u32, other: Self) -> bool {
+        self.id == other.id && self.sn.wrapping_add(len) == other.sn
+    }
+}
+
+impl fmt::Display for FramingTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(id={}, sn={}, st={})",
+            self.id, self.sn, self.st as u8
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_roundtrip() {
+        for t in ChunkType::ALL {
+            assert_eq!(ChunkType::from_u8(t.to_u8()), Some(t));
+        }
+        assert_eq!(ChunkType::from_u8(0), Some(ChunkType::Padding));
+        assert_eq!(ChunkType::from_u8(200), None);
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(!ChunkType::Data.is_control());
+        assert!(ChunkType::ErrorDetection.is_control());
+        assert!(ChunkType::Signal.is_control());
+        assert!(ChunkType::Ack.is_control());
+    }
+
+    #[test]
+    fn head_clears_st_tail_preserves() {
+        let t = FramingTuple::new(7, 100, true);
+        assert_eq!(t.head(), FramingTuple::new(7, 100, false));
+        assert_eq!(t.tail(4), FramingTuple::new(7, 104, true));
+    }
+
+    #[test]
+    fn tail_wraps_sequence_numbers() {
+        let t = FramingTuple::new(1, u32::MAX - 1, false);
+        assert_eq!(t.tail(3).sn, 1);
+        assert_eq!(t.sn_at(2), 0);
+    }
+
+    #[test]
+    fn followed_by_predicate() {
+        let a = FramingTuple::new(9, 10, false);
+        let b = FramingTuple::new(9, 14, true);
+        assert!(a.is_followed_by(4, b));
+        assert!(!a.is_followed_by(3, b));
+        assert!(!a.is_followed_by(4, FramingTuple::new(8, 14, true)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ChunkType::ErrorDetection.to_string(), "ED");
+        assert_eq!(Level::External.to_string(), "X");
+        assert_eq!(
+            FramingTuple::new(1, 2, true).to_string(),
+            "(id=1, sn=2, st=1)"
+        );
+    }
+}

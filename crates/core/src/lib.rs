@@ -1,0 +1,47 @@
+//! The chunk data-labelling model of Feldmeier, *"A Data Labelling Technique
+//! for High-Performance Protocol Processing and Its Consequences"*,
+//! SIGCOMM 1993.
+//!
+//! A **chunk** is a completely self-describing piece of a protocol data unit
+//! (PDU): a group of data elements that share identical processing context,
+//! labelled by a single header carrying
+//!
+//! * a [`ChunkType`] — how the payload is processed (`data`, error-detection
+//!   control, signalling, …);
+//! * `SIZE` — the atomic data-element size in bytes (units that must never be
+//!   split by fragmentation, e.g. DES blocks);
+//! * `LEN` — the number of elements in the chunk (`LEN = 0` marks the end of
+//!   the valid chunks in a packet);
+//! * three independent [`FramingTuple`]s `(ID, SN, ST)` — one for the
+//!   **connection** (C), one for the **transport PDU** (T) and one for an
+//!   **external PDU** (X, e.g. an Application Layer Frame).
+//!
+//! Because every chunk is self-describing, a receiver can process chunks the
+//! moment they arrive — in any order, fragmented any number of times in the
+//! network — without reordering or reassembly buffers.
+//!
+//! The crate provides:
+//!
+//! * [`chunk`] — the header/payload model;
+//! * [`wire`] — the fixed-field wire codec;
+//! * [`frag`] — the fragmentation algorithm of Appendix C and the single-step
+//!   reassembly algorithm of Appendix D;
+//! * [`packet`] — packets as *envelopes* that carry integral numbers of
+//!   chunks (§2, Figure 3);
+//! * [`compress`] — the invertible header-compression transforms of
+//!   Appendix A (implicit `T.ID`, `SIZE` elision, intra-packet deltas).
+
+pub mod chunk;
+pub mod compress;
+pub mod error;
+pub mod frag;
+pub mod label;
+pub mod packet;
+pub mod wire;
+
+pub use chunk::{Chunk, ChunkHeader};
+pub use error::CoreError;
+pub use frag::{merge, split, split_to_fit, ReassemblyPool};
+pub use label::{ChunkType, FramingTuple, Level};
+pub use packet::{pack, unpack, Packet, PacketBuilder};
+pub use wire::WIRE_HEADER_LEN;

@@ -1,0 +1,309 @@
+//! Packets as envelopes for chunks (§2, Figure 3).
+//!
+//! "Packets can be considered envelopes that carry integral numbers of
+//! chunks." When a chunk is longer than a packet it is split into chunks
+//! that fit; when chunks are smaller than a packet, as many as fit are
+//! placed in one packet. A chunk with `LEN = 0` marks the end of the valid
+//! chunks when a packet is not completely filled. Because chunks allow
+//! disordering, *how* chunks are placed in packets is irrelevant.
+
+use bytes::Bytes;
+
+use crate::chunk::Chunk;
+use crate::error::CoreError;
+use crate::frag::split;
+use crate::wire::{decode_chunk, encode_chunk, WIRE_HEADER_LEN};
+
+/// A packet: the atomic physical unit exchanged between protocol processors.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Packet {
+    /// The on-the-wire bytes: a sequence of encoded chunks, optionally
+    /// terminated by an end marker and zero padding.
+    pub bytes: Bytes,
+}
+
+impl Packet {
+    /// The packet length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the packet carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// Incrementally fills a packet with chunks up to an MTU.
+#[derive(Debug)]
+pub struct PacketBuilder {
+    mtu: usize,
+    buf: Vec<u8>,
+}
+
+impl PacketBuilder {
+    /// Creates a builder for packets of at most `mtu` bytes.
+    pub fn new(mtu: usize) -> Self {
+        PacketBuilder {
+            mtu,
+            buf: Vec::with_capacity(mtu.min(9216)),
+        }
+    }
+
+    /// Bytes still available in the packet under construction.
+    pub fn remaining(&self) -> usize {
+        self.mtu - self.buf.len()
+    }
+
+    /// True if no chunk has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many data elements of a chunk with element size `size` would
+    /// still fit (including the chunk's header).
+    pub fn fit_elements(&self, size: u16) -> u32 {
+        let rem = self.remaining();
+        if rem <= WIRE_HEADER_LEN {
+            return 0;
+        }
+        ((rem - WIRE_HEADER_LEN) / size as usize) as u32
+    }
+
+    /// Adds a whole chunk. Returns the chunk back when it does not fit.
+    pub fn push(&mut self, chunk: Chunk) -> Result<(), Chunk> {
+        if chunk.wire_len() > self.remaining() {
+            return Err(chunk);
+        }
+        encode_chunk(&chunk, &mut self.buf);
+        Ok(())
+    }
+
+    /// Finishes the packet exactly as filled (no padding). The parser stops
+    /// at end-of-bytes.
+    pub fn finish(self) -> Packet {
+        Packet {
+            bytes: self.buf.into(),
+        }
+    }
+
+    /// Finishes the packet padded with zeros to the full MTU — the fixed
+    /// cell case (e.g. ATM). A zero header is the `LEN = 0` end marker, so
+    /// the padding doubles as the terminator when at least a header's worth
+    /// of space remains.
+    pub fn finish_padded(mut self) -> Packet {
+        self.buf.resize(self.mtu, 0);
+        Packet {
+            bytes: self.buf.into(),
+        }
+    }
+}
+
+/// Packs a sequence of chunks into packets of at most `mtu` bytes, splitting
+/// chunks that do not fit (Appendix C via [`split`]). Greedy first-fit in
+/// the order given; the receiver does not care about placement.
+pub fn pack(chunks: Vec<Chunk>, mtu: usize) -> Result<Vec<Packet>, CoreError> {
+    let mut packets = Vec::new();
+    let mut builder = PacketBuilder::new(mtu);
+    for mut chunk in chunks {
+        loop {
+            // Fast path: the whole chunk fits.
+            match builder.push(chunk) {
+                Ok(()) => break,
+                Err(back) => chunk = back,
+            }
+            // Split off as many elements as fit in the current packet.
+            let fit = builder.fit_elements(chunk.header.size);
+            if fit == 0 || chunk.header.ty.is_control() {
+                // No room (or control is indivisible): start a new packet.
+                if builder.is_empty() {
+                    // Even an empty packet cannot take one element.
+                    return Err(CoreError::ElementExceedsMtu {
+                        size: chunk.header.size,
+                        mtu,
+                    });
+                }
+                packets.push(std::mem::replace(&mut builder, PacketBuilder::new(mtu)).finish());
+                continue;
+            }
+            debug_assert!(fit < chunk.header.len);
+            let (head, tail) = split(&chunk, fit)?;
+            builder
+                .push(head)
+                .map_err(|_| CoreError::Truncated)
+                .expect("head sized to fit");
+            packets.push(std::mem::replace(&mut builder, PacketBuilder::new(mtu)).finish());
+            chunk = tail;
+        }
+    }
+    if !builder.is_empty() {
+        packets.push(builder.finish());
+    }
+    Ok(packets)
+}
+
+/// Extracts the chunks from a packet.
+///
+/// Parsing stops at a `LEN = 0` end marker or at end-of-bytes; remaining
+/// bytes after a marker must be zero padding. Trailing space smaller than a
+/// header is accepted only when all zero.
+pub fn unpack(packet: &Packet) -> Result<Vec<Chunk>, CoreError> {
+    let mut chunks = Vec::new();
+    let mut rest: &[u8] = &packet.bytes;
+    while !rest.is_empty() {
+        if rest.len() < WIRE_HEADER_LEN {
+            if rest.iter().all(|&b| b == 0) {
+                break;
+            }
+            return Err(CoreError::Truncated);
+        }
+        let header = crate::wire::decode_header(rest)?;
+        if header.len == 0 {
+            // End marker: everything after it must be padding.
+            if rest[WIRE_HEADER_LEN..].iter().any(|&b| b != 0) {
+                return Err(CoreError::TrailingGarbage);
+            }
+            break;
+        }
+        let (chunk, used) = decode_chunk(rest)?;
+        chunks.push(chunk);
+        rest = &rest[used..];
+    }
+    Ok(chunks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{byte_chunk, Chunk, ChunkHeader};
+    use crate::frag::ReassemblyPool;
+    use crate::label::{ChunkType, FramingTuple};
+
+    fn data_chunk(len: u32) -> Chunk {
+        let payload: Vec<u8> = (0..len as u8).collect();
+        byte_chunk(
+            FramingTuple::new(1, 0, false),
+            FramingTuple::new(2, 0, true),
+            FramingTuple::new(3, 0, false),
+            &payload,
+        )
+    }
+
+    fn ed_chunk() -> Chunk {
+        Chunk::new(
+            ChunkHeader::control(
+                ChunkType::ErrorDetection,
+                8,
+                FramingTuple::new(1, 0, false),
+                FramingTuple::new(2, 0, false),
+                FramingTuple::new(3, 0, false),
+            ),
+            Bytes::from_static(&[0xEE; 8]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_single_packet() {
+        let chunks = vec![data_chunk(7), ed_chunk()];
+        let packets = pack(chunks.clone(), 1500).unwrap();
+        assert_eq!(packets.len(), 1, "both chunks share one envelope (Fig. 3)");
+        assert_eq!(unpack(&packets[0]).unwrap(), chunks);
+    }
+
+    #[test]
+    fn oversized_chunk_is_split_across_packets() {
+        let c = data_chunk(100);
+        let mtu = WIRE_HEADER_LEN + 40;
+        let packets = pack(vec![c.clone()], mtu).unwrap();
+        assert_eq!(packets.len(), 3); // 40 + 40 + 20 elements
+        let mut pool = ReassemblyPool::new();
+        for p in &packets {
+            assert!(p.len() <= mtu);
+            for chunk in unpack(p).unwrap() {
+                pool.insert(chunk);
+            }
+        }
+        assert_eq!(pool.take_complete().unwrap(), c);
+    }
+
+    #[test]
+    fn control_chunk_never_split() {
+        // ED payload (8B) + header does not fit after the data chunk; it
+        // must move whole to the next packet.
+        let mtu = WIRE_HEADER_LEN + 10;
+        let packets = pack(vec![data_chunk(10), ed_chunk()], mtu).unwrap();
+        assert_eq!(packets.len(), 2);
+        let second = unpack(&packets[1]).unwrap();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].header.ty, ChunkType::ErrorDetection);
+    }
+
+    #[test]
+    fn element_too_large_for_any_packet() {
+        let err = pack(vec![ed_chunk()], WIRE_HEADER_LEN + 4).unwrap_err();
+        assert!(matches!(err, CoreError::ElementExceedsMtu { size: 8, .. }));
+    }
+
+    #[test]
+    fn padded_packet_parses_with_end_marker() {
+        let mut b = PacketBuilder::new(200);
+        b.push(data_chunk(5)).unwrap();
+        let p = b.finish_padded();
+        assert_eq!(p.len(), 200);
+        let chunks = unpack(&p).unwrap();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].header.len, 5);
+    }
+
+    #[test]
+    fn padding_smaller_than_header_accepted() {
+        let mtu = WIRE_HEADER_LEN + 5 + 10; // 10 bytes of sub-header padding
+        let mut b = PacketBuilder::new(mtu);
+        b.push(data_chunk(5)).unwrap();
+        let p = b.finish_padded();
+        assert_eq!(unpack(&p).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn garbage_after_end_marker_rejected() {
+        let mut b = PacketBuilder::new(200);
+        b.push(data_chunk(5)).unwrap();
+        let p = b.finish_padded();
+        let mut raw = p.bytes.to_vec();
+        *raw.last_mut().unwrap() = 0xFF;
+        let bad = Packet { bytes: raw.into() };
+        assert_eq!(unpack(&bad).unwrap_err(), CoreError::TrailingGarbage);
+    }
+
+    #[test]
+    fn multiple_small_chunks_share_packet() {
+        let mut chunks = Vec::new();
+        for i in 0..5u32 {
+            chunks.push(byte_chunk(
+                FramingTuple::new(1, i * 4, false),
+                FramingTuple::new(2, i * 4, false),
+                FramingTuple::new(3, i * 4, false),
+                &[i as u8; 4],
+            ));
+        }
+        let packets = pack(chunks.clone(), 1500).unwrap();
+        assert_eq!(packets.len(), 1);
+        assert_eq!(unpack(&packets[0]).unwrap(), chunks);
+    }
+
+    #[test]
+    fn builder_fit_elements_accounts_for_header() {
+        let b = PacketBuilder::new(WIRE_HEADER_LEN + 10);
+        assert_eq!(b.fit_elements(1), 10);
+        assert_eq!(b.fit_elements(4), 2);
+        assert_eq!(b.fit_elements(11), 0);
+        let tiny = PacketBuilder::new(WIRE_HEADER_LEN);
+        assert_eq!(tiny.fit_elements(1), 0);
+    }
+
+    #[test]
+    fn empty_chunk_list_produces_no_packets() {
+        assert!(pack(vec![], 1500).unwrap().is_empty());
+    }
+}

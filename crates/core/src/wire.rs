@@ -1,0 +1,191 @@
+//! Fixed-field wire codec for chunks.
+//!
+//! The paper's simple chunk form uses a fixed-field format that is "easy to
+//! parse" (Appendix A). The layout, big-endian throughout:
+//!
+//! ```text
+//! offset  field
+//!  0      TYPE  (u8)
+//!  1      flags (u8): bit0 = C.ST, bit1 = T.ST, bit2 = X.ST
+//!  2..4   SIZE  (u16)
+//!  4..8   LEN   (u32)   — 0 marks end-of-packet
+//!  8..12  C.ID  12..16 C.SN
+//! 16..20  T.ID  20..24 T.SN
+//! 24..28  X.ID  28..32 X.SN
+//! ```
+//!
+//! Compressed variants that elide redundant fields live in
+//! [`crate::compress`].
+
+use bytes::Bytes;
+
+use crate::chunk::{Chunk, ChunkHeader};
+use crate::error::CoreError;
+use crate::label::{ChunkType, FramingTuple};
+
+/// Byte length of the uncompressed chunk header.
+pub const WIRE_HEADER_LEN: usize = 32;
+
+const FLAG_C_ST: u8 = 1 << 0;
+const FLAG_T_ST: u8 = 1 << 1;
+const FLAG_X_ST: u8 = 1 << 2;
+
+/// Appends the header's wire encoding to `out`.
+pub fn encode_header(h: &ChunkHeader, out: &mut Vec<u8>) {
+    out.push(h.ty.to_u8());
+    let mut flags = 0u8;
+    if h.conn.st {
+        flags |= FLAG_C_ST;
+    }
+    if h.tpdu.st {
+        flags |= FLAG_T_ST;
+    }
+    if h.ext.st {
+        flags |= FLAG_X_ST;
+    }
+    out.push(flags);
+    out.extend_from_slice(&h.size.to_be_bytes());
+    out.extend_from_slice(&h.len.to_be_bytes());
+    for t in [h.conn, h.tpdu, h.ext] {
+        out.extend_from_slice(&t.id.to_be_bytes());
+        out.extend_from_slice(&t.sn.to_be_bytes());
+    }
+}
+
+fn read_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_be_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]])
+}
+
+/// Decodes a header from the front of `buf`.
+///
+/// A decoded header with `LEN = 0` is the end-of-packet marker; callers stop
+/// parsing there. Headers of padding type with nonzero `LEN` are rejected.
+pub fn decode_header(buf: &[u8]) -> Result<ChunkHeader, CoreError> {
+    if buf.len() < WIRE_HEADER_LEN {
+        return Err(CoreError::Truncated);
+    }
+    let ty = ChunkType::from_u8(buf[0]).ok_or(CoreError::BadType(buf[0]))?;
+    let flags = buf[1];
+    let size = u16::from_be_bytes([buf[2], buf[3]]);
+    let len = read_u32(buf, 4);
+    if ty == ChunkType::Padding && len != 0 {
+        return Err(CoreError::BadType(0));
+    }
+    let conn = FramingTuple::new(read_u32(buf, 8), read_u32(buf, 12), flags & FLAG_C_ST != 0);
+    let tpdu = FramingTuple::new(read_u32(buf, 16), read_u32(buf, 20), flags & FLAG_T_ST != 0);
+    let ext = FramingTuple::new(read_u32(buf, 24), read_u32(buf, 28), flags & FLAG_X_ST != 0);
+    Ok(ChunkHeader {
+        ty,
+        size,
+        len,
+        conn,
+        tpdu,
+        ext,
+    })
+}
+
+/// Appends a chunk (header + payload) to `out`.
+pub fn encode_chunk(c: &Chunk, out: &mut Vec<u8>) {
+    encode_header(&c.header, out);
+    out.extend_from_slice(&c.payload);
+}
+
+/// Decodes one chunk from the front of `buf`, returning it together with the
+/// number of bytes consumed.
+pub fn decode_chunk(buf: &[u8]) -> Result<(Chunk, usize), CoreError> {
+    let header = decode_header(buf)?;
+    header.validate()?;
+    let plen = header.payload_len();
+    let total = WIRE_HEADER_LEN + plen;
+    if buf.len() < total {
+        return Err(CoreError::Truncated);
+    }
+    let payload = Bytes::copy_from_slice(&buf[WIRE_HEADER_LEN..total]);
+    Ok((Chunk { header, payload }, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::byte_chunk;
+    use crate::label::FramingTuple;
+
+    fn sample() -> Chunk {
+        byte_chunk(
+            FramingTuple::new(0xAABBCCDD, 36, false),
+            FramingTuple::new(0x51, 0, true),
+            FramingTuple::new(0xC, 24, false),
+            b"0123456",
+        )
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let c = sample();
+        let mut buf = Vec::new();
+        encode_header(&c.header, &mut buf);
+        assert_eq!(buf.len(), WIRE_HEADER_LEN);
+        assert_eq!(decode_header(&buf).unwrap(), c.header);
+    }
+
+    #[test]
+    fn chunk_roundtrip() {
+        let c = sample();
+        let mut buf = Vec::new();
+        encode_chunk(&c, &mut buf);
+        let (d, used) = decode_chunk(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn st_flags_encoded_independently() {
+        let mut c = sample();
+        c.header.conn.st = true;
+        c.header.ext.st = true;
+        let mut buf = Vec::new();
+        encode_header(&c.header, &mut buf);
+        assert_eq!(buf[1], FLAG_C_ST | FLAG_T_ST | FLAG_X_ST);
+        let d = decode_header(&buf).unwrap();
+        assert!(d.conn.st && d.tpdu.st && d.ext.st);
+    }
+
+    #[test]
+    fn truncated_inputs_rejected() {
+        let c = sample();
+        let mut buf = Vec::new();
+        encode_chunk(&c, &mut buf);
+        assert_eq!(
+            decode_header(&buf[..WIRE_HEADER_LEN - 1]).unwrap_err(),
+            CoreError::Truncated
+        );
+        assert_eq!(
+            decode_chunk(&buf[..buf.len() - 1]).unwrap_err(),
+            CoreError::Truncated
+        );
+    }
+
+    #[test]
+    fn bad_type_rejected() {
+        let c = sample();
+        let mut buf = Vec::new();
+        encode_chunk(&c, &mut buf);
+        buf[0] = 0x7F;
+        assert_eq!(decode_chunk(&buf).unwrap_err(), CoreError::BadType(0x7F));
+    }
+
+    #[test]
+    fn zero_header_is_end_marker() {
+        let buf = [0u8; WIRE_HEADER_LEN];
+        let h = decode_header(&buf).unwrap();
+        assert_eq!(h.ty, ChunkType::Padding);
+        assert_eq!(h.len, 0);
+    }
+
+    #[test]
+    fn padding_with_payload_rejected() {
+        let mut buf = vec![0u8; WIRE_HEADER_LEN];
+        buf[7] = 3; // LEN = 3 with TYPE = padding
+        assert!(decode_header(&buf).is_err());
+    }
+}

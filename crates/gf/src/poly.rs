@@ -1,0 +1,176 @@
+//! Carry-less polynomial arithmetic over GF(2) and reduction modulo the
+//! field's primitive polynomial.
+
+/// Low 32 bits of the modulus `p(x) = x^32 + x^22 + x^2 + x + 1`.
+///
+/// `x^32 ≡ x^22 + x^2 + x + 1 (mod p)`, so folding an overflowed bit back
+/// into the field XORs this constant.
+pub const POLY_LOW: u32 = (1 << 22) | (1 << 2) | (1 << 1) | 1;
+
+/// The full 33-bit modulus, including the `x^32` term.
+pub const MODULUS: u64 = (1u64 << 32) | POLY_LOW as u64;
+
+/// Carry-less (XOR) multiplication of two 32-bit polynomials, producing the
+/// unreduced 63-bit product.
+///
+/// Portable shift-and-xor implementation; processes the multiplier four bits
+/// at a time through a small on-stack window table.
+#[inline]
+pub fn clmul32(a: u32, b: u32) -> u64 {
+    // Window table: products of `b` with every 4-bit polynomial.
+    let b = b as u64;
+    let mut window = [0u64; 16];
+    // window[i] for i in 0..16 is the carry-less product i ⊗ b.
+    window[1] = b;
+    window[2] = b << 1;
+    window[4] = b << 2;
+    window[8] = b << 3;
+    window[3] = window[2] ^ b;
+    window[5] = window[4] ^ b;
+    window[6] = window[4] ^ window[2];
+    window[7] = window[6] ^ b;
+    window[9] = window[8] ^ b;
+    window[10] = window[8] ^ window[2];
+    window[11] = window[10] ^ b;
+    window[12] = window[8] ^ window[4];
+    window[13] = window[12] ^ b;
+    window[14] = window[12] ^ window[2];
+    window[15] = window[14] ^ b;
+
+    let mut acc = 0u64;
+    // Eight 4-bit digits of `a`, most significant first.
+    let mut shift = 28;
+    loop {
+        acc ^= window[((a >> shift) & 0xF) as usize] << shift;
+        if shift == 0 {
+            break;
+        }
+        shift -= 4;
+    }
+    acc
+}
+
+/// Reduces a 63-bit carry-less product modulo `p(x)` to a field element.
+#[inline]
+pub fn reduce64(mut v: u64) -> u32 {
+    // Fold the high 31 bits down twice. After the first fold the residue
+    // above bit 32 has degree <= 52-32 = 20+... we simply repeat until the
+    // value fits in 32 bits; two iterations always suffice for a 63-bit
+    // input because each fold reduces the degree of the high part by at
+    // least 10 (32 - 22).
+    while v >> 32 != 0 {
+        let hi = v >> 32;
+        v &= 0xFFFF_FFFF;
+        // x^32 ≡ POLY_LOW, so hi(x)·x^32 ≡ hi(x)·POLY_LOW.
+        v ^= clmul_hi_fold(hi as u32);
+    }
+    v as u32
+}
+
+/// Carry-less product of a (≤31-bit) high residue with `POLY_LOW`.
+#[inline]
+fn clmul_hi_fold(hi: u32) -> u64 {
+    // POLY_LOW has only four set bits; multiply by shifting.
+    let h = hi as u64;
+    (h << 22) ^ (h << 2) ^ (h << 1) ^ h
+}
+
+/// `const`-evaluable field multiplication, used to build compile-time tables.
+///
+/// Slower bit-serial algorithm; not for runtime hot paths.
+pub const fn const_mul(a: u32, b: u32) -> u32 {
+    let mut prod: u64 = 0;
+    let mut i = 0;
+    while i < 32 {
+        if (a >> i) & 1 == 1 {
+            prod ^= (b as u64) << i;
+        }
+        i += 1;
+    }
+    // Bit-serial reduction from the top.
+    let mut bit = 62;
+    while bit >= 32 {
+        if (prod >> bit) & 1 == 1 {
+            prod ^= MODULUS << (bit - 32);
+        }
+        bit -= 1;
+    }
+    prod as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference bit-serial carry-less multiply.
+    fn clmul_ref(a: u32, b: u32) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..32 {
+            if (a >> i) & 1 == 1 {
+                acc ^= (b as u64) << i;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn clmul_matches_reference() {
+        let samples = [
+            (0u32, 0u32),
+            (1, 1),
+            (0xFFFF_FFFF, 0xFFFF_FFFF),
+            (0x8000_0000, 2),
+            (0x1234_5678, 0x9ABC_DEF0),
+            (POLY_LOW, POLY_LOW),
+        ];
+        for (a, b) in samples {
+            assert_eq!(clmul32(a, b), clmul_ref(a, b), "a={a:#x} b={b:#x}");
+            assert_eq!(clmul32(b, a), clmul_ref(a, b), "commutativity");
+        }
+    }
+
+    #[test]
+    fn reduce_identity_below_32_bits() {
+        for v in [0u64, 1, 0xFFFF_FFFF] {
+            assert_eq!(reduce64(v) as u64, v);
+        }
+    }
+
+    #[test]
+    fn reduce_x32() {
+        // x^32 reduces to POLY_LOW by definition of the modulus.
+        assert_eq!(reduce64(1u64 << 32), POLY_LOW);
+    }
+
+    #[test]
+    fn reduce_full_width() {
+        // x^62 = x^30 · x^32 ≡ x^30 · POLY_LOW, which still overflows and
+        // must fold a second time; cross-check against bit-serial reduction.
+        let mut expected: u64 = 1 << 62;
+        let mut bit = 62;
+        while bit >= 32 {
+            if (expected >> bit) & 1 == 1 {
+                expected ^= MODULUS << (bit - 32);
+            }
+            bit -= 1;
+        }
+        assert_eq!(reduce64(1u64 << 62) as u64, expected);
+    }
+
+    #[test]
+    fn const_mul_matches_runtime_mul() {
+        let samples = [
+            (1u32, 1u32),
+            (2, 2),
+            (0xFFFF_FFFF, 0xFFFF_FFFF),
+            (0xDEAD_BEEF, 0x0BAD_F00D),
+        ];
+        for (a, b) in samples {
+            assert_eq!(
+                const_mul(a, b),
+                reduce64(clmul32(a, b)),
+                "a={a:#x} b={b:#x}"
+            );
+        }
+    }
+}

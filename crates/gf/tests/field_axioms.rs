@@ -1,0 +1,70 @@
+//! Property-based verification of the GF(2^32) field axioms.
+
+use chunks_gf::{Gf32, ALPHA};
+use proptest::prelude::*;
+
+fn elem() -> impl Strategy<Value = Gf32> {
+    any::<u32>().prop_map(Gf32::new)
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in elem(), b in elem()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn addition_associates(a in elem(), b in elem(), c in elem()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn multiplication_commutes(a in elem(), b in elem()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn multiplication_associates(a in elem(), b in elem(), c in elem()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn distributivity(a in elem(), b in elem(), c in elem()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn inverse_cancels(a in elem().prop_filter("nonzero", |a| !a.is_zero())) {
+        let inv = a.inv().unwrap();
+        prop_assert_eq!(a * inv, Gf32::ONE);
+        prop_assert_eq!(a / a, Gf32::ONE);
+    }
+
+    #[test]
+    fn no_zero_divisors(a in elem(), b in elem()) {
+        if (a * b).is_zero() {
+            prop_assert!(a.is_zero() || b.is_zero());
+        }
+    }
+
+    #[test]
+    fn pow_adds_exponents(a in elem(), e1 in 0u64..1000, e2 in 0u64..1000) {
+        prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+    }
+
+    #[test]
+    fn alpha_pow_consistent(i in 0u64..(1 << 30)) {
+        prop_assert_eq!(Gf32::alpha_pow(i), ALPHA.pow(i));
+    }
+
+    #[test]
+    fn mul_alpha_is_mul_by_alpha(a in elem()) {
+        prop_assert_eq!(a.mul_alpha(), a * ALPHA);
+    }
+
+    #[test]
+    fn frobenius_is_additive(a in elem(), b in elem()) {
+        // Squaring is a field automorphism in characteristic 2.
+        prop_assert_eq!((a + b) * (a + b), a * a + b * b);
+    }
+}

@@ -1,0 +1,28 @@
+//! Deterministic discrete-event network simulator.
+//!
+//! The paper's experiments ran on the AURORA gigabit testbed over SONET
+//! OC-3 ATM hardware we do not have; this crate simulates the behaviours
+//! that matter to the protocol design instead (see DESIGN.md §3):
+//!
+//! * **message loss** — the first disordering source named in §1;
+//! * **multipath skew** — "obtaining gigabit rates on a SONET OC-3 ATM
+//!   network requires using eight 155 Mbps ATM connections in parallel;
+//!   skew among the routes can cause packets to leave the network in a
+//!   different order than that in which they entered" ([`MultipathLink`]);
+//! * **route changes**, duplication and byte corruption;
+//! * **in-network fragmentation** at routers with differing MTUs
+//!   ([`ChunkRouter`] implements the three conversion methods of Figure 4;
+//!   baseline routers implement the [`PacketTransform`] trait from their own
+//!   crates).
+//!
+//! Everything is driven by a seeded RNG, so every experiment is exactly
+//! reproducible.
+
+pub mod link;
+pub mod path;
+pub mod router;
+
+pub use link::{Link, LinkConfig, LinkStats, MultipathLink, RouteChangeLink};
+pub use path::{Hop, Path, PathBuilder};
+pub use link::MIN_REPACK_MTU;
+pub use router::{ChunkRouter, PacketTransform, Passthrough, RefragPolicy, TurnerDropper};

@@ -1,0 +1,327 @@
+//! Event-driven simulation of a multi-hop path.
+//!
+//! A [`Path`] is a linear chain of hops; each hop is a link (possibly a
+//! multipath bundle) optionally preceded by a [`PacketTransform`] router.
+//! Frames are injected at the head with timestamps and collected at the tail
+//! with their arrival times — possibly out of order, which is the point.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::link::{Link, LinkConfig, LinkStats, MultipathLink, RouteChangeLink};
+use crate::router::PacketTransform;
+
+/// A link that is either a single wire or a skewed multipath bundle.
+#[derive(Debug)]
+pub enum AnyLink {
+    /// One point-to-point link.
+    Single(Box<Link>),
+    /// A round-robin striped bundle.
+    Multi(Box<MultipathLink>),
+    /// A link whose route (and latency) changes mid-run.
+    RouteChange(Box<RouteChangeLink>),
+}
+
+/// Pending event: `(arrival time, FIFO tiebreak, next hop index, frame)`.
+type EventHeap = BinaryHeap<Reverse<(u64, u64, usize, Vec<u8>)>>;
+
+impl AnyLink {
+    fn transmit(&mut self, now: u64, frame: Vec<u8>) -> Vec<(u64, Vec<u8>)> {
+        match self {
+            AnyLink::Single(l) => l.transmit(now, frame),
+            AnyLink::Multi(m) => m.transmit(now, frame),
+            AnyLink::RouteChange(r) => r.transmit(now, frame),
+        }
+    }
+
+    /// The link's (minimum) MTU.
+    pub fn mtu(&self) -> usize {
+        match self {
+            AnyLink::Single(l) => l.cfg.mtu,
+            AnyLink::Multi(m) => m.mtu(),
+            AnyLink::RouteChange(_) => usize::MAX,
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> LinkStats {
+        match self {
+            AnyLink::Single(l) => l.stats,
+            AnyLink::Multi(m) => m.stats(),
+            AnyLink::RouteChange(r) => r.stats(),
+        }
+    }
+}
+
+/// One hop of a path: an optional router followed by a link.
+pub struct Hop {
+    /// Router applied to frames entering this hop (fragmentation point).
+    pub router: Option<Box<dyn PacketTransform>>,
+    /// The link the hop transmits on.
+    pub link: AnyLink,
+}
+
+impl std::fmt::Debug for Hop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hop")
+            .field("router", &self.router.as_ref().map(|_| "<transform>"))
+            .field("link", &self.link)
+            .finish()
+    }
+}
+
+/// A linear chain of hops.
+#[derive(Debug, Default)]
+pub struct Path {
+    hops: Vec<Hop>,
+}
+
+/// Builder for [`Path`].
+#[derive(Debug, Default)]
+pub struct PathBuilder {
+    hops: Vec<Hop>,
+    seed: u64,
+}
+
+impl PathBuilder {
+    /// Starts a path whose links draw faults from `seed`.
+    pub fn new(seed: u64) -> Self {
+        PathBuilder {
+            hops: Vec::new(),
+            seed,
+        }
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.seed
+    }
+
+    /// Appends a plain link.
+    pub fn link(mut self, cfg: LinkConfig) -> Self {
+        let seed = self.next_seed();
+        self.hops.push(Hop {
+            router: None,
+            link: AnyLink::Single(Box::new(Link::new(cfg, seed))),
+        });
+        self
+    }
+
+    /// Appends a router followed by a link.
+    pub fn routed_link(mut self, router: Box<dyn PacketTransform>, cfg: LinkConfig) -> Self {
+        let seed = self.next_seed();
+        self.hops.push(Hop {
+            router: Some(router),
+            link: AnyLink::Single(Box::new(Link::new(cfg, seed))),
+        });
+        self
+    }
+
+    /// Appends a link whose route changes (old → new) at `switch_at_ns`.
+    pub fn route_change(mut self, old: LinkConfig, new: LinkConfig, switch_at_ns: u64) -> Self {
+        let seed = self.next_seed();
+        self.hops.push(Hop {
+            router: None,
+            link: AnyLink::RouteChange(Box::new(RouteChangeLink::new(
+                old,
+                new,
+                switch_at_ns,
+                seed,
+            ))),
+        });
+        self
+    }
+
+    /// Appends a multipath bundle of `n` sub-links skewed by `skew_ns`.
+    pub fn multipath(mut self, n: usize, base: LinkConfig, skew_ns: u64) -> Self {
+        let seed = self.next_seed();
+        self.hops.push(Hop {
+            router: None,
+            link: AnyLink::Multi(Box::new(MultipathLink::skewed(n, base, skew_ns, seed))),
+        });
+        self
+    }
+
+    /// Finishes the path.
+    pub fn build(self) -> Path {
+        Path { hops: self.hops }
+    }
+}
+
+/// Result of a path run.
+#[derive(Debug)]
+pub struct Delivery {
+    /// Arrival time at the far end, in nanoseconds.
+    pub time: u64,
+    /// The delivered frame.
+    pub frame: Vec<u8>,
+}
+
+impl Path {
+    /// Access to the hops (for statistics).
+    pub fn hops(&self) -> &[Hop] {
+        &self.hops
+    }
+
+    /// Runs frames through the path; `inputs` are `(inject_time, frame)`
+    /// pairs. Returns deliveries at the far end sorted by arrival time.
+    pub fn run(&mut self, inputs: Vec<(u64, Vec<u8>)>) -> Vec<Delivery> {
+        // Event = (time, seq, hop_index, frame); seq breaks ties FIFO.
+        let mut heap: EventHeap = BinaryHeap::new();
+        let mut seq = 0u64;
+        for (t, f) in inputs {
+            heap.push(Reverse((t, seq, 0, f)));
+            seq += 1;
+        }
+        let mut out = Vec::new();
+        while let Some(Reverse((now, _, hop_idx, frame))) = heap.pop() {
+            if hop_idx == self.hops.len() {
+                out.push(Delivery { time: now, frame });
+                continue;
+            }
+            let hop = &mut self.hops[hop_idx];
+            let frames = match &mut hop.router {
+                Some(r) => r.ingest(frame),
+                None => vec![frame],
+            };
+            for f in frames {
+                for (arrival, delivered) in hop.link.transmit(now, f) {
+                    heap.push(Reverse((arrival, seq, hop_idx + 1, delivered)));
+                    seq += 1;
+                }
+            }
+        }
+        // Drain router windows (reassembly policies) hop by hop: flushed
+        // frames traverse the remaining hops at the max observed time.
+        let flush_time = out.last().map(|d| d.time).unwrap_or(0);
+        for i in 0..self.hops.len() {
+            let flushed = match &mut self.hops[i].router {
+                Some(r) => r.flush(),
+                None => Vec::new(),
+            };
+            if flushed.is_empty() {
+                continue;
+            }
+            let mut heap: EventHeap = BinaryHeap::new();
+            for f in flushed {
+                for (arrival, delivered) in self.hops[i].link.transmit(flush_time, f) {
+                    heap.push(Reverse((arrival, seq, i + 1, delivered)));
+                    seq += 1;
+                }
+            }
+            while let Some(Reverse((now, _, hop_idx, frame))) = heap.pop() {
+                if hop_idx == self.hops.len() {
+                    out.push(Delivery { time: now, frame });
+                    continue;
+                }
+                let hop = &mut self.hops[hop_idx];
+                let frames = match &mut hop.router {
+                    Some(r) => r.ingest(frame),
+                    None => vec![frame],
+                };
+                for f in frames {
+                    for (arrival, delivered) in hop.link.transmit(now, f) {
+                        heap.push(Reverse((arrival, seq, hop_idx + 1, delivered)));
+                        seq += 1;
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|d| d.time);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{ChunkRouter, RefragPolicy};
+    use chunks_core::chunk::byte_chunk;
+    use chunks_core::frag::ReassemblyPool;
+    use chunks_core::label::FramingTuple;
+    use chunks_core::packet::{pack, unpack, Packet};
+    use chunks_core::wire::WIRE_HEADER_LEN;
+
+    #[test]
+    fn two_hop_latency_accumulates() {
+        let mut p = PathBuilder::new(1)
+            .link(LinkConfig::clean(1500, 1000, 0))
+            .link(LinkConfig::clean(1500, 2000, 0))
+            .build();
+        let out = p.run(vec![(0, vec![1, 2, 3])]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].time, 3000);
+        assert_eq!(out[0].frame, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn multipath_reorders_across_path() {
+        let base = LinkConfig::clean(1500, 1000, 0);
+        let mut p = PathBuilder::new(1).multipath(2, base, 50_000).build();
+        let inputs: Vec<(u64, Vec<u8>)> = (0..4u8).map(|i| (i as u64, vec![i])).collect();
+        let out = p.run(inputs);
+        let ids: Vec<u8> = out.iter().map(|d| d.frame[0]).collect();
+        assert_eq!(ids, vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn router_fragments_mid_path_and_receiver_reassembles() {
+        // Big MTU, then a narrow hop: the router splits chunks; the
+        // receiver's single-step reassembly recovers the original.
+        let payload: Vec<u8> = (0..120).map(|i| i as u8).collect();
+        let chunk = byte_chunk(
+            FramingTuple::new(1, 0, false),
+            FramingTuple::new(2, 0, true),
+            FramingTuple::new(3, 0, false),
+            &payload,
+        );
+        let packets = pack(vec![chunk.clone()], 9000).unwrap();
+        let narrow = WIRE_HEADER_LEN + 50;
+        let mut p = PathBuilder::new(2)
+            .link(LinkConfig::clean(9000, 1000, 0))
+            .routed_link(
+                Box::new(ChunkRouter::new(narrow, RefragPolicy::Repack)),
+                LinkConfig::clean(narrow, 1000, 0),
+            )
+            .build();
+        let inputs = packets
+            .into_iter()
+            .map(|p| (0u64, p.bytes.to_vec()))
+            .collect();
+        let out = p.run(inputs);
+        assert!(out.len() >= 2, "fragmented into several frames");
+        let mut pool = ReassemblyPool::new();
+        for d in out {
+            for c in unpack(&Packet {
+                bytes: d.frame.into(),
+            })
+            .unwrap()
+            {
+                pool.insert(c);
+            }
+        }
+        assert_eq!(pool.take_complete().unwrap(), chunk);
+    }
+
+    #[test]
+    fn lossy_path_drops_frames() {
+        let mut p = PathBuilder::new(3)
+            .link(LinkConfig::clean(1500, 0, 0).with_loss(0.5))
+            .build();
+        let inputs: Vec<(u64, Vec<u8>)> = (0..1000).map(|i| (i, vec![0u8; 10])).collect();
+        let out = p.run(inputs);
+        assert!(out.len() > 300 && out.len() < 700, "delivered {}", out.len());
+        assert_eq!(p.hops()[0].link.stats().lost, 1000 - out.len() as u64);
+    }
+
+    #[test]
+    fn deliveries_sorted_by_time() {
+        let base = LinkConfig::clean(1500, 100, 0).with_jitter(10_000);
+        let mut p = PathBuilder::new(9).link(base).build();
+        let inputs: Vec<(u64, Vec<u8>)> = (0..50).map(|i| (i * 10, vec![i as u8])).collect();
+        let out = p.run(inputs);
+        for w in out.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+}

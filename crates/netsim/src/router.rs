@@ -1,0 +1,469 @@
+//! In-network packet conversion between MTUs.
+//!
+//! "Chunk fragmentation is easiest to understand if we think of packets as
+//! envelopes that carry chunks. Whenever we must change from one packet size
+//! to another packet size, it is as if chunks are emptied from one size of
+//! envelope and placed in another size of envelope" (§3.1). Moving to
+//! *larger* envelopes offers the three choices of Figure 4, all implemented
+//! here; the baseline (IP-style) routers implement the same
+//! [`PacketTransform`] trait in `chunks-baseline`.
+
+use chunks_core::frag::{merge, split_to_fit};
+use chunks_core::packet::{pack, unpack, Packet, PacketBuilder};
+use chunks_core::Chunk;
+
+/// A stateful frame transformer placed between two links of a path.
+pub trait PacketTransform {
+    /// Converts one ingress frame into zero or more egress frames.
+    fn ingest(&mut self, frame: Vec<u8>) -> Vec<Vec<u8>>;
+
+    /// Flushes any frames the transform is still holding (e.g. a reassembly
+    /// window) at the end of a run.
+    fn flush(&mut self) -> Vec<Vec<u8>> {
+        Vec::new()
+    }
+}
+
+/// The identity transform.
+#[derive(Debug, Default)]
+pub struct Passthrough;
+
+impl PacketTransform for Passthrough {
+    fn ingest(&mut self, frame: Vec<u8>) -> Vec<Vec<u8>> {
+        vec![frame]
+    }
+}
+
+/// How a chunk router converts between packet sizes (Figure 4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RefragPolicy {
+    /// Split oversized chunks and emit one chunk per egress packet
+    /// (Figure 4 method 1: "put one small chunk in each large packet" —
+    /// simple, but wastes envelope space).
+    OnePerPacket,
+    /// Split oversized chunks and pack as many chunks as fit into each
+    /// egress packet (method 2: "combine multiple small chunks into a large
+    /// packet" — "simpler than and almost as efficient as chunk
+    /// reassembly").
+    Repack,
+    /// Additionally merge adjacent chunks held in a small window before
+    /// packing (method 3: "perform chunk reassembly" in the network).
+    Reassemble {
+        /// Number of chunks held for merging before the window is flushed.
+        window: usize,
+    },
+    /// Do not fragment: drop packets larger than the egress MTU (the
+    /// "never fragment — discard" option §3 calls unacceptable; used as a
+    /// baseline).
+    DropOversize,
+}
+
+/// A router that understands chunk syntax (but, per §3.2, none of the
+/// semantics behind the framing levels).
+#[derive(Debug)]
+pub struct ChunkRouter {
+    /// Egress MTU in bytes.
+    pub egress_mtu: usize,
+    /// Conversion policy.
+    pub policy: RefragPolicy,
+    window: Vec<Chunk>,
+    /// Wire bytes accumulated in the window (Repack batching).
+    window_wire: usize,
+    /// Chunks split by this router.
+    pub splits: u64,
+    /// Chunks merged by this router.
+    pub merges: u64,
+    /// Packets dropped (DropOversize policy or malformed).
+    pub drops: u64,
+}
+
+impl ChunkRouter {
+    /// Creates a router with the given egress MTU and policy.
+    pub fn new(egress_mtu: usize, policy: RefragPolicy) -> Self {
+        ChunkRouter {
+            egress_mtu,
+            policy,
+            window: Vec::new(),
+            window_wire: 0,
+            splits: 0,
+            merges: 0,
+            drops: 0,
+        }
+    }
+
+    fn emit(&mut self, chunks: Vec<Chunk>) -> Vec<Vec<u8>> {
+        match self.policy {
+            RefragPolicy::OnePerPacket => {
+                let mut out = Vec::new();
+                for c in chunks {
+                    match split_to_fit(c, self.egress_mtu) {
+                        Ok(pieces) => {
+                            self.splits += pieces.len().saturating_sub(1) as u64;
+                            for p in pieces {
+                                let mut b = PacketBuilder::new(self.egress_mtu);
+                                b.push(p).expect("sized to fit");
+                                out.push(b.finish().bytes.to_vec());
+                            }
+                        }
+                        Err(_) => self.drops += 1,
+                    }
+                }
+                out
+            }
+            RefragPolicy::Repack | RefragPolicy::Reassemble { .. } => {
+                match pack(chunks, self.egress_mtu) {
+                    Ok(packets) => packets.into_iter().map(|p| p.bytes.to_vec()).collect(),
+                    Err(_) => {
+                        self.drops += 1;
+                        Vec::new()
+                    }
+                }
+            }
+            RefragPolicy::DropOversize => unreachable!("handled in ingest"),
+        }
+    }
+
+    fn merge_window(&mut self) -> Vec<Chunk> {
+        // Greedy adjacent merging within the window, order-insensitive.
+        let mut chunks = std::mem::take(&mut self.window);
+        chunks.sort_by_key(|c| (c.header.tpdu.id, c.header.tpdu.sn));
+        let mut merged: Vec<Chunk> = Vec::with_capacity(chunks.len());
+        for c in chunks {
+            if let Some(last) = merged.last_mut() {
+                if let Ok(m) = merge(last, &c) {
+                    *last = m;
+                    self.merges += 1;
+                    continue;
+                }
+            }
+            merged.push(c);
+        }
+        merged
+    }
+}
+
+impl PacketTransform for ChunkRouter {
+    fn ingest(&mut self, frame: Vec<u8>) -> Vec<Vec<u8>> {
+        if self.policy == RefragPolicy::DropOversize {
+            return if frame.len() <= self.egress_mtu {
+                vec![frame]
+            } else {
+                self.drops += 1;
+                Vec::new()
+            };
+        }
+        let packet = Packet {
+            bytes: frame.into(),
+        };
+        let chunks = match unpack(&packet) {
+            Ok(c) => c,
+            Err(_) => {
+                self.drops += 1;
+                return Vec::new();
+            }
+        };
+        match self.policy {
+            RefragPolicy::Reassemble { window } => {
+                self.window.extend(chunks);
+                if self.window.len() < window {
+                    return Vec::new();
+                }
+                let merged = self.merge_window();
+                self.emit(merged)
+            }
+            RefragPolicy::Repack => {
+                // Batch chunks until an egress envelope can be filled; this
+                // is what lets small-network chunks combine into large
+                // packets (Figure 4 method 2).
+                self.window_wire += chunks.iter().map(Chunk::wire_len).sum::<usize>();
+                self.window.extend(chunks);
+                if self.window_wire < self.egress_mtu {
+                    return Vec::new();
+                }
+                self.window_wire = 0;
+                let batch = std::mem::take(&mut self.window);
+                self.emit(batch)
+            }
+            _ => self.emit(chunks),
+        }
+    }
+
+    fn flush(&mut self) -> Vec<Vec<u8>> {
+        if self.window.is_empty() {
+            return Vec::new();
+        }
+        self.window_wire = 0;
+        if matches!(self.policy, RefragPolicy::Reassemble { .. }) {
+            let merged = self.merge_window();
+            self.emit(merged)
+        } else {
+            let batch = std::mem::take(&mut self.window);
+            self.emit(batch)
+        }
+    }
+}
+
+/// Congestion dropper implementing Turner's suggestion (§3): "if fragments
+/// travel along the same route, we have the option of dropping all of the
+/// fragments of a TPDU if any fragment must be dropped" — once one chunk of
+/// a TPDU is sacrificed, forwarding the TPDU's other chunks only wastes
+/// downstream bandwidth, since the TPDU must be retransmitted anyway.
+///
+/// Drop decisions are driven by a deterministic counter (`drop_every`), and
+/// TPDU identity by the fragmentation-invariant `C.SN − T.SN`.
+#[derive(Debug)]
+pub struct TurnerDropper {
+    drop_every: u64,
+    seen: u64,
+    condemned: std::collections::HashSet<(u32, u32)>,
+    /// Chunks dropped as the initial congestion victim.
+    pub victims: u64,
+    /// Chunks dropped because their TPDU was already condemned.
+    pub followers: u64,
+}
+
+impl TurnerDropper {
+    /// Creates a dropper that victimizes every `drop_every`-th chunk.
+    pub fn new(drop_every: u64) -> Self {
+        TurnerDropper {
+            drop_every: drop_every.max(1),
+            seen: 0,
+            condemned: std::collections::HashSet::new(),
+            victims: 0,
+            followers: 0,
+        }
+    }
+
+    fn tpdu_key(c: &Chunk) -> (u32, u32) {
+        (
+            c.header.conn.id,
+            c.header.conn.sn.wrapping_sub(c.header.tpdu.sn),
+        )
+    }
+}
+
+impl PacketTransform for TurnerDropper {
+    fn ingest(&mut self, frame: Vec<u8>) -> Vec<Vec<u8>> {
+        let packet = Packet {
+            bytes: frame.into(),
+        };
+        let Ok(chunks) = unpack(&packet) else {
+            return Vec::new();
+        };
+        let mut keep = Vec::new();
+        for c in chunks {
+            if !c.header.ty.is_control() {
+                let key = Self::tpdu_key(&c);
+                if self.condemned.contains(&key) {
+                    self.followers += 1;
+                    continue;
+                }
+                self.seen += 1;
+                if self.seen.is_multiple_of(self.drop_every) {
+                    self.victims += 1;
+                    self.condemned.insert(key);
+                    continue;
+                }
+            }
+            keep.push(c);
+        }
+        if keep.is_empty() {
+            return Vec::new();
+        }
+        match pack(keep, packet.bytes.len().max(crate::link::MIN_REPACK_MTU)) {
+            Ok(packets) => packets.into_iter().map(|p| p.bytes.to_vec()).collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chunks_core::chunk::byte_chunk;
+    use chunks_core::frag::ReassemblyPool;
+    use chunks_core::label::FramingTuple;
+    use chunks_core::wire::WIRE_HEADER_LEN;
+
+    fn big_chunk(len: u32) -> Chunk {
+        let payload: Vec<u8> = (0..len).map(|i| i as u8).collect();
+        byte_chunk(
+            FramingTuple::new(1, 0, false),
+            FramingTuple::new(2, 0, true),
+            FramingTuple::new(3, 0, false),
+            &payload,
+        )
+    }
+
+    fn frame_of(chunks: Vec<Chunk>, mtu: usize) -> Vec<u8> {
+        let packets = pack(chunks, mtu).unwrap();
+        assert_eq!(packets.len(), 1);
+        packets[0].bytes.to_vec()
+    }
+
+    fn reassemble(frames: Vec<Vec<u8>>) -> Vec<Chunk> {
+        let mut pool = ReassemblyPool::new();
+        for f in frames {
+            for c in unpack(&Packet { bytes: f.into() }).unwrap() {
+                pool.insert(c);
+            }
+        }
+        pool.segments().to_vec()
+    }
+
+    #[test]
+    fn shrinking_mtu_splits_chunks() {
+        let c = big_chunk(100);
+        let frame = frame_of(vec![c.clone()], 10_000);
+        let small = WIRE_HEADER_LEN + 40;
+        let mut r = ChunkRouter::new(small, RefragPolicy::Repack);
+        let out = r.ingest(frame);
+        assert!(out.len() >= 3);
+        for f in &out {
+            assert!(f.len() <= small);
+        }
+        let seg = reassemble(out);
+        assert_eq!(seg.len(), 1);
+        assert_eq!(seg[0], c);
+    }
+
+    #[test]
+    fn one_per_packet_uses_more_packets_than_repack() {
+        let chunks: Vec<Chunk> = (0..6u32)
+            .map(|i| {
+                byte_chunk(
+                    FramingTuple::new(1, i * 10, false),
+                    FramingTuple::new(2, i * 10, i == 5),
+                    FramingTuple::new(3, i * 10, false),
+                    &[i as u8; 10],
+                )
+            })
+            .collect();
+        let small = WIRE_HEADER_LEN + 10;
+        // Arrive as six small packets, egress MTU large.
+        let big = 10 * (WIRE_HEADER_LEN + 10);
+        let frames: Vec<Vec<u8>> = chunks
+            .iter()
+            .map(|c| frame_of(vec![c.clone()], small))
+            .collect();
+
+        let mut one = ChunkRouter::new(big, RefragPolicy::OnePerPacket);
+        let mut repack = ChunkRouter::new(big, RefragPolicy::Reassemble { window: 6 });
+        let out_one: Vec<_> = frames
+            .iter()
+            .flat_map(|f| one.ingest(f.clone()))
+            .collect();
+        let mut out_re: Vec<_> = frames
+            .iter()
+            .flat_map(|f| repack.ingest(f.clone()))
+            .collect();
+        out_re.extend(repack.flush());
+        assert_eq!(out_one.len(), 6, "method 1: one chunk per packet");
+        assert_eq!(out_re.len(), 1, "method 3: merged into one envelope");
+        assert!(repack.merges > 0);
+        // Bytes on the wire shrink with reassembly (fewer headers).
+        let b1: usize = out_one.iter().map(Vec::len).sum();
+        let b3: usize = out_re.iter().map(Vec::len).sum();
+        assert!(b3 < b1);
+    }
+
+    #[test]
+    fn reassemble_window_flushes_remainder() {
+        let c = big_chunk(20);
+        let frame = frame_of(vec![c.clone()], 10_000);
+        let mut r = ChunkRouter::new(10_000, RefragPolicy::Reassemble { window: 8 });
+        assert!(r.ingest(frame).is_empty(), "held in window");
+        let out = r.flush();
+        assert_eq!(reassemble(out), vec![c]);
+    }
+
+    #[test]
+    fn drop_oversize_policy() {
+        let mut r = ChunkRouter::new(100, RefragPolicy::DropOversize);
+        assert_eq!(r.ingest(vec![0u8; 100]).len(), 1);
+        assert!(r.ingest(vec![0u8; 101]).is_empty());
+        assert_eq!(r.drops, 1);
+    }
+
+    #[test]
+    fn malformed_frame_dropped() {
+        let mut r = ChunkRouter::new(1000, RefragPolicy::Repack);
+        let mut junk = vec![0xFFu8; 64];
+        junk[0] = 0x09; // invalid type
+        assert!(r.ingest(junk).is_empty());
+        assert_eq!(r.drops, 1);
+    }
+
+    #[test]
+    fn refragmentation_is_transparent_end_to_end() {
+        // big -> small -> big -> small chain; receiver sees ordinary chunks.
+        let c = big_chunk(200);
+        let h = WIRE_HEADER_LEN;
+        let mut r1 = ChunkRouter::new(h + 50, RefragPolicy::Repack);
+        let mut r2 = ChunkRouter::new(h + 170, RefragPolicy::Reassemble { window: 2 });
+        let mut r3 = ChunkRouter::new(h + 30, RefragPolicy::Repack);
+        let mut frames = vec![frame_of(vec![c.clone()], 10_000)];
+        for r in [&mut r1 as &mut dyn PacketTransform, &mut r2, &mut r3] {
+            let mut next: Vec<Vec<u8>> = frames.drain(..).flat_map(|f| r.ingest(f)).collect();
+            next.extend(r.flush());
+            frames = next;
+        }
+        let seg = reassemble(frames);
+        assert_eq!(seg.len(), 1);
+        assert_eq!(seg[0], c);
+    }
+
+    #[test]
+    fn turner_dropper_condemns_whole_tpdu() {
+        // Three TPDUs, four single-chunk frames each.
+        let mut frames = Vec::new();
+        for t in 0..3u32 {
+            for k in 0..4u32 {
+                let c = byte_chunk(
+                    FramingTuple::new(1, t * 100 + k * 5, false),
+                    FramingTuple::new(t, k * 5, k == 3),
+                    FramingTuple::new(t, k * 5, false),
+                    &[t as u8; 5],
+                );
+                frames.push(frame_of(vec![c], 1500));
+            }
+        }
+        // Victimize every 5th data chunk: chunk #5 is TPDU 1's second chunk.
+        let mut dropper = TurnerDropper::new(5);
+        let mut survivors = 0;
+        for f in frames {
+            survivors += dropper
+                .ingest(f)
+                .iter()
+                .map(|f| unpack(&Packet { bytes: f.clone().into() }).unwrap().len())
+                .sum::<usize>();
+        }
+        // The 5th non-condemned data chunk is TPDU 1's first chunk; the
+        // rest of TPDU 1 then follows it into the bin.
+        assert_eq!(dropper.victims, 1);
+        assert_eq!(dropper.followers, 3, "the TPDU's other three chunks");
+        assert_eq!(
+            survivors as u64,
+            12 - dropper.victims - dropper.followers
+        );
+    }
+
+    #[test]
+    fn turner_dropper_passes_control_chunks() {
+        let ed = Chunk::new(
+            chunks_core::chunk::ChunkHeader::control(
+                chunks_core::label::ChunkType::ErrorDetection,
+                8,
+                FramingTuple::new(1, 0, false),
+                FramingTuple::new(0, 0, false),
+                FramingTuple::new(0, 0, false),
+            ),
+            bytes::Bytes::from_static(&[0u8; 8]),
+        )
+        .unwrap();
+        let mut dropper = TurnerDropper::new(1); // drop every data chunk
+        let out = dropper.ingest(frame_of(vec![ed], 1500));
+        assert_eq!(out.len(), 1, "control chunks are never victims");
+        assert_eq!(dropper.victims, 0);
+    }
+}

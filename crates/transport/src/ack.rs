@@ -1,0 +1,168 @@
+//! Acknowledgment encoding for the error-control loop.
+//!
+//! Acks are ordinary control chunks, so they share packets with data
+//! travelling the other way — chunks give piggybacking "without requiring
+//! the explicit design of piggybacking into the error control protocol"
+//! (Appendix A).
+
+use bytes::Bytes;
+use chunks_core::chunk::{Chunk, ChunkHeader};
+use chunks_core::error::CoreError;
+use chunks_core::label::{ChunkType, FramingTuple};
+
+/// Receiver feedback: a cumulative point, selectively-acknowledged TPDU
+/// starts beyond it, and the precise element ranges still missing (so the
+/// sender can retransmit *fragments*, not whole TPDUs — chunks make
+/// sub-PDU retransmission natural because extracted sub-chunks are just
+/// chunks, Appendix C).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct AckInfo {
+    /// All elements below this connection-space index have been verified
+    /// and delivered.
+    pub cumulative: u64,
+    /// Starts of TPDUs verified beyond the cumulative point (selective
+    /// acknowledgment).
+    pub sacks: Vec<u64>,
+    /// Connection-space element ranges known to be missing (negative
+    /// acknowledgment list for selective retransmission).
+    pub gaps: Vec<(u64, u64)>,
+    /// Starts of TPDUs whose data is complete but whose ED control chunk
+    /// never arrived — the sender need only re-send the 8-byte digest.
+    pub need_ed: Vec<u64>,
+}
+
+impl AckInfo {
+    /// Encodes the ack payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(12 + self.sacks.len() * 8 + self.gaps.len() * 16);
+        out.extend_from_slice(&self.cumulative.to_be_bytes());
+        out.extend_from_slice(&(self.sacks.len() as u16).to_be_bytes());
+        for s in &self.sacks {
+            out.extend_from_slice(&s.to_be_bytes());
+        }
+        out.extend_from_slice(&(self.gaps.len() as u16).to_be_bytes());
+        for (lo, hi) in &self.gaps {
+            out.extend_from_slice(&lo.to_be_bytes());
+            out.extend_from_slice(&hi.to_be_bytes());
+        }
+        out.extend_from_slice(&(self.need_ed.len() as u16).to_be_bytes());
+        for s in &self.need_ed {
+            out.extend_from_slice(&s.to_be_bytes());
+        }
+        out
+    }
+
+    /// Decodes an ack payload.
+    pub fn decode(buf: &[u8]) -> Option<AckInfo> {
+        if buf.len() < 12 {
+            return None;
+        }
+        let cumulative = u64::from_be_bytes(buf[..8].try_into().ok()?);
+        let n = u16::from_be_bytes(buf[8..10].try_into().ok()?) as usize;
+        let gaps_at = 10 + n * 8;
+        if buf.len() < gaps_at + 2 {
+            return None;
+        }
+        let sacks = (0..n)
+            .map(|i| u64::from_be_bytes(buf[10 + i * 8..18 + i * 8].try_into().unwrap()))
+            .collect();
+        let g = u16::from_be_bytes(buf[gaps_at..gaps_at + 2].try_into().ok()?) as usize;
+        let ed_at = gaps_at + 2 + g * 16;
+        if buf.len() < ed_at + 2 {
+            return None;
+        }
+        let gaps = (0..g)
+            .map(|i| {
+                let at = gaps_at + 2 + i * 16;
+                (
+                    u64::from_be_bytes(buf[at..at + 8].try_into().unwrap()),
+                    u64::from_be_bytes(buf[at + 8..at + 16].try_into().unwrap()),
+                )
+            })
+            .collect();
+        let e = u16::from_be_bytes(buf[ed_at..ed_at + 2].try_into().ok()?) as usize;
+        if buf.len() != ed_at + 2 + e * 8 {
+            return None;
+        }
+        let need_ed = (0..e)
+            .map(|i| {
+                let at = ed_at + 2 + i * 8;
+                u64::from_be_bytes(buf[at..at + 8].try_into().unwrap())
+            })
+            .collect();
+        Some(AckInfo {
+            cumulative,
+            sacks,
+            gaps,
+            need_ed,
+        })
+    }
+
+    /// Wraps the ack in a control chunk for `conn_id`.
+    pub fn to_chunk(&self, conn_id: u32) -> Chunk {
+        let payload = self.encode();
+        Chunk::new(
+            ChunkHeader::control(
+                ChunkType::Ack,
+                payload.len() as u16,
+                FramingTuple::new(conn_id, 0, false),
+                FramingTuple::new(0, 0, false),
+                FramingTuple::new(0, 0, false),
+            ),
+            Bytes::from(payload),
+        )
+        .expect("ack chunk is consistent")
+    }
+
+    /// Extracts an ack from a control chunk.
+    pub fn from_chunk(chunk: &Chunk) -> Result<AckInfo, CoreError> {
+        if chunk.header.ty != ChunkType::Ack {
+            return Err(CoreError::BadType(chunk.header.ty.to_u8()));
+        }
+        AckInfo::decode(&chunk.payload).ok_or(CoreError::Truncated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_empty_and_full() {
+        for ack in [
+            AckInfo::default(),
+            AckInfo {
+                cumulative: 1024,
+                sacks: vec![2048, 4096, 1 << 40],
+                gaps: vec![(1500, 1600), (3000, 3001)],
+                need_ed: vec![4096],
+            },
+        ] {
+            assert_eq!(AckInfo::decode(&ack.encode()), Some(ack.clone()));
+            let c = ack.to_chunk(7);
+            assert_eq!(AckInfo::from_chunk(&c).unwrap(), ack);
+        }
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let ack = AckInfo {
+            cumulative: 5,
+            sacks: vec![10],
+            gaps: vec![(20, 30)],
+            need_ed: vec![40],
+        };
+        let buf = ack.encode();
+        assert_eq!(AckInfo::decode(&buf[..buf.len() - 1]), None);
+        assert_eq!(AckInfo::decode(&buf[..4]), None);
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let ack = AckInfo::default().to_chunk(1);
+        let mut wrong = ack.clone();
+        wrong.header.ty = ChunkType::Signal;
+        assert!(AckInfo::from_chunk(&wrong).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Dynamic path-MTU determination (Kent–Mogul, discussed in §3).
+//!
+//! Kent and Mogul's alternative to fragmentation is to never send a packet
+//! larger than the path minimum, "dynamically determining the MTU for a
+//! route". The probe engine here binary-searches between a size known to
+//! survive and one known to be dropped, using don't-fragment-style probe
+//! packets. The XTP-style baseline needs this to size its PDUs; the chunk
+//! transport can use it as an optimization (fewer in-network splits) but
+//! never *needs* it — routers refragment chunks transparently.
+
+/// Binary-search state for path-MTU discovery.
+///
+/// ```
+/// use chunks_transport::MtuProbe;
+/// let mut probe = MtuProbe::new(68, 9000);
+/// let path_mtu = 1500; // what the network would reveal
+/// while let Some(size) = probe.next_probe() {
+///     probe.report(size, size <= path_mtu);
+/// }
+/// assert_eq!(probe.discovered(), Some(1500));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct MtuProbe {
+    /// Largest probe size known to traverse the path.
+    lo: usize,
+    /// Smallest probe size known to be dropped (`max + 1` until a drop is
+    /// observed).
+    hi: usize,
+    outstanding: Option<usize>,
+}
+
+impl MtuProbe {
+    /// Starts discovery knowing the path carries at least `min` bytes and
+    /// at most `max` bytes.
+    ///
+    /// # Panics
+    /// Panics when `min > max`.
+    pub fn new(min: usize, max: usize) -> Self {
+        assert!(min <= max, "inverted probe bounds");
+        MtuProbe {
+            lo: min,
+            hi: max + 1,
+            outstanding: None,
+        }
+    }
+
+    /// The next probe size to send, or `None` when discovery converged.
+    pub fn next_probe(&mut self) -> Option<usize> {
+        if let Some(p) = self.outstanding {
+            return Some(p); // retransmit the unanswered probe
+        }
+        if self.lo + 1 >= self.hi {
+            return None;
+        }
+        let mid = self.lo + (self.hi - self.lo) / 2;
+        self.outstanding = Some(mid);
+        Some(mid)
+    }
+
+    /// Reports a probe outcome: `delivered == true` when an echo for the
+    /// probe of `size` bytes came back, `false` on timeout (dropped as
+    /// oversize somewhere along the path).
+    pub fn report(&mut self, size: usize, delivered: bool) {
+        if self.outstanding == Some(size) {
+            self.outstanding = None;
+        }
+        if delivered {
+            self.lo = self.lo.max(size);
+        } else {
+            self.hi = self.hi.min(size);
+        }
+    }
+
+    /// The discovered path MTU, once converged.
+    pub fn discovered(&self) -> Option<usize> {
+        (self.lo + 1 >= self.hi && self.outstanding.is_none()).then_some(self.lo)
+    }
+
+    /// Maximum probes a discovery can take (the binary-search depth).
+    pub fn max_probes(min: usize, max: usize) -> u32 {
+        usize::BITS - (max - min).leading_zeros() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives the probe against a path with the given true MTU; returns
+    /// (discovered, probes used).
+    fn discover(true_mtu: usize, min: usize, max: usize) -> (usize, u32) {
+        let mut p = MtuProbe::new(min, max);
+        let mut probes = 0;
+        while let Some(size) = p.next_probe() {
+            probes += 1;
+            p.report(size, size <= true_mtu);
+            assert!(probes < 64, "diverged");
+        }
+        (p.discovered().unwrap(), probes)
+    }
+
+    #[test]
+    fn discovers_exact_mtu() {
+        for mtu in [576, 1006, 1500, 4352, 9180] {
+            let (got, _) = discover(mtu, 68, 65535);
+            assert_eq!(got, mtu);
+        }
+    }
+
+    #[test]
+    fn probe_count_is_logarithmic() {
+        let (_, probes) = discover(1500, 68, 65535);
+        assert!(probes <= MtuProbe::max_probes(68, 65535));
+        assert!(probes <= 17, "{probes} probes for a 16-bit range");
+    }
+
+    #[test]
+    fn degenerate_range_converges_immediately() {
+        let mut p = MtuProbe::new(1500, 1500);
+        assert_eq!(p.next_probe(), None);
+        assert_eq!(p.discovered(), Some(1500));
+    }
+
+    #[test]
+    fn unanswered_probe_is_retransmitted() {
+        let mut p = MtuProbe::new(100, 200);
+        let first = p.next_probe().unwrap();
+        // No report: asking again returns the same outstanding probe.
+        assert_eq!(p.next_probe(), Some(first));
+        p.report(first, false);
+        let second = p.next_probe().unwrap();
+        assert!(second < first);
+    }
+
+    #[test]
+    fn mtu_at_range_edges() {
+        assert_eq!(discover(68, 68, 65535).0, 68);
+        assert_eq!(discover(65535, 68, 65535).0, 65535);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_bounds_panic() {
+        MtuProbe::new(1500, 100);
+    }
+}

@@ -1,0 +1,306 @@
+//! Packet multiplexing and TYPE-field demultiplexing (Appendix A).
+//!
+//! "Packets are utilized more efficiently if multiple chunks can be carried
+//! in a packet … this idea can be extended to packets that carry chunks
+//! from multiple connections. Data, signaling information, and
+//! acknowledgments can be combined in any combination" — which gives an
+//! error-control protocol the efficiency of piggybacked acknowledgments
+//! *without designing piggybacking into the protocol*.
+//!
+//! On the receive side, "chunks … can be demultiplexed via the TYPE field
+//! and routed to the appropriate processing units"; [`ConnectionDemux`]
+//! routes data and ED chunks to per-connection receivers, and acks and
+//! signals to their handlers, in one pass.
+
+use std::collections::HashMap;
+
+use chunks_core::chunk::Chunk;
+use chunks_core::error::CoreError;
+use chunks_core::label::ChunkType;
+use chunks_core::packet::{pack, unpack, Packet};
+
+use crate::ack::AckInfo;
+use crate::conn::Signal;
+use crate::receiver::{Receiver, RxEvent};
+
+/// Collects chunks from any number of sources — data from several
+/// connections, acks travelling the reverse direction, signalling — and
+/// packs them into shared packets.
+#[derive(Debug)]
+pub struct PacketMux {
+    mtu: usize,
+    queue: Vec<Chunk>,
+}
+
+impl PacketMux {
+    /// Creates a multiplexer for packets of at most `mtu` bytes.
+    pub fn new(mtu: usize) -> Self {
+        PacketMux {
+            mtu,
+            queue: Vec::new(),
+        }
+    }
+
+    /// Number of chunks waiting.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Queues data (or any pre-built) chunks.
+    pub fn enqueue_chunks(&mut self, chunks: impl IntoIterator<Item = Chunk>) {
+        self.queue.extend(chunks);
+    }
+
+    /// Queues an acknowledgment for `conn_id` — it will ride whatever
+    /// packet has room (piggybacking for free).
+    pub fn enqueue_ack(&mut self, conn_id: u32, ack: &AckInfo) {
+        self.queue.push(ack.to_chunk(conn_id));
+    }
+
+    /// Queues a connection signal.
+    pub fn enqueue_signal(&mut self, signal: &Signal) {
+        self.queue.push(signal.to_chunk());
+    }
+
+    /// Packs everything queued into packets and clears the queue.
+    pub fn flush(&mut self) -> Result<Vec<Packet>, CoreError> {
+        pack(std::mem::take(&mut self.queue), self.mtu)
+    }
+}
+
+/// Events a demultiplexer surfaces beyond per-connection receiver events.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DemuxEvent {
+    /// A receiver event for a registered connection.
+    Connection {
+        /// The connection the event belongs to.
+        conn_id: u32,
+        /// The receiver event.
+        event: RxEvent,
+    },
+    /// An acknowledgment arrived for a connection we send on.
+    Ack {
+        /// The acknowledged connection.
+        conn_id: u32,
+        /// The acknowledgment.
+        ack: AckInfo,
+    },
+    /// A connection signal arrived.
+    Signal(Signal),
+    /// A chunk referenced a connection no receiver is registered for.
+    UnknownConnection {
+        /// The unknown `C.ID`.
+        conn_id: u32,
+    },
+}
+
+/// Routes the chunks of incoming packets by `TYPE` and `C.ID` in a single
+/// pass: data/ED to the matching [`Receiver`], acks and signals out as
+/// events.
+#[derive(Debug, Default)]
+pub struct ConnectionDemux {
+    receivers: HashMap<u32, Receiver>,
+    /// Chunks routed, by wire type byte (index = `ChunkType::to_u8`).
+    pub routed: [u64; 5],
+}
+
+impl ConnectionDemux {
+    /// Creates an empty demultiplexer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the receiver for a connection.
+    pub fn register(&mut self, conn_id: u32, receiver: Receiver) {
+        self.receivers.insert(conn_id, receiver);
+    }
+
+    /// Access to a registered receiver.
+    pub fn receiver(&self, conn_id: u32) -> Option<&Receiver> {
+        self.receivers.get(&conn_id)
+    }
+
+    /// Mutable access to a registered receiver.
+    pub fn receiver_mut(&mut self, conn_id: u32) -> Option<&mut Receiver> {
+        self.receivers.get_mut(&conn_id)
+    }
+
+    /// Handles one packet, routing every chunk it carries.
+    pub fn handle_packet(&mut self, packet: &Packet, now: u64) -> Vec<DemuxEvent> {
+        let chunks = match unpack(packet) {
+            Ok(c) => c,
+            Err(_) => return Vec::new(),
+        };
+        let mut events = Vec::new();
+        for chunk in chunks {
+            self.routed[chunk.header.ty.to_u8() as usize] += 1;
+            match chunk.header.ty {
+                ChunkType::Ack => {
+                    if let Ok(ack) = AckInfo::from_chunk(&chunk) {
+                        events.push(DemuxEvent::Ack {
+                            conn_id: chunk.header.conn.id,
+                            ack,
+                        });
+                    }
+                }
+                ChunkType::Signal => {
+                    if let Ok(s) = Signal::from_chunk(&chunk) {
+                        events.push(DemuxEvent::Signal(s));
+                    }
+                }
+                ChunkType::Data | ChunkType::ErrorDetection => {
+                    let conn_id = chunk.header.conn.id;
+                    match self.receivers.get_mut(&conn_id) {
+                        Some(rx) => {
+                            for event in rx.handle_chunk(chunk, now) {
+                                events.push(DemuxEvent::Connection { conn_id, event });
+                            }
+                        }
+                        None => events.push(DemuxEvent::UnknownConnection { conn_id }),
+                    }
+                }
+                ChunkType::Padding => {}
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::ConnectionParams;
+    use crate::receiver::DeliveryMode;
+    use crate::sender::{Sender, SenderConfig};
+    use chunks_wsc::InvariantLayout;
+
+    fn params(conn_id: u32) -> ConnectionParams {
+        ConnectionParams {
+            conn_id,
+            elem_size: 1,
+            initial_csn: 0,
+            tpdu_elements: 8,
+        }
+    }
+
+    fn layout() -> InvariantLayout {
+        InvariantLayout::with_data_symbols(1024)
+    }
+
+    fn sender(conn_id: u32) -> Sender {
+        Sender::new(SenderConfig {
+            params: params(conn_id),
+            layout: layout(),
+            mtu: 1500,
+            min_tpdu_elements: 2,
+            max_tpdu_elements: 64,
+        })
+    }
+
+    #[test]
+    fn two_connections_share_packets() {
+        let mut tx1 = sender(1);
+        let mut tx2 = sender(2);
+        tx1.submit_simple(b"alpha___", 0xA, false);
+        tx2.submit_simple(b"beta____", 0xB, false);
+
+        let mut mux = PacketMux::new(1500);
+        for tx in [&tx1, &tx2] {
+            for p in tx.packets_for_pending().unwrap() {
+                mux.enqueue_chunks(unpack(&p).unwrap());
+            }
+        }
+        let packets = mux.flush().unwrap();
+        assert_eq!(packets.len(), 1, "both connections share one envelope");
+
+        let mut demux = ConnectionDemux::new();
+        demux.register(1, Receiver::new(DeliveryMode::Immediate, params(1), layout(), 256));
+        demux.register(2, Receiver::new(DeliveryMode::Immediate, params(2), layout(), 256));
+        let events = demux.handle_packet(&packets[0], 0);
+        let delivered: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                DemuxEvent::Connection {
+                    conn_id,
+                    event: RxEvent::TpduDelivered { .. },
+                } => Some(*conn_id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![1, 2]);
+        assert_eq!(&demux.receiver(1).unwrap().app_data()[..8], b"alpha___");
+        assert_eq!(&demux.receiver(2).unwrap().app_data()[..8], b"beta____");
+    }
+
+    #[test]
+    fn acks_piggyback_on_data_packets() {
+        // The reverse-direction node has data of its own to send plus an
+        // ack for what it received: both ride one packet.
+        let mut tx = sender(3);
+        tx.submit_simple(b"reverse!", 0xC, false);
+        let ack = AckInfo {
+            cumulative: 512,
+            sacks: vec![1024],
+            gaps: vec![],
+            need_ed: vec![],
+        };
+        let mut mux = PacketMux::new(1500);
+        for p in tx.packets_for_pending().unwrap() {
+            mux.enqueue_chunks(unpack(&p).unwrap());
+        }
+        mux.enqueue_ack(9, &ack);
+        let packets = mux.flush().unwrap();
+        assert_eq!(packets.len(), 1, "ack costs no extra packet");
+
+        let mut demux = ConnectionDemux::new();
+        demux.register(3, Receiver::new(DeliveryMode::Immediate, params(3), layout(), 256));
+        let events = demux.handle_packet(&packets[0], 0);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            DemuxEvent::Ack { conn_id: 9, ack: a } if a.cumulative == 512
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            DemuxEvent::Connection {
+                conn_id: 3,
+                event: RxEvent::TpduDelivered { .. }
+            }
+        )));
+    }
+
+    #[test]
+    fn signals_routed_and_counted() {
+        let sig = Signal::Establish(crate::conn::ConnectionParams {
+            conn_id: 7,
+            elem_size: 4,
+            initial_csn: 0,
+            tpdu_elements: 128,
+        });
+        let mut mux = PacketMux::new(1500);
+        mux.enqueue_signal(&sig);
+        let packets = mux.flush().unwrap();
+        let mut demux = ConnectionDemux::new();
+        let events = demux.handle_packet(&packets[0], 0);
+        assert_eq!(events, vec![DemuxEvent::Signal(sig)]);
+        assert_eq!(demux.routed[ChunkType::Signal.to_u8() as usize], 1);
+    }
+
+    #[test]
+    fn unknown_connection_reported() {
+        let mut tx = sender(42);
+        tx.submit_simple(b"lost____", 0xD, false);
+        let packets = tx.packets_for_pending().unwrap();
+        let mut demux = ConnectionDemux::new();
+        let events = demux.handle_packet(&packets[0], 0);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, DemuxEvent::UnknownConnection { conn_id: 42 })));
+    }
+
+    #[test]
+    fn empty_mux_flushes_nothing() {
+        let mut mux = PacketMux::new(1500);
+        assert!(mux.flush().unwrap().is_empty());
+        assert_eq!(mux.pending(), 0);
+    }
+}

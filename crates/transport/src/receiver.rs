@@ -1,0 +1,912 @@
+//! The receiving side: immediate processing, reordering, or physical
+//! reassembly (§3.3), over one shared verification engine.
+//!
+//! The receiver identifies the TPDU a chunk belongs to by its *position in
+//! connection space*: `C.SN − T.SN` names the TPDU's first element, and is
+//! invariant under fragmentation (it is exactly the implicit `T.ID` of
+//! Appendix A). The explicit `T.ID` is therefore pure protected data — its
+//! corruption surfaces as an error-detection-code mismatch, matching
+//! Table 1. `C.SN` corruption moves a chunk into the *wrong* TPDU group,
+//! where it collides with data owned by another group — the cross-group
+//! consistency check. `T.SN` corruption breaks virtual reassembly.
+//!
+//! Every arriving byte is counted as a *data touch* when it is written
+//! anywhere (application space or a staging buffer), so the three delivery
+//! modes make the paper's §3.3 claim quantitative: immediate processing
+//! touches each byte once; physical reassembly touches it twice; reordering
+//! falls in between, depending on how much disorder the network produced.
+
+use std::collections::HashMap;
+
+use chunks_core::chunk::Chunk;
+use chunks_core::label::ChunkType;
+use chunks_core::packet::{unpack, Packet};
+use chunks_vreasm::{PduTracker, TrackEvent};
+use chunks_wsc::{InvariantLayout, TpduInvariant};
+
+use crate::ack::AckInfo;
+use crate::conn::{ConnectionParams, Signal};
+
+/// The three receiver strategies of §3.3.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeliveryMode {
+    /// Process chunks as they arrive: place data straight into the
+    /// application address space ("reassembly in place"). One touch per
+    /// byte; no reassembly buffer at all.
+    Immediate,
+    /// Deliver data to the application strictly in connection-sequence
+    /// order, buffering out-of-order chunks until the gap fills.
+    Reorder,
+    /// Physically reassemble each TPDU and verify it before any byte
+    /// reaches the application. Two touches per byte, always.
+    Reassemble,
+}
+
+/// Why a TPDU was rejected — the detection channels of Table 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailureReason {
+    /// The recomputed WSC-2 invariant did not match the received ED chunk.
+    EdMismatch,
+    /// A cross-field consistency check failed (`C.SN − T.SN` collision
+    /// across groups, or `C.SN − X.SN` not constant within an external
+    /// PDU).
+    Consistency,
+    /// Virtual reassembly failed: overlap, data past the stop bit,
+    /// conflicting stop positions, or the TPDU never completed.
+    ReassemblyError,
+    /// The chunk itself was malformed (wire decode failed, wrong element
+    /// size for the connection).
+    BadChunk,
+}
+
+/// Events surfaced to the caller.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RxEvent {
+    /// A TPDU passed verification; its data is (or already was, in
+    /// immediate mode) in the application space.
+    TpduDelivered {
+        /// Connection-space index of the TPDU's first element.
+        start: u64,
+        /// Elements delivered.
+        elements: u64,
+    },
+    /// A TPDU was rejected.
+    TpduFailed {
+        /// Connection-space index of the TPDU's first element.
+        start: u64,
+        /// The detection channel that caught it.
+        reason: FailureReason,
+    },
+    /// A connection signal arrived.
+    Signalled(Signal),
+    /// An acknowledgment arrived (for the data we sent the other way).
+    Acked(AckInfo),
+    /// The connection was closed by the `C.ST` bit.
+    ConnectionClosed,
+}
+
+/// Receiver statistics — the quantities the paper's performance argument
+/// turns on.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RxStats {
+    /// Bytes written anywhere (application space or staging buffers).
+    pub data_touches: u64,
+    /// Bytes currently staged in reorder/reassembly buffers.
+    pub buffered_bytes: u64,
+    /// High-water mark of staged bytes.
+    pub peak_buffered_bytes: u64,
+    /// Duplicate chunks rejected before processing.
+    pub duplicate_chunks: u64,
+    /// Chunks accepted.
+    pub chunks_accepted: u64,
+    /// TPDUs delivered.
+    pub tpdus_delivered: u64,
+    /// TPDUs rejected.
+    pub tpdus_failed: u64,
+    /// Malformed packets dropped.
+    pub bad_packets: u64,
+    /// Sum over delivered elements of (delivery time − arrival time), in
+    /// the caller's time unit: the buffering latency immediate mode avoids.
+    pub holding_delay: u64,
+}
+
+/// Per-TPDU verification state.
+#[derive(Debug)]
+struct Group {
+    tracker: PduTracker,
+    inv: TpduInvariant,
+    /// `C.SN − X.SN` per external PDU id (Table 1 consistency check).
+    x_deltas: HashMap<u32, u32>,
+    ed: Option<[u8; 8]>,
+    /// Chunks staged until verification (Reassemble mode only).
+    held: Vec<(Chunk, u64)>,
+    /// Verification already failed (sticky, reported once).
+    failed: Option<FailureReason>,
+    reported: bool,
+    elements: u64,
+}
+
+/// The chunk receiver for one connection.
+#[derive(Debug)]
+pub struct Receiver {
+    mode: DeliveryMode,
+    params: ConnectionParams,
+    layout: InvariantLayout,
+    /// Application address space; element `i` (connection-space) lives at
+    /// bytes `[i*size, (i+1)*size)`.
+    app: Vec<u8>,
+    /// Which connection-space elements have been claimed by a group.
+    claimed: chunks_vreasm::IntervalSet,
+    /// Delivery cursor for Reorder mode (elements below are with the app).
+    in_order: u64,
+    /// Out-of-order staging for Reorder mode: element index → (chunk, when).
+    reorder_q: HashMap<u64, (Chunk, u64)>,
+    groups: HashMap<u64, Group>,
+    /// Verified-and-delivered TPDU starts (drives acks).
+    delivered: Vec<u64>,
+    closed: bool,
+    /// Accumulated statistics.
+    pub stats: RxStats,
+}
+
+impl Receiver {
+    /// Creates a receiver for a connection, able to hold `capacity_elements`
+    /// of application data.
+    pub fn new(
+        mode: DeliveryMode,
+        params: ConnectionParams,
+        layout: InvariantLayout,
+        capacity_elements: u64,
+    ) -> Self {
+        Receiver {
+            mode,
+            params,
+            layout,
+            app: vec![0; capacity_elements as usize * params.elem_size as usize],
+            claimed: chunks_vreasm::IntervalSet::new(),
+            in_order: 0,
+            reorder_q: HashMap::new(),
+            groups: HashMap::new(),
+            delivered: Vec::new(),
+            closed: false,
+            stats: RxStats::default(),
+        }
+    }
+
+    /// The delivery mode.
+    pub fn mode(&self) -> DeliveryMode {
+        self.mode
+    }
+
+    /// The application address space (element `i` at `i * elem_size`).
+    pub fn app_data(&self) -> &[u8] {
+        &self.app
+    }
+
+    /// Contiguously verified prefix, in elements.
+    pub fn verified_prefix(&self) -> u64 {
+        let mut starts: Vec<(u64, u64)> = self
+            .delivered
+            .iter()
+            .map(|&s| {
+                let elements = self
+                    .groups
+                    .get(&s)
+                    .map(|g| g.elements)
+                    .unwrap_or_default();
+                (s, elements)
+            })
+            .collect();
+        starts.sort_unstable();
+        let mut cursor = 0;
+        for (s, n) in starts {
+            if s > cursor {
+                break;
+            }
+            cursor = cursor.max(s + n);
+        }
+        cursor
+    }
+
+    /// True once the `C.ST` bit has been seen on verified data.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Unwraps a `C.SN` to a connection-space element index.
+    fn unwrap_csn(&self, c_sn: u32) -> u64 {
+        c_sn.wrapping_sub(self.params.initial_csn) as u64
+    }
+
+    /// Handles one arriving packet at time `now`.
+    pub fn handle_packet(&mut self, packet: &Packet, now: u64) -> Vec<RxEvent> {
+        let chunks = match unpack(packet) {
+            Ok(c) => c,
+            Err(_) => {
+                self.stats.bad_packets += 1;
+                return Vec::new();
+            }
+        };
+        let mut events = Vec::new();
+        for chunk in chunks {
+            events.extend(self.handle_chunk(chunk, now));
+        }
+        events
+    }
+
+    /// Handles one chunk at time `now`.
+    pub fn handle_chunk(&mut self, chunk: Chunk, now: u64) -> Vec<RxEvent> {
+        match chunk.header.ty {
+            ChunkType::Data => self.handle_data(chunk, now),
+            ChunkType::ErrorDetection => self.handle_ed(chunk, now),
+            ChunkType::Signal => match Signal::from_chunk(&chunk) {
+                Ok(s) => vec![RxEvent::Signalled(s)],
+                Err(_) => {
+                    self.stats.bad_packets += 1;
+                    Vec::new()
+                }
+            },
+            ChunkType::Ack => match AckInfo::from_chunk(&chunk) {
+                Ok(a) => vec![RxEvent::Acked(a)],
+                Err(_) => {
+                    self.stats.bad_packets += 1;
+                    Vec::new()
+                }
+            },
+            ChunkType::Padding => Vec::new(),
+        }
+    }
+
+    fn handle_data(&mut self, chunk: Chunk, now: u64) -> Vec<RxEvent> {
+        let h = chunk.header;
+        // SIZE is signalled per connection; a mismatch is a corrupted SIZE
+        // field (Table 1: reassembly error).
+        if h.size != self.params.elem_size {
+            return self.group_failure(
+                self.unwrap_csn(h.conn.sn.wrapping_sub(h.tpdu.sn)),
+                FailureReason::BadChunk,
+            );
+        }
+        let start = self.unwrap_csn(h.conn.sn.wrapping_sub(h.tpdu.sn));
+        let first = self.unwrap_csn(h.conn.sn);
+        let len = h.len as u64;
+        let esize = self.params.elem_size as usize;
+        if (first + len) as usize * esize > self.app.len() {
+            return self.group_failure(start, FailureReason::BadChunk);
+        }
+
+        let group = self.groups.entry(start).or_insert_with(|| Group {
+            tracker: PduTracker::new(),
+            inv: TpduInvariant::new(self.layout).expect("layout validated at framer"),
+            x_deltas: HashMap::new(),
+            ed: None,
+            held: Vec::new(),
+            failed: None,
+            reported: false,
+            elements: 0,
+        });
+
+        // Virtual reassembly within the TPDU. Duplicates must be rejected
+        // *before* the invariant absorbs them (§3.3). A retransmission cut
+        // at different points may only *partially* duplicate received data;
+        // because chunks stay chunks under splitting (Appendix C), the
+        // receiver simply extracts the still-missing sub-chunks and
+        // processes those.
+        let uncovered = group.tracker.uncovered(h.tpdu.sn as u64, len);
+        if uncovered.is_empty() {
+            self.stats.duplicate_chunks += 1;
+            return Vec::new();
+        }
+        if uncovered != [(h.tpdu.sn as u64, h.tpdu.sn as u64 + len)] {
+            self.stats.duplicate_chunks += 1; // partially duplicate
+            let mut events = Vec::new();
+            for (lo, hi) in uncovered {
+                let offset = (lo - h.tpdu.sn as u64) as u32;
+                let sublen = (hi - lo) as u32;
+                match chunks_core::frag::extract(&chunk, offset, sublen) {
+                    Ok(piece) => events.extend(self.handle_data(piece, now)),
+                    Err(_) => {
+                        events.extend(self.group_failure(start, FailureReason::BadChunk))
+                    }
+                }
+            }
+            return events;
+        }
+        match group.tracker.offer(h.tpdu.sn as u64, len, h.tpdu.st) {
+            TrackEvent::Duplicate => {
+                self.stats.duplicate_chunks += 1;
+                return Vec::new();
+            }
+            TrackEvent::Inconsistent => {
+                return self.group_failure(start, FailureReason::ReassemblyError);
+            }
+            TrackEvent::Accepted => {}
+        }
+
+        // Cross-group collision: these elements already belong to another
+        // TPDU's data — a corrupted C.SN moved this chunk (Table 1:
+        // consistency check).
+        if self.claimed.overlap(first, first + len) > 0 {
+            return self.group_failure(start, FailureReason::Consistency);
+        }
+        self.claimed.insert(first, first + len);
+
+        let group = self.groups.get_mut(&start).expect("just inserted");
+        // X-level consistency: C.SN − X.SN constant per external PDU.
+        let x_delta = h.conn.sn.wrapping_sub(h.ext.sn);
+        match group.x_deltas.get(&h.ext.id) {
+            Some(&d) if d != x_delta => {
+                return self.group_failure(start, FailureReason::Consistency);
+            }
+            Some(_) => {}
+            None => {
+                group.x_deltas.insert(h.ext.id, x_delta);
+            }
+        }
+
+        // Incremental end-to-end error detection.
+        if let Err(e) = group.inv.absorb_chunk(&h, &chunk.payload) {
+            let reason = match e {
+                chunks_wsc::InvariantError::IdMismatch => FailureReason::EdMismatch,
+                _ => FailureReason::BadChunk,
+            };
+            return self.group_failure(start, reason);
+        }
+        group.elements += len;
+        self.stats.chunks_accepted += 1;
+        if h.conn.st {
+            self.closed = true;
+        }
+
+        // Mode-specific data movement.
+        match self.mode {
+            DeliveryMode::Immediate => {
+                self.place(first, &chunk.payload);
+            }
+            DeliveryMode::Reorder => {
+                if first == self.in_order {
+                    self.place(first, &chunk.payload);
+                    self.in_order = first + len;
+                    self.drain_reorder_queue(now);
+                } else {
+                    self.stage(chunk.payload.len() as u64);
+                    self.stats.data_touches += chunk.payload.len() as u64;
+                    self.reorder_q.insert(first, (chunk.clone(), now));
+                }
+            }
+            DeliveryMode::Reassemble => {
+                self.stage(chunk.payload.len() as u64);
+                self.stats.data_touches += chunk.payload.len() as u64;
+                let group = self.groups.get_mut(&start).expect("present");
+                group.held.push((chunk.clone(), now));
+            }
+        }
+
+        self.try_complete(start, now)
+    }
+
+    fn handle_ed(&mut self, chunk: Chunk, now: u64) -> Vec<RxEvent> {
+        if chunk.payload.len() != 8 {
+            self.stats.bad_packets += 1;
+            return Vec::new();
+        }
+        let start = self.unwrap_csn(chunk.header.conn.sn);
+        let mut digest = [0u8; 8];
+        digest.copy_from_slice(&chunk.payload);
+        let group = self.groups.entry(start).or_insert_with(|| Group {
+            tracker: PduTracker::new(),
+            inv: TpduInvariant::new(self.layout).expect("layout validated"),
+            x_deltas: HashMap::new(),
+            ed: None,
+            held: Vec::new(),
+            failed: None,
+            reported: false,
+            elements: 0,
+        });
+        group.ed = Some(digest);
+        self.try_complete(start, now)
+    }
+
+    /// Writes payload bytes into the application space (one data touch per
+    /// byte).
+    fn place(&mut self, first_element: u64, payload: &[u8]) {
+        let esize = self.params.elem_size as usize;
+        let at = first_element as usize * esize;
+        self.app[at..at + payload.len()].copy_from_slice(payload);
+        self.stats.data_touches += payload.len() as u64;
+    }
+
+    fn stage(&mut self, bytes: u64) {
+        self.stats.buffered_bytes += bytes;
+        self.stats.peak_buffered_bytes =
+            self.stats.peak_buffered_bytes.max(self.stats.buffered_bytes);
+    }
+
+    fn unstage(&mut self, bytes: u64) {
+        self.stats.buffered_bytes = self.stats.buffered_bytes.saturating_sub(bytes);
+    }
+
+    fn drain_reorder_queue(&mut self, now: u64) {
+        while let Some((chunk, arrived)) = self.reorder_q.remove(&self.in_order) {
+            let len = chunk.header.len as u64;
+            self.unstage(chunk.payload.len() as u64);
+            self.stats.holding_delay += now.saturating_sub(arrived);
+            self.place(self.in_order, &chunk.payload);
+            self.in_order += len;
+        }
+    }
+
+    /// Marks a group failed and reports it (once).
+    fn group_failure(&mut self, start: u64, reason: FailureReason) -> Vec<RxEvent> {
+        let group = self.groups.entry(start).or_insert_with(|| Group {
+            tracker: PduTracker::new(),
+            inv: TpduInvariant::new(self.layout).expect("layout validated"),
+            x_deltas: HashMap::new(),
+            ed: None,
+            held: Vec::new(),
+            failed: None,
+            reported: false,
+            elements: 0,
+        });
+        if group.reported {
+            return Vec::new();
+        }
+        group.failed = Some(reason);
+        group.reported = true;
+        self.stats.tpdus_failed += 1;
+        vec![RxEvent::TpduFailed { start, reason }]
+    }
+
+    /// Checks whether the group at `start` is complete and verifiable.
+    fn try_complete(&mut self, start: u64, now: u64) -> Vec<RxEvent> {
+        let Some(group) = self.groups.get_mut(&start) else {
+            return Vec::new();
+        };
+        if group.reported || group.failed.is_some() {
+            return Vec::new();
+        }
+        let (Some(digest), true) = (group.ed, group.tracker.is_complete()) else {
+            return Vec::new();
+        };
+        let elements = group.elements;
+        if group.inv.matches(digest) {
+            group.reported = true;
+            // Reassemble mode releases the staged chunks to the app now.
+            let held = std::mem::take(&mut group.held);
+            for (chunk, arrived) in held {
+                let first = self.unwrap_csn(chunk.header.conn.sn);
+                self.unstage(chunk.payload.len() as u64);
+                self.stats.holding_delay += now.saturating_sub(arrived);
+                self.place(first, &chunk.payload);
+            }
+            self.delivered.push(start);
+            self.stats.tpdus_delivered += 1;
+            let mut events = vec![RxEvent::TpduDelivered { start, elements }];
+            if self.closed {
+                events.push(RxEvent::ConnectionClosed);
+            }
+            events
+        } else {
+            // Discard staged data; the retransmission will replace it.
+            let held = std::mem::take(&mut group.held);
+            for (chunk, _) in held {
+                self.unstage(chunk.payload.len() as u64);
+            }
+            self.group_failure(start, FailureReason::EdMismatch)
+        }
+    }
+
+    /// Expires every incomplete group (fragment timeout at end of run),
+    /// reporting each as a reassembly error.
+    pub fn expire_incomplete(&mut self) -> Vec<RxEvent> {
+        let starts: Vec<u64> = self
+            .groups
+            .iter()
+            .filter(|(_, g)| !g.reported)
+            .map(|(&s, _)| s)
+            .collect();
+        let mut events = Vec::new();
+        for s in starts {
+            events.extend(self.group_failure(s, FailureReason::ReassemblyError));
+        }
+        events
+    }
+
+    /// Builds the current acknowledgment, including the precise missing
+    /// element ranges so the sender can retransmit sub-chunks only.
+    pub fn make_ack(&self) -> AckInfo {
+        let prefix = self.verified_prefix();
+        let mut sacks: Vec<u64> = self
+            .delivered
+            .iter()
+            .copied()
+            .filter(|&s| s >= prefix)
+            .collect();
+        sacks.sort_unstable();
+        sacks.dedup();
+        let mut gaps: Vec<(u64, u64)> = Vec::new();
+        let mut need_ed: Vec<u64> = Vec::new();
+        for (&start, g) in &self.groups {
+            if g.reported && g.failed.is_none() {
+                continue; // delivered
+            }
+            if g.failed.is_some() {
+                // Verification failed: the whole TPDU must come again.
+                let span = g.elements.max(g.tracker.covered());
+                gaps.push((start, start + span.max(1)));
+            } else {
+                for (lo, hi) in g.tracker.missing() {
+                    gaps.push((start + lo, start + hi));
+                }
+                if g.tracker.is_complete() && g.ed.is_none() {
+                    need_ed.push(start);
+                }
+            }
+        }
+        gaps.sort_unstable();
+        need_ed.sort_unstable();
+        AckInfo {
+            cumulative: prefix,
+            sacks,
+            gaps,
+            need_ed,
+        }
+    }
+
+    /// Starts of groups that failed verification and need retransmission.
+    pub fn failed_starts(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .groups
+            .iter()
+            .filter(|(_, g)| g.failed.is_some())
+            .map(|(&s, _)| s)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Clears the state of a failed or incomplete group so a retransmission
+    /// (with identical identifiers, §3.3) can be verified afresh.
+    pub fn reset_group(&mut self, start: u64) {
+        if let Some(g) = self.groups.remove(&start) {
+            // Release the claimed range so retransmitted data may land.
+            // IntervalSet has no removal; rebuild without this group's span.
+            let mut rebuilt = chunks_vreasm::IntervalSet::new();
+            let span = (start, start + g.elements.max(g.tracker.covered()));
+            for &(s, e) in self.claimed.ranges() {
+                // Subtract the group's span from each claimed range.
+                if e <= span.0 || s >= span.1 {
+                    rebuilt.insert(s, e);
+                } else {
+                    if s < span.0 {
+                        rebuilt.insert(s, span.0);
+                    }
+                    if e > span.1 {
+                        rebuilt.insert(span.1, e);
+                    }
+                }
+            }
+            for (chunk, _) in &g.held {
+                self.unstage(chunk.payload.len() as u64);
+            }
+            self.claimed = rebuilt;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Framer;
+    use chunks_core::frag::split;
+    use chunks_core::packet::pack;
+
+    fn params() -> ConnectionParams {
+        ConnectionParams {
+            conn_id: 0xA,
+            elem_size: 1,
+            initial_csn: 100,
+            tpdu_elements: 8,
+        }
+    }
+
+    fn layout() -> InvariantLayout {
+        InvariantLayout::with_data_symbols(4096)
+    }
+
+    fn rx(mode: DeliveryMode) -> Receiver {
+        Receiver::new(mode, params(), layout(), 1 << 16)
+    }
+
+    fn framed(data: &[u8]) -> Vec<crate::frame::Tpdu> {
+        Framer::new(params(), layout()).frame_simple(data, 0xF, false)
+    }
+
+    #[test]
+    fn in_order_delivery_immediate() {
+        let mut r = rx(DeliveryMode::Immediate);
+        let tpdus = framed(b"abcdefgh12345678");
+        let mut delivered = 0;
+        for t in &tpdus {
+            for c in t.all_chunks() {
+                for e in r.handle_chunk(c, 0) {
+                    if matches!(e, RxEvent::TpduDelivered { .. }) {
+                        delivered += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(delivered, 2);
+        assert_eq!(&r.app_data()[..16], b"abcdefgh12345678");
+        // Immediate mode: exactly one touch per payload byte.
+        assert_eq!(r.stats.data_touches, 16);
+        assert_eq!(r.stats.peak_buffered_bytes, 0);
+        assert_eq!(r.verified_prefix(), 16);
+    }
+
+    #[test]
+    fn disordered_fragmented_delivery_immediate() {
+        let mut r = rx(DeliveryMode::Immediate);
+        let tpdus = framed(b"abcdefgh");
+        // Fragment the single data chunk and deliver the pieces backwards,
+        // ED chunk first.
+        let t = &tpdus[0];
+        let (a, rest) = split(&t.chunks[0], 3).unwrap();
+        let (b, c) = split(&rest, 2).unwrap();
+        let mut events = Vec::new();
+        for chunk in [t.ed.clone(), c, b, a] {
+            events.extend(r.handle_chunk(chunk, 0));
+        }
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, RxEvent::TpduDelivered { start: 0, elements: 8 })));
+        assert_eq!(&r.app_data()[..8], b"abcdefgh");
+        assert_eq!(r.stats.data_touches, 8, "still one touch per byte");
+    }
+
+    #[test]
+    fn reassemble_mode_touches_twice() {
+        let mut r = rx(DeliveryMode::Reassemble);
+        let tpdus = framed(b"abcdefgh");
+        for c in tpdus[0].all_chunks() {
+            r.handle_chunk(c, 0);
+        }
+        assert_eq!(&r.app_data()[..8], b"abcdefgh");
+        assert_eq!(r.stats.data_touches, 16, "buffer write + final copy");
+        assert_eq!(r.stats.peak_buffered_bytes, 8);
+        assert_eq!(r.stats.buffered_bytes, 0, "released on verification");
+    }
+
+    #[test]
+    fn reorder_mode_in_order_is_single_touch() {
+        let mut r = rx(DeliveryMode::Reorder);
+        let tpdus = framed(b"abcdefgh");
+        for c in tpdus[0].all_chunks() {
+            r.handle_chunk(c, 0);
+        }
+        assert_eq!(r.stats.data_touches, 8);
+        assert_eq!(&r.app_data()[..8], b"abcdefgh");
+    }
+
+    #[test]
+    fn reorder_mode_buffers_out_of_order() {
+        let mut r = rx(DeliveryMode::Reorder);
+        let tpdus = framed(b"abcdefgh");
+        let t = &tpdus[0];
+        let (a, b) = split(&t.chunks[0], 4).unwrap();
+        r.handle_chunk(b, 10); // out of order: staged
+        assert_eq!(r.stats.buffered_bytes, 4);
+        r.handle_chunk(a, 20); // fills the gap, drains the queue
+        r.handle_chunk(t.ed.clone(), 30);
+        assert_eq!(&r.app_data()[..8], b"abcdefgh");
+        assert_eq!(r.stats.buffered_bytes, 0);
+        assert_eq!(r.stats.data_touches, 8 + 4, "staged bytes touched twice");
+        assert_eq!(r.stats.holding_delay, 10, "tail waited 20 - 10");
+    }
+
+    #[test]
+    fn payload_corruption_rejected_by_ed() {
+        let mut r = rx(DeliveryMode::Immediate);
+        let tpdus = framed(b"abcdefgh");
+        let t = &tpdus[0];
+        let mut bad = t.chunks[0].clone();
+        let mut raw = bad.payload.to_vec();
+        raw[2] ^= 0x10;
+        bad.payload = raw.into();
+        let mut events = r.handle_chunk(bad, 0);
+        events.extend(r.handle_chunk(t.ed.clone(), 0));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            RxEvent::TpduFailed {
+                reason: FailureReason::EdMismatch,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn duplicate_chunks_rejected_before_checksum() {
+        let mut r = rx(DeliveryMode::Immediate);
+        let tpdus = framed(b"abcdefgh");
+        let t = &tpdus[0];
+        let mut events = r.handle_chunk(t.chunks[0].clone(), 0);
+        events.extend(r.handle_chunk(t.chunks[0].clone(), 0));
+        events.extend(r.handle_chunk(t.ed.clone(), 0));
+        assert_eq!(r.stats.duplicate_chunks, 1);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, RxEvent::TpduDelivered { .. })),
+            "duplicate must not corrupt the incremental checksum"
+        );
+    }
+
+    #[test]
+    fn retransmission_after_failure_succeeds() {
+        let mut r = rx(DeliveryMode::Immediate);
+        let tpdus = framed(b"abcdefgh");
+        let t = &tpdus[0];
+        let mut bad = t.chunks[0].clone();
+        let mut raw = bad.payload.to_vec();
+        raw[0] ^= 1;
+        bad.payload = raw.into();
+        r.handle_chunk(bad, 0);
+        r.handle_chunk(t.ed.clone(), 0);
+        assert_eq!(r.failed_starts(), vec![0]);
+        // Retransmit with identical identifiers after resetting the group.
+        r.reset_group(0);
+        let mut events = Vec::new();
+        for c in t.all_chunks() {
+            events.extend(r.handle_chunk(c, 1));
+        }
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, RxEvent::TpduDelivered { .. })));
+        assert_eq!(&r.app_data()[..8], b"abcdefgh");
+    }
+
+    #[test]
+    fn packets_roundtrip_through_receiver() {
+        let mut r = rx(DeliveryMode::Immediate);
+        let tpdus = framed(b"abcdefgh12345678");
+        let chunks: Vec<Chunk> = tpdus.iter().flat_map(|t| t.all_chunks()).collect();
+        let packets = pack(chunks, 64).unwrap();
+        let mut delivered = 0;
+        for p in &packets {
+            for e in r.handle_packet(p, 0) {
+                if matches!(e, RxEvent::TpduDelivered { .. }) {
+                    delivered += 1;
+                }
+            }
+        }
+        assert_eq!(delivered, 2);
+        assert_eq!(&r.app_data()[..16], b"abcdefgh12345678");
+    }
+
+    #[test]
+    fn ack_reflects_verified_prefix_and_sacks() {
+        let mut r = rx(DeliveryMode::Immediate);
+        let tpdus = framed(&[7u8; 24]); // three TPDUs of 8
+        // Deliver TPDU 0 and TPDU 2, skip TPDU 1.
+        for t in [&tpdus[0], &tpdus[2]] {
+            for c in t.all_chunks() {
+                r.handle_chunk(c, 0);
+            }
+        }
+        let ack = r.make_ack();
+        assert_eq!(ack.cumulative, 8);
+        assert_eq!(ack.sacks, vec![16]);
+    }
+
+    #[test]
+    fn csn_corruption_is_cross_group_consistency_failure() {
+        let mut r = rx(DeliveryMode::Immediate);
+        let tpdus = framed(&[7u8; 16]); // two TPDUs of 8
+        // Deliver TPDU 0 intact.
+        for c in tpdus[0].all_chunks() {
+            r.handle_chunk(c, 0);
+        }
+        // TPDU 1's chunk with corrupted C.SN pointing into TPDU 0's range
+        // (misaligned, so it is not mistaken for a benign duplicate).
+        let mut bad = tpdus[1].chunks[0].clone();
+        bad.header.conn.sn = bad.header.conn.sn.wrapping_sub(3);
+        let events = r.handle_chunk(bad, 0);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            RxEvent::TpduFailed {
+                reason: FailureReason::Consistency,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn xsn_corruption_is_consistency_failure() {
+        let mut r = rx(DeliveryMode::Immediate);
+        let tpdus = framed(b"abcdefgh");
+        let t = &tpdus[0];
+        let (a, mut b) = split(&t.chunks[0], 4).unwrap();
+        b.header.ext.sn = b.header.ext.sn.wrapping_add(3);
+        let mut events = r.handle_chunk(a, 0);
+        events.extend(r.handle_chunk(b, 0));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            RxEvent::TpduFailed {
+                reason: FailureReason::Consistency,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn tsn_corruption_is_reassembly_error() {
+        let mut r = rx(DeliveryMode::Immediate);
+        let tpdus = framed(b"abcdefgh");
+        let t = &tpdus[0];
+        let (a, mut b) = split(&t.chunks[0], 4).unwrap();
+        // Corrupt T.SN: the chunk claims a different in-TPDU position, so
+        // it lands in a ghost group that never completes.
+        b.header.tpdu.sn = b.header.tpdu.sn.wrapping_add(2);
+        r.handle_chunk(a, 0);
+        r.handle_chunk(b, 0);
+        r.handle_chunk(t.ed.clone(), 0);
+        let events = r.expire_incomplete();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            RxEvent::TpduFailed {
+                reason: FailureReason::ReassemblyError,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn tid_corruption_is_ed_mismatch() {
+        // The explicit T.ID is protected by the invariant; grouping does not
+        // use it, so the TPDU completes and verification catches it.
+        let mut r = rx(DeliveryMode::Immediate);
+        let tpdus = framed(b"abcdefgh");
+        let t = &tpdus[0];
+        let mut bad = t.chunks[0].clone();
+        bad.header.tpdu.id ^= 0x55;
+        let mut events = r.handle_chunk(bad, 0);
+        events.extend(r.handle_chunk(t.ed.clone(), 0));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            RxEvent::TpduFailed {
+                reason: FailureReason::EdMismatch,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn connection_close_event() {
+        let mut r = rx(DeliveryMode::Immediate);
+        let tpdus =
+            Framer::new(params(), layout()).frame_simple(b"abcdefgh", 0xF, true);
+        let mut events = Vec::new();
+        for c in tpdus[0].all_chunks() {
+            events.extend(r.handle_chunk(c, 0));
+        }
+        assert!(events.contains(&RxEvent::ConnectionClosed));
+        assert!(r.is_closed());
+    }
+
+    #[test]
+    fn wrong_elem_size_rejected() {
+        let mut r = rx(DeliveryMode::Immediate);
+        let tpdus = framed(b"abcdefgh");
+        let mut bad = tpdus[0].chunks[0].clone();
+        bad.header.size = 2;
+        bad.header.len = 4;
+        let events = r.handle_chunk(bad, 0);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            RxEvent::TpduFailed {
+                reason: FailureReason::BadChunk,
+                ..
+            }
+        )));
+    }
+}

@@ -1,0 +1,270 @@
+//! A full-duplex conversation endpoint.
+//!
+//! §2: "we assume that data streams are uni-directional and that
+//! bi-directional streams are constructed with two uni-directional streams."
+//! A [`Session`] is one endpoint of such a pair: a [`Sender`] for the
+//! outbound connection, a [`Receiver`] for the inbound one, and a
+//! [`PacketMux`] that lets acknowledgments for the inbound stream ride the
+//! outbound data packets — Appendix A's free piggybacking.
+
+use chunks_core::error::CoreError;
+use chunks_core::packet::{unpack, Packet};
+
+use crate::ack::AckInfo;
+use crate::conn::ConnectionParams;
+use crate::mux::PacketMux;
+use crate::receiver::{DeliveryMode, Receiver, RxEvent};
+use crate::sender::{Sender, SenderConfig};
+use chunks_wsc::InvariantLayout;
+
+/// One endpoint of a bidirectional chunk conversation.
+#[derive(Debug)]
+pub struct Session {
+    tx: Sender,
+    rx: Receiver,
+    mtu: usize,
+    local_conn: u32,
+    /// Last ack received for our outbound stream, pending a repair pass.
+    inbound_ack: Option<AckInfo>,
+    /// Whether the first full transmission already happened.
+    transmitted_once: bool,
+}
+
+impl Session {
+    /// Creates an endpoint sending on `local` and receiving the connection
+    /// described by `remote`.
+    pub fn new(
+        local: SenderConfig,
+        remote: ConnectionParams,
+        remote_layout: InvariantLayout,
+        mode: DeliveryMode,
+        capacity_elements: u64,
+    ) -> Self {
+        Session {
+            mtu: local.mtu,
+            local_conn: local.params.conn_id,
+            tx: Sender::new(local),
+            rx: Receiver::new(mode, remote, remote_layout, capacity_elements),
+            inbound_ack: None,
+            transmitted_once: false,
+        }
+    }
+
+    /// Queues application data on the outbound stream.
+    pub fn send(&mut self, data: &[u8], x_id: u32, close: bool) {
+        self.tx.submit_simple(data, x_id, close);
+        // New data means the window must go out (again).
+        self.transmitted_once = false;
+    }
+
+    /// The inbound application data received and verified so far.
+    pub fn received(&self) -> &[u8] {
+        self.rx.app_data()
+    }
+
+    /// Verified inbound prefix, in elements.
+    pub fn received_elements(&self) -> u64 {
+        self.rx.verified_prefix()
+    }
+
+    /// True when everything we sent has been acknowledged.
+    pub fn outbound_done(&self) -> bool {
+        self.tx.pending_tpdus() == 0
+    }
+
+    /// Inbound receiver statistics.
+    pub fn rx_stats(&self) -> crate::receiver::RxStats {
+        self.rx.stats
+    }
+
+    /// Builds the next batch of packets to put on the wire: outbound data
+    /// (initial transmission, or a selective repair driven by the last ack
+    /// we received) with the current inbound ack piggybacked onto it.
+    pub fn poll_transmit(&mut self) -> Result<Vec<Packet>, CoreError> {
+        let mut mux = PacketMux::new(self.mtu);
+        if !self.transmitted_once {
+            self.transmitted_once = true;
+            for p in self.tx.packets_for_pending()? {
+                mux.enqueue_chunks(unpack(&p)?);
+            }
+        } else if let Some(ack) = self.inbound_ack.take() {
+            self.tx.handle_ack(&ack);
+            for p in self.tx.retransmit_for_ack(&ack)? {
+                mux.enqueue_chunks(unpack(&p)?);
+            }
+        }
+        // Piggyback the current state of the inbound stream. Failed groups
+        // are cleared so their retransmissions verify afresh.
+        for s in self.rx.failed_starts() {
+            self.rx.reset_group(s);
+        }
+        mux.enqueue_ack(self.local_conn, &self.rx.make_ack());
+        mux.flush()
+    }
+
+    /// Ingests a packet from the peer: inbound data feeds the receiver,
+    /// acks for our outbound connection feed the sender.
+    pub fn handle_packet(&mut self, packet: &Packet, now: u64) -> Vec<RxEvent> {
+        let mut app_events = Vec::new();
+        for event in self.rx.handle_packet(packet, now) {
+            match event {
+                RxEvent::Acked(ack) => {
+                    self.tx.handle_ack(&ack);
+                    // Remember it for the next repair pass too.
+                    self.inbound_ack = Some(ack);
+                }
+                other => app_events.push(other),
+            }
+        }
+        app_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chunks_core::label::ChunkType;
+
+    fn params(conn_id: u32) -> ConnectionParams {
+        ConnectionParams {
+            conn_id,
+            elem_size: 1,
+            initial_csn: 0,
+            tpdu_elements: 32,
+        }
+    }
+
+    fn layout() -> InvariantLayout {
+        InvariantLayout::with_data_symbols(2048)
+    }
+
+    fn endpoint(local: u32, remote: u32) -> Session {
+        Session::new(
+            SenderConfig {
+                params: params(local),
+                layout: layout(),
+                mtu: 256,
+                min_tpdu_elements: 4,
+                max_tpdu_elements: 256,
+            },
+            params(remote),
+            layout(),
+            DeliveryMode::Immediate,
+            1 << 12,
+        )
+    }
+
+    /// Runs rounds of alternating exchange with per-packet loss decided by
+    /// `lose(round, index)`.
+    fn converse(
+        a: &mut Session,
+        b: &mut Session,
+        mut lose: impl FnMut(u32, usize) -> bool,
+        max_rounds: u32,
+    ) -> u32 {
+        for round in 0..max_rounds {
+            let a_out = a.poll_transmit().unwrap();
+            for (i, p) in a_out.iter().enumerate() {
+                if !lose(round, i) {
+                    b.handle_packet(p, round as u64);
+                }
+            }
+            let b_out = b.poll_transmit().unwrap();
+            for (i, p) in b_out.iter().enumerate() {
+                if !lose(round, i + 1000) {
+                    a.handle_packet(p, round as u64);
+                }
+            }
+            if a.outbound_done() && b.outbound_done() {
+                return round + 1;
+            }
+        }
+        max_rounds
+    }
+
+    #[test]
+    fn clean_bidirectional_exchange() {
+        let mut a = endpoint(1, 2);
+        let mut b = endpoint(2, 1);
+        let ping = b"ping from a, with some padding to span TPDUs....";
+        a.send(ping, 0xA, false);
+        b.send(b"pong from b", 0xB, false);
+        let rounds = converse(&mut a, &mut b, |_, _| false, 8);
+        assert!(rounds <= 3, "clean exchange settles quickly ({rounds})");
+        assert_eq!(&b.received()[..ping.len()], ping.as_slice());
+        assert_eq!(&a.received()[..11], b"pong from b");
+    }
+
+    #[test]
+    fn acks_ride_data_packets() {
+        let mut a = endpoint(1, 2);
+        let mut b = endpoint(2, 1);
+        a.send(&[0x11; 64], 0xA, false);
+        b.send(&[0x22; 64], 0xB, false);
+        // A transmits; B hears it, then B's next batch carries both B's
+        // data and the ack for A — in shared packets.
+        for p in a.poll_transmit().unwrap() {
+            b.handle_packet(&p, 0);
+        }
+        let batch = b.poll_transmit().unwrap();
+        let mut saw_combined = false;
+        for p in &batch {
+            let chunks = unpack(p).unwrap();
+            let has_data = chunks.iter().any(|c| c.header.ty == ChunkType::Data);
+            let has_ack = chunks.iter().any(|c| c.header.ty == ChunkType::Ack);
+            saw_combined |= has_data && has_ack;
+        }
+        assert!(saw_combined, "ack must share an envelope with data");
+    }
+
+    #[test]
+    fn lossy_conversation_converges() {
+        let mut a = endpoint(1, 2);
+        let mut b = endpoint(2, 1);
+        let msg_a: Vec<u8> = (0..512).map(|i| i as u8).collect();
+        let msg_b: Vec<u8> = (0..384).map(|i| (i * 5) as u8).collect();
+        a.send(&msg_a, 0xA, false);
+        b.send(&msg_b, 0xB, false);
+        // Deterministic pseudo-random loss, ~25%.
+        let mut state = 0x1234u64;
+        let rounds = converse(
+            &mut a,
+            &mut b,
+            move |_, _| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33).is_multiple_of(4)
+            },
+            40,
+        );
+        assert!(rounds < 40, "did not converge");
+        assert_eq!(&b.received()[..msg_a.len()], &msg_a[..]);
+        assert_eq!(&a.received()[..msg_b.len()], &msg_b[..]);
+    }
+
+    #[test]
+    fn one_way_session_acks_without_data() {
+        // B has nothing to send: its batches are pure-ack packets.
+        let mut a = endpoint(1, 2);
+        let mut b = endpoint(2, 1);
+        a.send(&[7u8; 100], 0xA, false);
+        let rounds = converse(&mut a, &mut b, |_, _| false, 8);
+        assert!(rounds <= 3);
+        assert_eq!(b.received_elements(), 100);
+        assert!(a.outbound_done());
+    }
+
+    #[test]
+    fn late_send_reopens_transmission() {
+        let mut a = endpoint(1, 2);
+        let mut b = endpoint(2, 1);
+        a.send(&[1u8; 32], 0xA, false);
+        converse(&mut a, &mut b, |_, _| false, 8);
+        assert!(a.outbound_done());
+        // A second message later on the same session.
+        a.send(&[2u8; 32], 0xA2, false);
+        let rounds = converse(&mut a, &mut b, |_, _| false, 8);
+        assert!(rounds <= 3);
+        assert_eq!(b.received_elements(), 64);
+        assert_eq!(&b.received()[32..64], &[2u8; 32]);
+    }
+}

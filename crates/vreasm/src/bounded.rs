@@ -1,0 +1,166 @@
+//! A hardware-shaped virtual reassembly unit with a *bounded gap list*.
+//!
+//! §3.3 notes that "virtual reassembly can be complex if data disordering
+//! occurs" and points at VLSI implementations (STER 92's hardware unit,
+//! McAuley's parallel assembly chip, MCAU 93b). Hardware cannot grow a
+//! heap: it tracks at most a fixed number of disjoint received runs.
+//! [`BoundedTracker`] models that budget — a fragment that would create a
+//! run beyond the budget must be refused (dropped, to be retransmitted),
+//! exactly like the `ASSEMBLER_MAX_SEGMENT_COUNT` limit in production
+//! software stacks.
+//!
+//! The experiment ablation this enables: how large a gap list does a chunk
+//! receiver need under a given disorder level before refusals become
+//! negligible?
+
+use crate::tracker::{PduTracker, TrackEvent};
+
+/// Outcome of offering a fragment to a bounded tracker.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BoundedEvent {
+    /// Recorded (see [`TrackEvent::Accepted`]).
+    Accepted,
+    /// Rejected duplicate.
+    Duplicate,
+    /// Framing-inconsistent.
+    Inconsistent,
+    /// The gap-list budget is exhausted: the fragment was refused and must
+    /// be retransmitted later.
+    Refused,
+}
+
+/// A [`PduTracker`] constrained to at most `max_runs` disjoint runs.
+#[derive(Clone, Debug)]
+pub struct BoundedTracker {
+    inner: PduTracker,
+    max_runs: usize,
+    /// Fragments refused for lack of gap-list space.
+    pub refusals: u64,
+}
+
+impl BoundedTracker {
+    /// Creates a tracker that can hold at most `max_runs` disjoint runs
+    /// (hardware register count).
+    pub fn new(max_runs: usize) -> Self {
+        BoundedTracker {
+            inner: PduTracker::new(),
+            max_runs: max_runs.max(1),
+            refusals: 0,
+        }
+    }
+
+    /// Offers a fragment covering `[sn, sn+len)`.
+    pub fn offer(&mut self, sn: u64, len: u64, st: bool) -> BoundedEvent {
+        // Would this fragment create a new run? It does unless it touches
+        // an existing run's edge. Probe on a clone (registers are cheap to
+        // model; hardware computes this combinationally).
+        let mut probe = self.inner.clone();
+        match probe.offer(sn, len, st) {
+            TrackEvent::Duplicate => return BoundedEvent::Duplicate,
+            TrackEvent::Inconsistent => return BoundedEvent::Inconsistent,
+            TrackEvent::Accepted => {}
+        }
+        if probe.fragments() > self.max_runs {
+            self.refusals += 1;
+            return BoundedEvent::Refused;
+        }
+        self.inner = probe;
+        BoundedEvent::Accepted
+    }
+
+    /// See [`PduTracker::is_complete`].
+    pub fn is_complete(&self) -> bool {
+        self.inner.is_complete()
+    }
+
+    /// Current number of disjoint runs held.
+    pub fn runs(&self) -> usize {
+        self.inner.fragments()
+    }
+
+    /// Elements received.
+    pub fn covered(&self) -> u64 {
+        self.inner.covered()
+    }
+
+    /// The run budget.
+    pub fn max_runs(&self) -> usize {
+        self.max_runs
+    }
+
+    /// Missing ranges (for retransmission of refused fragments).
+    pub fn missing(&self) -> Vec<(u64, u64)> {
+        self.inner.missing()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_never_refuses_with_one_register() {
+        let mut t = BoundedTracker::new(1);
+        for k in 0..16 {
+            assert_eq!(t.offer(k * 4, 4, k == 15), BoundedEvent::Accepted);
+        }
+        assert!(t.is_complete());
+        assert_eq!(t.refusals, 0);
+        assert_eq!(t.runs(), 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_refuses() {
+        let mut t = BoundedTracker::new(2);
+        assert_eq!(t.offer(0, 2, false), BoundedEvent::Accepted);
+        assert_eq!(t.offer(4, 2, false), BoundedEvent::Accepted); // 2 runs
+        assert_eq!(t.offer(8, 2, false), BoundedEvent::Refused); // would be 3
+        assert_eq!(t.refusals, 1);
+        // Filling a gap coalesces and frees a register.
+        assert_eq!(t.offer(2, 2, false), BoundedEvent::Accepted);
+        assert_eq!(t.runs(), 1);
+        assert_eq!(t.offer(8, 2, false), BoundedEvent::Accepted);
+    }
+
+    #[test]
+    fn refused_fragment_is_recoverable_by_retransmission() {
+        let mut t = BoundedTracker::new(1);
+        assert_eq!(t.offer(4, 4, true), BoundedEvent::Accepted);
+        // Out-of-order head refused with one register...
+        // (it would not touch the [4,8) run)
+        assert_eq!(t.offer(0, 2, false), BoundedEvent::Refused);
+        // ...but an adjacent extension is fine,
+        assert_eq!(t.offer(2, 2, false), BoundedEvent::Accepted);
+        // and now the head coalesces too.
+        assert_eq!(t.offer(0, 2, false), BoundedEvent::Accepted);
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn duplicates_and_inconsistencies_pass_through() {
+        let mut t = BoundedTracker::new(4);
+        t.offer(0, 4, true);
+        assert_eq!(t.offer(0, 4, true), BoundedEvent::Duplicate);
+        assert_eq!(t.offer(4, 4, false), BoundedEvent::Inconsistent);
+    }
+
+    #[test]
+    fn larger_budget_tolerates_more_disorder() {
+        // Even-indexed fragments first (each opens a run), odd ones after
+        // (each coalesces two runs): peak demand is 4 registers.
+        let order = [0u64, 2, 4, 6, 1, 3, 5, 7];
+        let refusals = |budget: usize| {
+            let mut t = BoundedTracker::new(budget);
+            let mut refused = 0;
+            for &k in &order {
+                if t.offer(k * 4, 4, k == 7) == BoundedEvent::Refused {
+                    refused += 1;
+                }
+            }
+            refused
+        };
+        assert!(refusals(1) > refusals(2));
+        assert!(refusals(2) > refusals(4));
+        assert_eq!(refusals(4), 0, "peak demand is exactly four runs");
+    }
+}

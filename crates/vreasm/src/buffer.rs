@@ -1,0 +1,214 @@
+//! A finite *physical* reassembly buffer — the thing chunks let you delete.
+//!
+//! "Reassembly buffer lock-up occurs when the reassembly buffer is filled
+//! completely and yet no single PDU is complete" (§3.3). Protocols that must
+//! physically reassemble before processing (IP-style fragmentation) hold
+//! fragments here; chunks are processed and moved to their final destination
+//! on arrival, so they never enter such a buffer.
+//!
+//! Experiment B3 uses this model to measure lock-up frequency versus buffer
+//! size under loss and disorder.
+
+use std::collections::HashMap;
+
+use crate::tracker::{PduTracker, TrackEvent};
+
+/// Outcome of offering a fragment to the buffer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BufferEvent {
+    /// Fragment stored; its PDU is still incomplete.
+    Stored,
+    /// Fragment completed its PDU; the PDU's bytes leave the buffer.
+    Completed {
+        /// Total payload bytes of the completed PDU.
+        bytes: u64,
+    },
+    /// Fragment dropped: the buffer is full and no PDU could complete —
+    /// the lock-up condition.
+    DroppedFull,
+    /// Duplicate fragment rejected (buffer unchanged).
+    Duplicate,
+    /// Framing-inconsistent fragment rejected.
+    Inconsistent,
+}
+
+/// Per-PDU state held in the buffer.
+#[derive(Debug)]
+struct Entry {
+    tracker: PduTracker,
+    bytes: u64,
+    /// Insertion stamp for oldest-first eviction (fragment timeout).
+    born: u64,
+}
+
+/// A capacity-limited reassembly buffer keyed by PDU identifier.
+#[derive(Debug)]
+pub struct ReassemblyBuffer {
+    capacity: u64,
+    used: u64,
+    clock: u64,
+    pdus: HashMap<u64, Entry>,
+    /// Number of times a fragment was dropped with the buffer full of
+    /// incomplete PDUs.
+    pub lockup_drops: u64,
+    /// PDUs completed and delivered.
+    pub completed: u64,
+    /// PDUs evicted by timeout, with their buffered bytes wasted.
+    pub evicted: u64,
+}
+
+impl ReassemblyBuffer {
+    /// Creates a buffer of `capacity` payload bytes.
+    pub fn new(capacity: u64) -> Self {
+        ReassemblyBuffer {
+            capacity,
+            used: 0,
+            clock: 0,
+            pdus: HashMap::new(),
+            lockup_drops: 0,
+            completed: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Bytes currently buffered.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Incomplete PDUs currently held.
+    pub fn pending_pdus(&self) -> usize {
+        self.pdus.len()
+    }
+
+    /// True when the buffer cannot accept `incoming` more bytes and no held
+    /// PDU is complete — the lock-up state.
+    pub fn is_locked_up(&self, incoming: u64) -> bool {
+        self.used + incoming > self.capacity
+    }
+
+    /// Offers a fragment of `pdu` covering elements `[sn, sn+len)` (one
+    /// byte per element in this model), `st` marking the final fragment.
+    pub fn offer(&mut self, pdu: u64, sn: u64, len: u64, st: bool) -> BufferEvent {
+        self.clock += 1;
+        let born = self.clock;
+        // Duplicate / consistency checks never consume space.
+        let entry = self.pdus.entry(pdu).or_insert_with(|| Entry {
+            tracker: PduTracker::new(),
+            bytes: 0,
+            born,
+        });
+        // Trial-apply on a copy so a fragment dropped for lack of space
+        // leaves no trace (its retransmission must be accepted later).
+        let mut probe = entry.tracker.clone();
+        match probe.offer(sn, len, st) {
+            TrackEvent::Duplicate => return BufferEvent::Duplicate,
+            TrackEvent::Inconsistent => return BufferEvent::Inconsistent,
+            TrackEvent::Accepted => {}
+        }
+        if probe.is_complete() {
+            // The PDU leaves the buffer whole; the closing fragment itself
+            // never needs to wait for space.
+            let bytes = entry.bytes;
+            self.used -= bytes;
+            self.pdus.remove(&pdu);
+            self.completed += 1;
+            return BufferEvent::Completed { bytes: bytes + len };
+        }
+        if self.used + len > self.capacity {
+            // Lock-up: the buffer is full of incomplete PDUs.
+            if entry.bytes == 0 && entry.tracker.covered() == 0 {
+                self.pdus.remove(&pdu);
+            }
+            self.lockup_drops += 1;
+            return BufferEvent::DroppedFull;
+        }
+        entry.tracker = probe;
+        entry.bytes += len;
+        self.used += len;
+        BufferEvent::Stored
+    }
+
+    /// Evicts the oldest incomplete PDU (fragment timeout), freeing its
+    /// space. Returns the PDU id, or `None` when empty.
+    pub fn evict_oldest(&mut self) -> Option<u64> {
+        let (&pdu, _) = self.pdus.iter().min_by_key(|(_, e)| e.born)?;
+        let entry = self.pdus.remove(&pdu).unwrap();
+        self.used -= entry.bytes;
+        self.evicted += 1;
+        Some(pdu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_pdu_flows_through() {
+        let mut b = ReassemblyBuffer::new(100);
+        assert_eq!(b.offer(1, 0, 40, false), BufferEvent::Stored);
+        assert_eq!(b.used(), 40);
+        assert_eq!(b.offer(1, 40, 40, true), BufferEvent::Completed { bytes: 80 });
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.completed, 1);
+    }
+
+    #[test]
+    fn lockup_when_full_of_incomplete_pdus() {
+        let mut b = ReassemblyBuffer::new(100);
+        // Three PDUs, each missing its tail: 90 bytes held.
+        for pdu in 0..3 {
+            assert_eq!(b.offer(pdu, 0, 30, false), BufferEvent::Stored);
+        }
+        // A 20-byte head of a fourth PDU cannot fit: lock-up.
+        assert_eq!(b.offer(3, 0, 20, false), BufferEvent::DroppedFull);
+        assert_eq!(b.lockup_drops, 1);
+        assert!(b.is_locked_up(20));
+    }
+
+    #[test]
+    fn closing_fragment_completes_even_when_full() {
+        let mut b = ReassemblyBuffer::new(60);
+        assert_eq!(b.offer(1, 0, 30, false), BufferEvent::Stored);
+        assert_eq!(b.offer(2, 0, 30, false), BufferEvent::Stored);
+        // Buffer is full, but PDU 1's tail completes it and frees space.
+        assert_eq!(b.offer(1, 30, 30, true), BufferEvent::Completed { bytes: 60 });
+        assert_eq!(b.used(), 30);
+    }
+
+    #[test]
+    fn eviction_frees_space() {
+        let mut b = ReassemblyBuffer::new(50);
+        b.offer(7, 0, 30, false);
+        b.offer(8, 0, 20, false);
+        assert_eq!(b.offer(9, 0, 10, false), BufferEvent::DroppedFull);
+        assert_eq!(b.evict_oldest(), Some(7));
+        assert_eq!(b.used(), 20);
+        assert_eq!(b.offer(9, 0, 10, false), BufferEvent::Stored);
+        assert_eq!(b.evicted, 1);
+    }
+
+    #[test]
+    fn duplicates_do_not_consume_space() {
+        let mut b = ReassemblyBuffer::new(100);
+        b.offer(1, 0, 40, false);
+        assert_eq!(b.offer(1, 0, 40, false), BufferEvent::Duplicate);
+        assert_eq!(b.used(), 40);
+    }
+
+    #[test]
+    fn inconsistent_fragment_reported() {
+        let mut b = ReassemblyBuffer::new(100);
+        // Establish the PDU end at element 15, then offer data beyond it —
+        // a corrupted-offset fragment (Table 1 reassembly error).
+        b.offer(2, 10, 5, true);
+        assert_eq!(b.offer(2, 20, 5, false), BufferEvent::Inconsistent);
+    }
+
+    #[test]
+    fn evict_on_empty_returns_none() {
+        let mut b = ReassemblyBuffer::new(10);
+        assert_eq!(b.evict_oldest(), None);
+    }
+}

@@ -1,0 +1,29 @@
+//! Virtual reassembly (§3.3 of the paper).
+//!
+//! "Regardless of whether we perform physical PDU reassembly, packet
+//! reordering, or immediate packet processing, we must perform *virtual
+//! reassembly* … keeping track of the received fragments to determine when
+//! all of the fragments of a PDU have been received."
+//!
+//! The crate supplies:
+//!
+//! * [`IntervalSet`] — a compact set of received `[start, end)` ranges with
+//!   overlap (duplicate) detection;
+//! * [`PduTracker`] — virtual reassembly of one PDU: completion detection
+//!   from the stop bit, duplicate rejection (needed so the incremental
+//!   checksum is not corrupted, §3.3), and inconsistency flags;
+//! * [`buffer::ReassemblyBuffer`] — a model of a *physical* reassembly
+//!   buffer with finite capacity, used to reproduce the reassembly-buffer
+//!   **lock-up** phenomenon chunks eliminate (§3.3, citing Kent–Mogul);
+//! * [`bounded::BoundedTracker`] — a VLSI-shaped tracker with a fixed gap
+//!   budget, modelling the hardware units of STER 92 / MCAU 93b.
+
+pub mod bounded;
+pub mod buffer;
+pub mod interval;
+pub mod tracker;
+
+pub use bounded::{BoundedEvent, BoundedTracker};
+pub use buffer::{BufferEvent, ReassemblyBuffer};
+pub use interval::IntervalSet;
+pub use tracker::{PduTracker, TrackEvent};

@@ -1,0 +1,203 @@
+//! Comparator error-detection codes for the evaluation (experiment B4).
+//!
+//! * [`Crc32`] — IEEE CRC-32. Strong, but "a CRC cannot be computed on
+//!   disordered data" (§4, citing FELD 92): each byte's contribution depends
+//!   on everything processed after it, so the API only offers in-order
+//!   streaming.
+//! * [`internet_checksum`] — the 16-bit one's-complement sum of RFC 1071.
+//!   Computable on disordered data (addition commutes) "but has less
+//!   powerful error detection properties than both CRC and WSC-2": it misses
+//!   reordered 16-bit words entirely.
+
+/// Streaming IEEE CRC-32 (reflected, polynomial `0xEDB88320`).
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+/// 256-entry lookup table for the reflected IEEE polynomial.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 == 1 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+impl Crc32 {
+    /// Starts a new CRC computation.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds the *next in-order* bytes of the message. There is deliberately
+    /// no positional variant: CRC state depends on suffix length, so
+    /// out-of-order computation is impossible without buffering.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.state;
+        for &b in bytes {
+            c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// Finishes and returns the CRC value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+
+    /// One-shot convenience.
+    pub fn of(bytes: &[u8]) -> u32 {
+        let mut c = Crc32::new();
+        c.update(bytes);
+        c.finish()
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// CRC-16/X.25 (reflected polynomial `0x8408`, init and xor-out `0xFFFF`)
+/// — the FCS HDLC-family link layers append to each frame (Appendix B).
+pub fn crc16_x25(bytes: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &b in bytes {
+        crc ^= b as u16;
+        for _ in 0..8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ 0x8408
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    !crc
+}
+
+/// RFC 1071 Internet checksum over `bytes` (one's-complement sum of 16-bit
+/// big-endian words; odd trailing byte padded with zero).
+pub fn internet_checksum(bytes: &[u8]) -> u16 {
+    !ones_complement_sum(bytes)
+}
+
+/// The raw one's-complement 16-bit sum — the commutative core that lets the
+/// Internet checksum be computed on disordered data (word-aligned pieces
+/// simply add).
+pub fn ones_complement_sum(bytes: &[u8]) -> u16 {
+    // A u64 accumulator cannot overflow below 2^48 words, so arbitrarily
+    // large buffers sum correctly before the end-around-carry fold.
+    let mut sum: u64 = 0;
+    let mut iter = bytes.chunks_exact(2);
+    for w in &mut iter {
+        sum += u16::from_be_bytes([w[0], w[1]]) as u64;
+    }
+    if let [last] = iter.remainder() {
+        sum += u16::from_be_bytes([*last, 0]) as u64;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// Adds two one's-complement partial sums (for disordered, word-aligned
+/// pieces).
+pub fn ones_complement_add(a: u16, b: u16) -> u16 {
+    let mut s = a as u32 + b as u32;
+    while s >> 16 != 0 {
+        s = (s & 0xFFFF) + (s >> 16);
+    }
+    s as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(Crc32::of(b"123456789"), 0xCBF4_3926);
+        assert_eq!(Crc32::of(b""), 0);
+    }
+
+    #[test]
+    fn crc32_streaming_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut c = Crc32::new();
+        c.update(&data[..10]);
+        c.update(&data[10..]);
+        assert_eq!(c.finish(), Crc32::of(data));
+    }
+
+    #[test]
+    fn crc32_is_order_dependent() {
+        // Swapping two halves changes the CRC — the property that forces
+        // reassembly-before-checksum in CRC-based protocols.
+        let a = Crc32::of(b"AAAABBBB");
+        let b = Crc32::of(b"BBBBAAAA");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn crc16_x25_known_vector() {
+        // The canonical CRC-16/X.25 check value.
+        assert_eq!(crc16_x25(b"123456789"), 0x906E);
+        assert_ne!(crc16_x25(b"12345678"), crc16_x25(b"123456789"));
+    }
+
+    #[test]
+    fn internet_checksum_rfc1071_example() {
+        // RFC 1071 §3 example: 00 01 f2 03 f4 f5 f6 f7 sums to ddf2
+        // (before complement).
+        let data = [0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7];
+        assert_eq!(ones_complement_sum(&data), 0xDDF2);
+        assert_eq!(internet_checksum(&data), !0xDDF2);
+    }
+
+    #[test]
+    fn internet_checksum_odd_length() {
+        assert_eq!(ones_complement_sum(&[0xAB]), 0xAB00);
+    }
+
+    #[test]
+    fn internet_checksum_is_order_blind_across_words() {
+        // Word-swapped data has the same checksum: weak against
+        // misordering, exactly the weakness footnote 11 points at.
+        let a = ones_complement_sum(&[0x12, 0x34, 0x56, 0x78]);
+        let b = ones_complement_sum(&[0x56, 0x78, 0x12, 0x34]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn internet_checksum_combines_disordered_pieces() {
+        let whole = ones_complement_sum(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let left = ones_complement_sum(&[1, 2, 3, 4]);
+        let right = ones_complement_sum(&[5, 6, 7, 8]);
+        assert_eq!(ones_complement_add(right, left), whole);
+    }
+
+    #[test]
+    fn checksum_catches_single_bit_flip() {
+        let good = internet_checksum(&[0x10, 0x20, 0x30, 0x40]);
+        let bad = internet_checksum(&[0x10, 0x20, 0x30, 0x41]);
+        assert_ne!(good, bad);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property test of the paper's central §4 claim: the end-to-end error
+//! detection value is *invariant under chunk fragmentation*, for arbitrary
+//! TPDUs cut at arbitrary points, absorbed in arbitrary order.
+
+use bytes::Bytes;
+use chunks_core::chunk::{Chunk, ChunkHeader};
+use chunks_core::frag::split;
+use chunks_core::label::FramingTuple;
+use chunks_wsc::{InvariantLayout, TpduInvariant, Wsc2};
+use proptest::prelude::*;
+
+/// A whole TPDU as a single chunk with randomized labels and ST bits.
+fn whole_tpdu() -> impl Strategy<Value = Chunk> {
+    (
+        1u16..=8,                     // SIZE
+        2u32..=48,                    // LEN
+        any::<u32>(),                 // C.ID
+        any::<u32>(),                 // C.SN base
+        any::<u32>(),                 // T.ID
+        any::<u32>(),                 // X.ID
+        any::<u32>(),                 // X.SN base
+        any::<bool>(),                // C.ST
+        any::<bool>(),                // X.ST
+        proptest::collection::vec(any::<u8>(), 8 * 48),
+    )
+        .prop_map(
+            |(size, len, c_id, c_sn, t_id, x_id, x_sn, c_st, x_st, raw)| {
+                let bytes = size as usize * len as usize;
+                Chunk::new(
+                    ChunkHeader::data(
+                        size,
+                        len,
+                        FramingTuple::new(c_id, c_sn, c_st),
+                        FramingTuple::new(t_id, 0, true),
+                        FramingTuple::new(x_id, x_sn, x_st),
+                    ),
+                    Bytes::from(raw[..bytes].to_vec()),
+                )
+                .unwrap()
+            },
+        )
+}
+
+/// Recursively fragments a chunk at pseudo-random points driven by `cuts`.
+fn fragment(chunk: Chunk, cuts: &[u8]) -> Vec<Chunk> {
+    let mut pieces = vec![chunk];
+    for &cut in cuts {
+        // Pick the currently largest piece and split it.
+        let (idx, len) = pieces
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.header.len))
+            .max_by_key(|&(_, l)| l)
+            .unwrap();
+        if len < 2 {
+            break;
+        }
+        let at = 1 + (cut as u32 % (len - 1));
+        let target = pieces.remove(idx);
+        let (a, b) = split(&target, at).unwrap();
+        pieces.push(a);
+        pieces.push(b);
+    }
+    pieces
+}
+
+fn digest_of(chunks: &[Chunk]) -> [u8; 8] {
+    let mut inv = TpduInvariant::with_default_layout();
+    for c in chunks {
+        inv.absorb_chunk(&c.header, &c.payload).unwrap();
+    }
+    inv.digest()
+}
+
+proptest! {
+    #[test]
+    fn digest_invariant_under_fragmentation(
+        whole in whole_tpdu(),
+        cuts in proptest::collection::vec(any::<u8>(), 0..12),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let base = digest_of(std::slice::from_ref(&whole));
+        let mut pieces = fragment(whole, &cuts);
+        // Deterministic pseudo-shuffle.
+        let n = pieces.len();
+        for i in 0..n {
+            let j = (shuffle_seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64)
+                % n as u64) as usize;
+            pieces.swap(i, j);
+        }
+        prop_assert_eq!(digest_of(&pieces), base);
+    }
+
+    #[test]
+    fn corrupted_fragment_changes_digest(
+        whole in whole_tpdu(),
+        cuts in proptest::collection::vec(any::<u8>(), 1..8),
+        victim in any::<usize>(),
+        bit in 0usize..8,
+    ) {
+        let base = digest_of(std::slice::from_ref(&whole));
+        let mut pieces = fragment(whole, &cuts);
+        let v = victim % pieces.len();
+        let mut raw = pieces[v].payload.to_vec();
+        let byte = raw.len() / 2;
+        raw[byte] ^= 1 << bit;
+        pieces[v].payload = raw.into();
+        prop_assert_ne!(digest_of(&pieces), base);
+    }
+
+    #[test]
+    fn wsc_order_independence(
+        symbols in proptest::collection::vec((0u64..100_000, any::<u32>()), 1..64),
+        seed in any::<u64>(),
+    ) {
+        // Deduplicate positions (duplicates model duplicated data, which
+        // the receiver rejects before absorbing).
+        let mut seen = std::collections::HashSet::new();
+        let symbols: Vec<(u64, u32)> = symbols
+            .into_iter()
+            .filter(|(i, _)| seen.insert(*i))
+            .collect();
+        let mut fwd = Wsc2::new();
+        for &(i, d) in &symbols {
+            fwd.add_symbol(i, d);
+        }
+        let mut perm = symbols.clone();
+        let n = perm.len();
+        for i in 0..n {
+            let j = (seed.wrapping_add((i as u64) * 2654435761) % n as u64) as usize;
+            perm.swap(i, j);
+        }
+        let mut rev = Wsc2::new();
+        for &(i, d) in perm.iter().rev() {
+            rev.add_symbol(i, d);
+        }
+        prop_assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn split_accumulators_combine(
+        data in proptest::collection::vec(any::<u32>(), 2..128),
+        cut_frac in 0.01f64..0.99,
+    ) {
+        let cut = ((data.len() as f64 * cut_frac) as usize).clamp(1, data.len() - 1);
+        let mut whole = Wsc2::new();
+        whole.add_symbols(0, &data);
+        let mut left = Wsc2::new();
+        left.add_symbols(0, &data[..cut]);
+        let mut right = Wsc2::new();
+        right.add_symbols(cut as u64, &data[cut..]);
+        left.combine(&right);
+        prop_assert_eq!(left, whole);
+    }
+}
+
+#[test]
+fn custom_layout_invariance() {
+    // Smaller layouts (cheaper in tests elsewhere) keep the property.
+    let layout = InvariantLayout::with_data_symbols(256);
+    let whole = Chunk::new(
+        ChunkHeader::data(
+            4,
+            32,
+            FramingTuple::new(7, 1000, false),
+            FramingTuple::new(8, 0, true),
+            FramingTuple::new(9, 500, true),
+        ),
+        Bytes::from((0u8..128).collect::<Vec<u8>>()),
+    )
+    .unwrap();
+    let digest = |chunks: &[Chunk]| {
+        let mut inv = TpduInvariant::new(layout).unwrap();
+        for c in chunks {
+            inv.absorb_chunk(&c.header, &c.payload).unwrap();
+        }
+        inv.digest()
+    };
+    let base = digest(std::slice::from_ref(&whole));
+    let (a, b) = split(&whole, 13).unwrap();
+    assert_eq!(digest(&[b, a]), base);
+}

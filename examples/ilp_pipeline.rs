@@ -1,0 +1,98 @@
+//! Integrated Layer Processing over chunks — the §1 performance argument,
+//! assembled end to end.
+//!
+//! The receiver makes **one pass** over each arriving chunk, however
+//! disordered: decrypt (position-keyed, no CBC chaining), absorb into the
+//! incremental WSC-2 checksum, and place into the application address
+//! space. No layer buffers, no second pass; the chunk labels carry
+//! everything each operation needs.
+//!
+//! ```sh
+//! cargo run --example ilp_pipeline
+//! ```
+
+use chunks::cipher::{decrypt_chunk, encrypt_chunk, PositionCipher, BLOCK_BYTES};
+use chunks::core::frag::split_to_fit;
+use chunks::core::wire::WIRE_HEADER_LEN;
+use chunks::core::{Chunk, ChunkHeader, FramingTuple};
+use chunks::vreasm::PduTracker;
+use chunks::wsc::{InvariantLayout, TpduInvariant};
+
+fn main() {
+    let cipher = PositionCipher::new([0x0123_4567_89AB_CDEF, 0xFEDC_BA98_7654_3210]);
+    let layout = InvariantLayout::default();
+
+    // --- sender side ------------------------------------------------------
+    let plaintext: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+    let blocks = (plaintext.len() / BLOCK_BYTES) as u32;
+    let whole = Chunk::new(
+        ChunkHeader::data(
+            BLOCK_BYTES as u16, // SIZE = cipher block: fragmentation can never split a block
+            blocks,
+            FramingTuple::new(0xC1, 0, false),
+            FramingTuple::new(0x71, 0, true),
+            FramingTuple::new(0xA1, 0, true),
+        ),
+        plaintext.clone().into(),
+    )
+    .unwrap();
+
+    // Encrypt, then compute the end-to-end code over the *ciphertext* (the
+    // invariant is fragmentation-proof either way; covering ciphertext lets
+    // the receiver verify before decrypt if it prefers — here we do
+    // decrypt-and-verify in one pass).
+    let encrypted = encrypt_chunk(&cipher, &whole).unwrap();
+    let mut tx_inv = TpduInvariant::new(layout).unwrap();
+    tx_inv
+        .absorb_chunk(&encrypted.header, &encrypted.payload)
+        .unwrap();
+    let ed_digest = tx_inv.digest();
+
+    // The network fragments the TPDU and reorders the pieces.
+    let mut fragments = split_to_fit(encrypted, WIRE_HEADER_LEN + 512).unwrap();
+    fragments.reverse();
+    println!(
+        "{} ciphertext fragments arriving in reverse order",
+        fragments.len()
+    );
+
+    // --- receiver side: ONE loop, one touch per byte -----------------------
+    let mut app = vec![0u8; plaintext.len()];
+    let mut rx_inv = TpduInvariant::new(layout).unwrap();
+    let mut tracker = PduTracker::new();
+    let mut touches = 0u64;
+
+    for frag in &fragments {
+        // (1) duplicate rejection via virtual reassembly,
+        assert_eq!(
+            tracker.offer(
+                frag.header.tpdu.sn as u64,
+                frag.header.len as u64,
+                frag.header.tpdu.st
+            ),
+            chunks::vreasm::TrackEvent::Accepted
+        );
+        // (2) incremental end-to-end error detection on the ciphertext,
+        rx_inv.absorb_chunk(&frag.header, &frag.payload).unwrap();
+        // (3) position-keyed decryption — needs nothing but this fragment,
+        let clear = decrypt_chunk(&cipher, frag).unwrap();
+        // (4) placement straight into the application address space.
+        let at = clear.header.conn.sn as usize * BLOCK_BYTES;
+        app[at..at + clear.payload.len()].copy_from_slice(&clear.payload);
+        touches += clear.payload.len() as u64;
+        println!(
+            "  fragment T.SN {:>3}..{:>3}: decrypted, checksummed, placed",
+            frag.header.tpdu.sn,
+            frag.header.tpdu.sn + frag.header.len - 1
+        );
+    }
+
+    assert!(tracker.is_complete(), "virtual reassembly complete");
+    assert_eq!(rx_inv.digest(), ed_digest, "end-to-end code verifies");
+    assert_eq!(app, plaintext, "plaintext recovered");
+    println!(
+        "verified and delivered: {} bytes, {:.2} touches/byte, zero staging buffers",
+        app.len(),
+        touches as f64 / app.len() as f64
+    );
+}

@@ -1,0 +1,92 @@
+//! Internetworking — Figure 4 live: a TPDU crosses networks whose MTUs
+//! shrink and grow; routers empty chunks from one envelope size into
+//! another (split, repack, or reassemble) and the receiver sees ordinary
+//! chunks either way.
+//!
+//! ```sh
+//! cargo run --example internetwork
+//! ```
+
+use chunks::core::frag::ReassemblyPool;
+use chunks::core::packet::{pack, unpack, Packet};
+use chunks::core::wire::WIRE_HEADER_LEN;
+use chunks::core::{Chunk, ChunkHeader, FramingTuple};
+use chunks::netsim::{ChunkRouter, PacketTransform, RefragPolicy};
+
+fn tpdu(bytes: usize) -> Chunk {
+    let payload: Vec<u8> = (0..bytes).map(|i| (i * 11 + 5) as u8).collect();
+    Chunk::new(
+        ChunkHeader::data(
+            1,
+            bytes as u32,
+            FramingTuple::new(0xC0, 0, false),
+            FramingTuple::new(0x42, 0, true),
+            FramingTuple::new(0xA, 0, true),
+        ),
+        payload.into(),
+    )
+    .unwrap()
+}
+
+fn main() {
+    let whole = tpdu(6_000);
+    // Hop MTUs: a 9180-byte ATM network, a 576-byte X.25-era network, and a
+    // 4352-byte FDDI network.
+    let hops = [9180usize, 576, 4352];
+    println!(
+        "TPDU of {} bytes crossing networks with MTUs {:?}",
+        whole.payload.len(),
+        hops
+    );
+
+    for (name, regrow_policy) in [
+        ("method 1 (one chunk per packet)", RefragPolicy::OnePerPacket),
+        ("method 2 (combine chunks)", RefragPolicy::Repack),
+        (
+            "method 3 (reassemble in network)",
+            RefragPolicy::Reassemble { window: 12 },
+        ),
+    ] {
+        // First hop: sender packs for the ATM network.
+        let mut frames: Vec<Vec<u8>> = pack(vec![whole.clone()], hops[0])
+            .unwrap()
+            .into_iter()
+            .map(|p| p.bytes.to_vec())
+            .collect();
+        print!("{name}: {} ATM frames", frames.len());
+
+        // Router into the small network always splits/repacks.
+        let mut shrink = ChunkRouter::new(hops[1], RefragPolicy::Repack);
+        frames = frames.drain(..).flat_map(|f| shrink.ingest(f)).collect();
+        print!(" -> {} small frames (router split {} chunks)", frames.len(), shrink.splits);
+
+        // Router back into the large network applies the chosen method.
+        let mut grow = ChunkRouter::new(hops[2], regrow_policy);
+        let mut out: Vec<Vec<u8>> = frames.drain(..).flat_map(|f| grow.ingest(f)).collect();
+        out.extend(grow.flush());
+        let bytes: usize = out.iter().map(Vec::len).sum();
+        println!(
+            " -> {} FDDI frames, {} wire bytes (header overhead {} B, merges {})",
+            out.len(),
+            bytes,
+            bytes - whole.payload.len(),
+            grow.merges
+        );
+
+        // The receiver's job is identical in all three cases: one-step
+        // reassembly of self-describing chunks.
+        let mut pool = ReassemblyPool::new();
+        for f in out {
+            for c in unpack(&Packet { bytes: f.into() }).unwrap() {
+                pool.insert(c);
+            }
+        }
+        let recovered = pool.take_complete().expect("single-step reassembly");
+        assert_eq!(recovered, whole);
+    }
+
+    println!(
+        "\nall three methods delivered byte-identical TPDUs; \
+         chunk header = {WIRE_HEADER_LEN} B regardless of fragmentation history"
+    );
+}

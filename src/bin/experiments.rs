@@ -1,0 +1,119 @@
+//! Experiment harness: regenerates every figure, the table, and the
+//! quantified claims of the paper.
+//!
+//! ```text
+//! experiments [fig1|fig2|...|fig7|table1|b1|b2|b3|b4|b5|b6|all]
+//! ```
+//!
+//! With no argument (or `all`) every experiment runs. Output is the content
+//! EXPERIMENTS.md records.
+
+use chunks::experiments::{
+    appendix_b, b1_receiver_modes, b2_frag_systems, b3_lockup, b4_codes, b5_compress, b6_demux,
+    b7_turner, b8_gap_budget, figures, table1,
+};
+
+const SEED: u64 = 0xC0451;
+
+fn run_one(name: &str) -> bool {
+    match name {
+        "fig1" => print_fig(figures::figure1()),
+        "fig2" => print_fig(figures::figure2()),
+        "fig3" => print_fig(figures::figure3()),
+        "fig4" => print_fig(figures::figure4()),
+        "fig5" => print_fig(figures::figure5()),
+        "fig6" => print_fig(figures::figure6()),
+        "fig7" => print_fig(figures::figure7()),
+        "appendixb" => {
+            let r = appendix_b::run();
+            println!("{r}");
+            r.chunks_dominate
+        }
+        "table1" => {
+            let t = table1::run();
+            println!("{t}");
+            t.matches_paper()
+        }
+        "b1" => {
+            let r = b1_receiver_modes::run(256 * 1024, SEED);
+            println!("{r}");
+            r.rows.iter().all(|row| row.complete)
+        }
+        "b2" => {
+            let r = b2_frag_systems::run(64 * 1024);
+            println!("{r}");
+            r.rows.iter().all(|row| row.intact)
+        }
+        "b3" => {
+            let r = b3_lockup::run(64, 4096, 0.05, SEED);
+            println!("{r}");
+            r.rows.iter().all(|row| row.chunk_drops == 0)
+        }
+        "b4" => {
+            let r = b4_codes::run(4 << 20, SEED);
+            println!("{r}");
+            r.wsc_detects_swap && !r.checksum_detects_swap
+        }
+        "b5" => {
+            let r = b5_compress::run();
+            println!("{r}");
+            r.rows.iter().all(|row| row.invertible)
+        }
+        "b6" => {
+            let r = b6_demux::run(2_000, SEED);
+            println!("{r}");
+            true
+        }
+        "b7" => {
+            let r = b7_turner::run(64);
+            println!("{r}");
+            // Turner must waste (strictly) fewer downstream bytes while
+            // completing at least as many TPDUs.
+            r.rows[1].wasted_bytes < r.rows[0].wasted_bytes
+                && r.rows[1].complete_tpdus >= r.rows[0].complete_tpdus
+        }
+        "b8" => {
+            let r = b8_gap_budget::run(SEED);
+            println!("{r}");
+            // More registers never refuse more, and 8 registers suffice for
+            // an 8-way stripe.
+            r.rows
+                .iter()
+                .filter(|row| row.budget == 8)
+                .all(|row| row.refusals == 0)
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            false
+        }
+    }
+}
+
+fn print_fig(f: figures::FigureResult) -> bool {
+    let ok = f.ok();
+    println!("{f}");
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = [
+        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "appendixb", "b1",
+        "b2", "b3", "b4", "b5", "b6", "b7", "b8",
+    ];
+    let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        all.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut failures = 0;
+    for name in selected {
+        if !run_one(name) {
+            eprintln!("experiment {name}: CHECK FAILED");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

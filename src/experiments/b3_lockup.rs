@@ -1,0 +1,167 @@
+//! B3: reassembly-buffer lock-up (§3.3, citing Kent–Mogul).
+//!
+//! Many 4 KiB datagrams are fragmented to a 576-byte MTU and their
+//! fragments interleaved (multipath mixing) with loss, so datagrams tend to
+//! be simultaneously incomplete. An IP receiver must hold fragments in a
+//! finite reassembly buffer; when it fills with incomplete datagrams, new
+//! fragments are dropped — lock-up. The chunk receiver places data on
+//! arrival and needs no such buffer, so the same workload produces zero
+//! buffer occupancy and zero lock-up drops.
+
+use std::fmt;
+
+use bytes::Bytes;
+use chunks_baseline::ip::{fragment, IpPacket, IpReassembler};
+use chunks_core::chunk::byte_chunk;
+use chunks_core::frag::split_to_fit;
+use chunks_core::label::FramingTuple;
+use chunks_core::wire::WIRE_HEADER_LEN;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Result row for one buffer capacity.
+#[derive(Clone, Copy, Debug)]
+pub struct B3Row {
+    /// IP reassembly buffer capacity in bytes.
+    pub capacity: u64,
+    /// Fragments dropped by the full buffer (lock-up symptom).
+    pub ip_lockup_drops: u64,
+    /// Datagrams the IP receiver completed.
+    pub ip_completed: u64,
+    /// Peak bytes the IP receiver buffered.
+    pub ip_peak: u64,
+    /// Chunk receiver staging bytes (always zero: immediate placement).
+    pub chunk_buffer: u64,
+    /// Chunk fragments dropped for lack of buffer (always zero).
+    pub chunk_drops: u64,
+    /// PDUs the chunk receiver completed virtually.
+    pub chunk_completed: u64,
+}
+
+/// Full B3 result.
+pub struct B3Result {
+    /// Number of PDUs in the workload.
+    pub pdus: usize,
+    /// PDU size in bytes.
+    pub pdu_bytes: usize,
+    /// Loss rate applied to fragments.
+    pub loss: f64,
+    /// Rows per capacity.
+    pub rows: Vec<B3Row>,
+}
+
+impl fmt::Display for B3Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "=== B3 — reassembly-buffer lock-up: {} x {} B PDUs, {}% fragment loss ===",
+            self.pdus,
+            self.pdu_bytes,
+            self.loss * 100.0
+        )?;
+        writeln!(
+            f,
+            "  {:>10} | {:>12} {:>12} {:>10} | {:>12} {:>12}",
+            "buffer", "IP lockups", "IP complete", "IP peak", "chunk drops", "chunk complete"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:>8} B | {:>12} {:>12} {:>8} B | {:>12} {:>12}",
+                r.capacity,
+                r.ip_lockup_drops,
+                r.ip_completed,
+                r.ip_peak,
+                r.chunk_drops,
+                r.chunk_completed
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs B3.
+pub fn run(pdus: usize, pdu_bytes: usize, loss: f64, seed: u64) -> B3Result {
+    let mtu = 576;
+    // Build the interleaved, lossy fragment arrival order once per system.
+    // IP side: fragments of `pdus` datagrams.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ip_frags: Vec<IpPacket> = Vec::new();
+    for id in 0..pdus as u32 {
+        let payload: Vec<u8> = (0..pdu_bytes).map(|i| (i + id as usize) as u8).collect();
+        ip_frags.extend(fragment(&IpPacket::datagram(id, Bytes::from(payload)), mtu).unwrap());
+    }
+    ip_frags.shuffle(&mut rng);
+    let ip_arrivals: Vec<IpPacket> = ip_frags
+        .into_iter()
+        .filter(|_| rng.random::<f64>() >= loss)
+        .collect();
+
+    // Chunk side: the same PDUs as chunk TPDUs, identically fragmented,
+    // shuffled with the same seed discipline.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chunk_frags = Vec::new();
+    for id in 0..pdus as u32 {
+        let payload: Vec<u8> = (0..pdu_bytes).map(|i| (i + id as usize) as u8).collect();
+        let whole = byte_chunk(
+            FramingTuple::new(1, id.wrapping_mul(pdu_bytes as u32), false),
+            FramingTuple::new(id, 0, true),
+            FramingTuple::new(id, 0, true),
+            &payload,
+        );
+        chunk_frags.extend(split_to_fit(whole, mtu + WIRE_HEADER_LEN).unwrap());
+    }
+    chunk_frags.shuffle(&mut rng);
+    let chunk_arrivals: Vec<_> = chunk_frags
+        .into_iter()
+        .filter(|_| rng.random::<f64>() >= loss)
+        .collect();
+
+    let mut rows = Vec::new();
+    for capacity in [8 << 10, 16 << 10, 32 << 10, 64 << 10, 256 << 10] {
+        // IP receiver with a finite buffer.
+        let mut reasm = IpReassembler::new(capacity);
+        let mut peak = 0;
+        for p in &ip_arrivals {
+            reasm.offer(p.clone());
+            peak = peak.max(reasm.used());
+        }
+
+        // Chunk receiver: immediate placement into the application space;
+        // per-PDU virtual reassembly only (a tracker, no payload buffer).
+        let mut trackers: std::collections::HashMap<u32, chunks_vreasm::PduTracker> =
+            std::collections::HashMap::new();
+        let mut app = vec![0u8; pdus * pdu_bytes + 256];
+        let mut completed = 0u64;
+        for c in &chunk_arrivals {
+            let t = trackers.entry(c.header.tpdu.id).or_default();
+            let was_complete = t.is_complete();
+            if t.offer(c.header.tpdu.sn as u64, c.header.len as u64, c.header.tpdu.st)
+                == chunks_vreasm::TrackEvent::Accepted
+            {
+                let base = c.header.tpdu.id as usize * pdu_bytes + c.header.tpdu.sn as usize;
+                app[base..base + c.payload.len()].copy_from_slice(&c.payload);
+            }
+            if !was_complete && t.is_complete() {
+                completed += 1;
+            }
+        }
+
+        rows.push(B3Row {
+            capacity,
+            ip_lockup_drops: reasm.lockup_drops,
+            ip_completed: reasm.completed,
+            ip_peak: peak,
+            chunk_buffer: 0,
+            chunk_drops: 0,
+            chunk_completed: completed,
+        });
+    }
+    B3Result {
+        pdus,
+        pdu_bytes,
+        loss,
+        rows,
+    }
+}

@@ -1,0 +1,161 @@
+//! B4: error-detection codes (§4) — WSC-2 versus CRC-32 versus the
+//! Internet checksum.
+//!
+//! Three claims are exercised:
+//!
+//! 1. WSC-2 and the Internet checksum can be computed over **disordered**
+//!    fragments; a CRC cannot — it must buffer out-of-order fragments until
+//!    the in-order prefix reaches them.
+//! 2. WSC-2 detects symbol transpositions the Internet checksum misses.
+//! 3. Throughput: the table reports MB/s for each code on this machine
+//!    (shape, not absolute numbers, is the claim).
+
+use std::fmt;
+use std::time::Instant;
+
+use chunks_wsc::compare::{internet_checksum, ones_complement_sum, Crc32};
+use chunks_wsc::Wsc2;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Result of the B4 experiment.
+pub struct B4Result {
+    /// Buffer size used for throughput runs.
+    pub buffer_bytes: usize,
+    /// (name, MB/s, can compute disordered).
+    pub throughput: Vec<(&'static str, f64, bool)>,
+    /// Bytes a CRC receiver had to buffer to checksum a disordered arrival
+    /// of `buffer_bytes` of fragments (WSC-2 and checksum: zero).
+    pub crc_buffered_bytes: u64,
+    /// Did WSC-2 detect a 32-bit word transposition?
+    pub wsc_detects_swap: bool,
+    /// Did the Internet checksum detect the same transposition?
+    pub checksum_detects_swap: bool,
+}
+
+impl fmt::Display for B4Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "=== B4 — error detection codes over {} MiB ===",
+            self.buffer_bytes >> 20
+        )?;
+        writeln!(f, "  {:<20} {:>10} {:>22}", "code", "MB/s", "disordered data?")?;
+        for (name, mbps, disordered) in &self.throughput {
+            writeln!(
+                f,
+                "  {:<20} {:>10.0} {:>22}",
+                name,
+                mbps,
+                if *disordered { "yes" } else { "no (must buffer)" }
+            )?;
+        }
+        writeln!(
+            f,
+            "  CRC buffering for a fully disordered arrival: {} bytes",
+            self.crc_buffered_bytes
+        )?;
+        writeln!(
+            f,
+            "  word-swap detection: WSC-2 = {}, Internet checksum = {}",
+            self.wsc_detects_swap, self.checksum_detects_swap
+        )?;
+        Ok(())
+    }
+}
+
+fn mbps(bytes: usize, elapsed_s: f64) -> f64 {
+    bytes as f64 / 1e6 / elapsed_s
+}
+
+/// Runs B4.
+pub fn run(buffer_bytes: usize, seed: u64) -> B4Result {
+    let data: Vec<u8> = (0..buffer_bytes).map(|i| (i * 37 + 11) as u8).collect();
+
+    // Throughput, in-order.
+    let t = Instant::now();
+    let mut w = Wsc2::new();
+    w.add_bytes(0, &data);
+    let wsc_t = t.elapsed().as_secs_f64();
+    std::hint::black_box(w.digest());
+
+    let t = Instant::now();
+    let crc = Crc32::of(&data);
+    let crc_t = t.elapsed().as_secs_f64();
+    std::hint::black_box(crc);
+
+    let t = Instant::now();
+    let sum = internet_checksum(&data);
+    let sum_t = t.elapsed().as_secs_f64();
+    std::hint::black_box(sum);
+
+    // Disordered computation: 1 KiB fragments in random order.
+    const FRAG: usize = 1024;
+    let mut order: Vec<usize> = (0..buffer_bytes / FRAG).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+
+    // WSC-2: absorb each fragment at its position — no buffering.
+    let mut disordered = Wsc2::new();
+    for &k in &order {
+        disordered.add_bytes((k * FRAG / 4) as u64, &data[k * FRAG..(k + 1) * FRAG]);
+    }
+    assert_eq!(disordered, w, "WSC-2 is order-independent");
+
+    // Internet checksum: partial sums add — no buffering.
+    let mut partial = 0u16;
+    for &k in &order {
+        partial = chunks_wsc::compare::ones_complement_add(
+            partial,
+            ones_complement_sum(&data[k * FRAG..(k + 1) * FRAG]),
+        );
+    }
+    assert_eq!(!partial, sum, "checksum is order-independent");
+
+    // CRC: can only consume the in-order prefix; everything else waits in a
+    // buffer. Count the peak buffered bytes.
+    let mut held: std::collections::BTreeMap<usize, &[u8]> = std::collections::BTreeMap::new();
+    let mut next = 0usize;
+    let mut crc_stream = Crc32::new();
+    let mut buffered = 0u64;
+    let mut peak = 0u64;
+    for &k in &order {
+        if k == next {
+            crc_stream.update(&data[k * FRAG..(k + 1) * FRAG]);
+            next += 1;
+            while let Some(frag) = held.remove(&next) {
+                crc_stream.update(frag);
+                buffered -= FRAG as u64;
+                next += 1;
+            }
+        } else {
+            held.insert(k, &data[k * FRAG..(k + 1) * FRAG]);
+            buffered += FRAG as u64;
+            peak = peak.max(buffered);
+        }
+    }
+    assert_eq!(crc_stream.finish(), crc, "CRC consistent once reordered");
+
+    // Transposition detection.
+    let mut swapped = data.clone();
+    swapped.swap(0, 4);
+    swapped.swap(1, 5);
+    swapped.swap(2, 6);
+    swapped.swap(3, 7); // swap two adjacent 32-bit words
+    let mut w2 = Wsc2::new();
+    w2.add_bytes(0, &swapped);
+    let wsc_detects_swap = w2 != w;
+    let checksum_detects_swap = internet_checksum(&swapped) != sum;
+
+    B4Result {
+        buffer_bytes,
+        throughput: vec![
+            ("WSC-2 (GF(2^32))", mbps(buffer_bytes, wsc_t), true),
+            ("CRC-32", mbps(buffer_bytes, crc_t), false),
+            ("Internet checksum", mbps(buffer_bytes, sum_t), true),
+        ],
+        crc_buffered_bytes: peak,
+        wsc_detects_swap,
+        checksum_detects_swap,
+    }
+}

@@ -1,0 +1,126 @@
+//! Adversarial input at the system level: the full receiver, the
+//! demultiplexer, and the baseline decoders survive arbitrary bytes and
+//! truncated/bit-flipped real traffic.
+
+use chunks::baseline::aal::{Cell, CellReassembler};
+use chunks::baseline::ip::{IpPacket, IpReassembler};
+use chunks::baseline::xtp::{decode_super, XtpPdu};
+use chunks::core::packet::Packet;
+use chunks::transport::{
+    AckInfo, ConnectionDemux, ConnectionParams, DeliveryMode, Receiver, Sender, SenderConfig,
+    Signal,
+};
+use chunks::wsc::InvariantLayout;
+use proptest::prelude::*;
+
+fn params() -> ConnectionParams {
+    ConnectionParams {
+        conn_id: 5,
+        elem_size: 1,
+        initial_csn: 0,
+        tpdu_elements: 32,
+    }
+}
+
+fn layout() -> InvariantLayout {
+    InvariantLayout::with_data_symbols(2048)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn receiver_survives_random_packets(
+        frames in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..512), 1..16),
+    ) {
+        let mut rx = Receiver::new(DeliveryMode::Immediate, params(), layout(), 4096);
+        for (i, f) in frames.iter().enumerate() {
+            let _ = rx.handle_packet(&Packet { bytes: f.clone().into() }, i as u64);
+        }
+    }
+
+    #[test]
+    fn receiver_survives_bitflipped_real_traffic(
+        flip_byte in any::<usize>(),
+        flip_bit in 0usize..8,
+        mode_idx in 0usize..3,
+    ) {
+        let mode = [DeliveryMode::Immediate, DeliveryMode::Reorder, DeliveryMode::Reassemble][mode_idx];
+        let mut tx = Sender::new(SenderConfig {
+            params: params(),
+            layout: layout(),
+            mtu: 256,
+            min_tpdu_elements: 4,
+            max_tpdu_elements: 64,
+        });
+        tx.submit_simple(&[0xA5u8; 200], 0xE, false);
+        let packets = tx.packets_for_pending().unwrap();
+        let mut rx = Receiver::new(mode, params(), layout(), 4096);
+        for (i, p) in packets.iter().enumerate() {
+            let mut raw = p.bytes.to_vec();
+            if i == 0 && !raw.is_empty() {
+                let at = flip_byte % raw.len();
+                raw[at] ^= 1 << flip_bit;
+            }
+            let _ = rx.handle_packet(&Packet { bytes: raw.into() }, i as u64);
+        }
+        let _ = rx.expire_incomplete();
+        // Whatever happened, the receiver must not have delivered data that
+        // differs from the original on a *verified* prefix... unless the
+        // flip missed (hit padding) and everything verified.
+        if rx.verified_prefix() == 200 && rx.stats.tpdus_failed == 0 {
+            prop_assert_eq!(&rx.app_data()[..200], &[0xA5u8; 200][..]);
+        }
+    }
+
+    #[test]
+    fn demux_survives_random_packets(
+        frames in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..256), 1..8),
+    ) {
+        let mut demux = ConnectionDemux::new();
+        demux.register(5, Receiver::new(DeliveryMode::Immediate, params(), layout(), 1024));
+        for f in &frames {
+            let _ = demux.handle_packet(&Packet { bytes: f.clone().into() }, 0);
+        }
+    }
+
+    #[test]
+    fn control_decoders_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Signal::decode(&bytes);
+        let _ = AckInfo::decode(&bytes);
+        let _ = IpPacket::decode(&bytes);
+        let _ = XtpPdu::decode(&bytes);
+        let _ = decode_super(&bytes);
+    }
+
+    #[test]
+    fn ip_reassembler_survives_random_fragments(
+        frags in proptest::collection::vec(
+            (any::<u32>(), any::<u16>(), any::<bool>(),
+             proptest::collection::vec(any::<u8>(), 0..64)), 1..32),
+    ) {
+        let mut r = IpReassembler::new(4096);
+        for (id, offset, mf, payload) in frags {
+            let p = IpPacket {
+                id,
+                offset: offset as u32,
+                mf,
+                payload: payload.into(),
+            };
+            let _ = r.offer(p);
+        }
+    }
+
+    #[test]
+    fn aal5_reassembler_survives_random_cells(
+        cells in proptest::collection::vec(
+            (any::<[u8; 48]>(), any::<bool>()), 1..32),
+    ) {
+        let mut r = CellReassembler::new();
+        for (payload, eof) in cells {
+            let _ = r.push(&Cell { payload, eof });
+        }
+    }
+}
