@@ -185,7 +185,13 @@ mod tests {
             outcomes.push(r.push(c));
         }
         // The two frames fused into one bad frame.
-        assert_eq!(outcomes.iter().filter(|e| **e == CellEvent::BadFrame).count(), 1);
+        assert_eq!(
+            outcomes
+                .iter()
+                .filter(|e| **e == CellEvent::BadFrame)
+                .count(),
+            1
+        );
         assert_eq!(r.frames, 0);
     }
 

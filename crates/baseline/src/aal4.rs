@@ -171,7 +171,9 @@ mod tests {
     use super::*;
 
     fn frame(n: usize, seed: u8) -> Vec<u8> {
-        (0..n).map(|i| (i as u8).wrapping_mul(7).wrapping_add(seed)).collect()
+        (0..n)
+            .map(|i| (i as u8).wrapping_mul(7).wrapping_add(seed))
+            .collect()
     }
 
     #[test]

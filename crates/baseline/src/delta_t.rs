@@ -93,8 +93,7 @@ impl DeltaTReceiver {
     pub fn offer(&mut self, p: DeltaTPacket) {
         self.pending.insert(p.c_sn, p.stream.clone());
         self.resequence_buffered += p.stream.len();
-        self.peak_resequence_buffered =
-            self.peak_resequence_buffered.max(self.resequence_buffered);
+        self.peak_resequence_buffered = self.peak_resequence_buffered.max(self.resequence_buffered);
         // Drain the in-order prefix.
         while let Some(entry) = self.pending.first_entry() {
             if *entry.key() != self.next_sn {

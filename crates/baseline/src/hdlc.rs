@@ -246,7 +246,9 @@ mod tests {
         line[mid] ^= 0x08;
         let events = decode_line(&line);
         assert!(
-            events.iter().any(|e| matches!(e, HdlcEvent::BadFcs | HdlcEvent::Runt)),
+            events
+                .iter()
+                .any(|e| matches!(e, HdlcEvent::BadFcs | HdlcEvent::Runt)),
             "flip must not yield a valid frame: {events:?}"
         );
         assert!(decode_frames(&line).is_empty());

@@ -2,11 +2,16 @@
 
 //! B4 bench: error-detection code throughput — WSC-2 vs CRC-32 vs the
 //! Internet checksum, in order and disordered.
+//!
+//! Every WSC-2 arm exists twice: the table-driven fast path (`Wsc2`,
+//! `Wsc2Stream` — what production code runs) and the seed bit-serial
+//! reference path (`*_ref` arms), so a plain `cargo bench --bench codes`
+//! shows the fast-path speedup alongside the CRC/checksum comparators.
 
 use chunks_bench::buffer;
 use chunks_gf::Gf32;
 use chunks_wsc::compare::{internet_checksum, Crc32};
-use chunks_wsc::Wsc2;
+use chunks_wsc::{Wsc2, Wsc2Stream};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_codes(c: &mut Criterion) {
@@ -18,6 +23,14 @@ fn bench_codes(c: &mut Criterion) {
             b.iter(|| {
                 let mut w = Wsc2::new();
                 w.add_bytes(0, d);
+                w.digest()
+            })
+        });
+        // Seed bit-serial path over the same workload.
+        g.bench_with_input(BenchmarkId::new("wsc2_inorder_ref", size), &data, |b, d| {
+            b.iter(|| {
+                let mut w = Wsc2::new();
+                w.add_bytes_ref(0, d);
                 w.digest()
             })
         });
@@ -39,6 +52,53 @@ fn bench_codes(c: &mut Criterion) {
                 w.digest()
             })
         });
+        g.bench_with_input(
+            BenchmarkId::new("wsc2_disordered_ref", size),
+            &data,
+            |b, d| {
+                let frags: Vec<usize> = (0..d.len() / 1024).rev().collect();
+                b.iter(|| {
+                    let mut w = Wsc2::new();
+                    for &k in &frags {
+                        w.add_bytes_ref((k * 256) as u64, &d[k * 1024..(k + 1) * 1024]);
+                    }
+                    w.digest()
+                })
+            },
+        );
+        // Streaming encoder fed the same scrambled fragments: the cursor
+        // cache only helps contiguous input, so this measures its overhead
+        // in the worst (fully disordered) case.
+        g.bench_with_input(
+            BenchmarkId::new("wsc2_stream_disordered", size),
+            &data,
+            |b, d| {
+                let frags: Vec<usize> = (0..d.len() / 1024).rev().collect();
+                b.iter(|| {
+                    let mut w = Wsc2Stream::new();
+                    for &k in &frags {
+                        w.add_bytes((k * 256) as u64, &d[k * 1024..(k + 1) * 1024]);
+                    }
+                    w.digest()
+                })
+            },
+        );
+        // Streaming encoder fed contiguous 64-byte runs — the TPDU
+        // invariant's shape, where the cursor cache eliminates every
+        // `alpha^start` recomputation.
+        g.bench_with_input(
+            BenchmarkId::new("wsc2_stream_inorder", size),
+            &data,
+            |b, d| {
+                b.iter(|| {
+                    let mut w = Wsc2Stream::new();
+                    for (k, run) in d.chunks(64).enumerate() {
+                        w.add_bytes((k * 16) as u64, run);
+                    }
+                    w.digest()
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -47,9 +107,21 @@ fn bench_field(c: &mut Criterion) {
     let mut g = c.benchmark_group("gf32");
     let a = Gf32::new(0xDEAD_BEEF);
     let b2 = Gf32::new(0x0BAD_F00D);
-    g.bench_function("mul", |b| b.iter(|| std::hint::black_box(a) * std::hint::black_box(b2)));
-    g.bench_function("mul_alpha", |b| b.iter(|| std::hint::black_box(a).mul_alpha()));
-    g.bench_function("alpha_pow", |b| b.iter(|| Gf32::alpha_pow(std::hint::black_box(123_456_789))));
+    g.bench_function("mul", |b| {
+        b.iter(|| std::hint::black_box(a) * std::hint::black_box(b2))
+    });
+    g.bench_function("mul_ref", |b| {
+        b.iter(|| std::hint::black_box(a).mul_ref(std::hint::black_box(b2)))
+    });
+    g.bench_function("mul_alpha", |b| {
+        b.iter(|| std::hint::black_box(a).mul_alpha())
+    });
+    g.bench_function("alpha_pow", |b| {
+        b.iter(|| Gf32::alpha_pow(std::hint::black_box(123_456_789)))
+    });
+    g.bench_function("alpha_pow_ref", |b| {
+        b.iter(|| Gf32::alpha_pow_ref(std::hint::black_box(123_456_789)))
+    });
     g.bench_function("inv", |b| b.iter(|| std::hint::black_box(a).inv()));
     g.finish();
 }

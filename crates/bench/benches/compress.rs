@@ -4,8 +4,8 @@
 
 use chunks_bench::chunk_of;
 use chunks_core::compress::{
-    decode_header_form, decode_packet_delta, encode_header_form, encode_packet_delta,
-    implicit_tid, HeaderForm, SignalledContext,
+    decode_header_form, decode_packet_delta, encode_header_form, encode_packet_delta, implicit_tid,
+    HeaderForm, SignalledContext,
 };
 use chunks_core::frag::split;
 use chunks_core::label::ChunkType;
@@ -47,7 +47,9 @@ fn bench_forms(c: &mut Criterion) {
     let (a, b2) = split(&chunk, 32).unwrap();
     let pair = vec![a, b2];
     let buf = encode_packet_delta(&pair);
-    g.bench_function("delta_encode_pair", |b| b.iter(|| encode_packet_delta(&pair)));
+    g.bench_function("delta_encode_pair", |b| {
+        b.iter(|| encode_packet_delta(&pair))
+    });
     g.bench_function("delta_decode_pair", |b| {
         b.iter(|| decode_packet_delta(&buf).unwrap())
     });

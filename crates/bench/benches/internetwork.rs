@@ -27,17 +27,24 @@ fn bench_methods(c: &mut Criterion) {
     for (name, policy) in [
         ("method1_one_per_packet", RefragPolicy::OnePerPacket),
         ("method2_repack", RefragPolicy::Repack),
-        ("method3_reassemble", RefragPolicy::Reassemble { window: 16 }),
+        (
+            "method3_reassemble",
+            RefragPolicy::Reassemble { window: 16 },
+        ),
     ] {
-        g.bench_with_input(BenchmarkId::new(name, frames.len()), &frames, |b, frames| {
-            b.iter(|| {
-                let mut r = ChunkRouter::new(big, policy);
-                let mut out: Vec<Vec<u8>> =
-                    frames.iter().flat_map(|f| r.ingest(f.clone())).collect();
-                out.extend(r.flush());
-                out.len()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new(name, frames.len()),
+            &frames,
+            |b, frames| {
+                b.iter(|| {
+                    let mut r = ChunkRouter::new(big, policy);
+                    let mut out: Vec<Vec<u8>> =
+                        frames.iter().flat_map(|f| r.ingest(f.clone())).collect();
+                    out.extend(r.flush());
+                    out.len()
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -1,18 +1,66 @@
-#![allow(missing_docs)] // criterion_main! generates an undocumented fn main
+#![allow(missing_docs)] // bench target: fn main is the harness entry point
 
 //! F5/F6 bench: cost of the fragmentation-invariant error detection —
 //! absorbing a TPDU as one chunk versus many fragments (the invariance must
 //! not make fragmented arrivals expensive).
+//!
+//! Each fragment count is measured twice:
+//!
+//! * `absorb_fragments` — the production path: [`TpduInvariant`] on the
+//!   streaming [`Wsc2Stream`] encoder over table-driven GF(2^32);
+//! * `absorb_fragments_ref` — a faithful replica of the seed
+//!   implementation: one-shot `Wsc2` calls per element through the
+//!   bit-serial reference arithmetic (`add_bytes_ref` / `add_symbol_ref`).
+//!
+//! After measuring, `main` writes the `BENCH_wsc.json` snapshot at the
+//! workspace root recording both arms and the speedup ratio (see
+//! EXPERIMENTS.md for how to regenerate it).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
 
 use chunks_bench::chunk_of;
+use chunks_core::chunk::ChunkHeader;
 use chunks_core::frag::split_to_fit;
 use chunks_core::wire::WIRE_HEADER_LEN;
-use chunks_wsc::TpduInvariant;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use chunks_wsc::{InvariantLayout, TpduInvariant, Wsc2};
+use criterion::{criterion_group, BenchResult, BenchmarkId, Criterion, Throughput};
+
+/// Replica of the seed `TpduInvariant::absorb_chunk`: per-element one-shot
+/// `Wsc2` absorption through the bit-serial reference path, recomputing
+/// `alpha^position` from scratch for every element.
+fn absorb_chunk_ref(
+    wsc: &mut Wsc2,
+    ids: &mut Option<(u32, u32)>,
+    layout: InvariantLayout,
+    header: &ChunkHeader,
+    payload: &[u8],
+) {
+    let spe = Wsc2::symbols_for_bytes(header.size as usize);
+    let first = header.tpdu.sn as u64;
+    if ids.is_none() {
+        *ids = Some((header.tpdu.id, header.conn.id));
+        wsc.add_symbol_ref(layout.tid_pos(), header.tpdu.id);
+        wsc.add_symbol_ref(layout.cid_pos(), header.conn.id);
+    }
+    for (e, element) in payload.chunks(header.size as usize).enumerate() {
+        wsc.add_bytes_ref((first + e as u64) * spe, element);
+    }
+    if header.conn.st {
+        wsc.add_symbol_ref(layout.cst_pos(), 1);
+    }
+    if header.ext.st || header.tpdu.st {
+        let t_sn_last = header.tpdu.sn.wrapping_add(header.len - 1);
+        let base = layout.x_pair_pos(t_sn_last);
+        wsc.add_symbol_ref(base, header.ext.id);
+        wsc.add_symbol_ref(base + 1, header.ext.st as u32);
+    }
+}
 
 fn bench_invariant(c: &mut Criterion) {
     let mut g = c.benchmark_group("invariant");
     let whole = chunk_of(8192);
+    let layout = InvariantLayout::default();
     g.throughput(Throughput::Bytes(8192));
     for pieces in [1u32, 8, 64] {
         let frags = if pieces == 1 {
@@ -20,6 +68,17 @@ fn bench_invariant(c: &mut Criterion) {
         } else {
             split_to_fit(whole.clone(), WIRE_HEADER_LEN + (8192 / pieces) as usize).unwrap()
         };
+
+        // The two arms must agree before their timings mean anything.
+        let mut fast = TpduInvariant::new(layout).unwrap();
+        let mut slow = Wsc2::new();
+        let mut ids = None;
+        for f in &frags {
+            fast.absorb_chunk(&f.header, &f.payload).unwrap();
+            absorb_chunk_ref(&mut slow, &mut ids, layout, &f.header, &f.payload);
+        }
+        assert_eq!(fast.digest(), slow.digest(), "slow/fast digests diverged");
+
         g.bench_with_input(
             BenchmarkId::new("absorb_fragments", pieces),
             &frags,
@@ -33,9 +92,107 @@ fn bench_invariant(c: &mut Criterion) {
                 })
             },
         );
+        g.bench_with_input(
+            BenchmarkId::new("absorb_fragments_ref", pieces),
+            &frags,
+            |b, frags| {
+                b.iter(|| {
+                    let mut wsc = Wsc2::new();
+                    let mut ids = None;
+                    for f in frags {
+                        absorb_chunk_ref(&mut wsc, &mut ids, layout, &f.header, &f.payload);
+                    }
+                    wsc.digest()
+                })
+            },
+        );
     }
     g.finish();
 }
 
 criterion_group!(benches, bench_invariant);
-criterion_main!(benches);
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Writes `BENCH_wsc.json` at the workspace root from the measured results.
+fn write_snapshot(results: &[BenchResult]) -> std::io::Result<PathBuf> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"wsc-tpdu-invariant\",\n");
+    out.push_str(
+        "  \"regenerate\": \"cargo bench -p chunks-bench --bench invariant (see EXPERIMENTS.md)\",\n",
+    );
+    out.push_str(
+        "  \"workload\": \"8192-byte TPDU of 1-byte elements, absorbed as N fragments\",\n",
+    );
+    out.push_str("  \"results\": [\n");
+    for (k, r) in results.iter().enumerate() {
+        let sep = if k + 1 == results.len() { "" } else { "," };
+        let rate = r
+            .mib_per_s()
+            .map(|v| format!("{v:.1}"))
+            .unwrap_or_else(|| "null".into());
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"mib_per_s\": {}}}{}",
+            json_escape(&r.id),
+            r.median_ns,
+            r.mean_ns,
+            rate,
+            sep
+        );
+    }
+    out.push_str("  ],\n");
+
+    // Pair fast/slow arms by fragment count and record the speedup.
+    let median = |id: &str| results.iter().find(|r| r.id == id).map(|r| r.median_ns);
+    out.push_str("  \"speedup\": [\n");
+    let counts = [1u32, 8, 64];
+    for (k, pieces) in counts.iter().enumerate() {
+        let sep = if k + 1 == counts.len() { "" } else { "," };
+        let fast = median(&format!("invariant/absorb_fragments/{pieces}")).unwrap_or(f64::NAN);
+        let slow = median(&format!("invariant/absorb_fragments_ref/{pieces}")).unwrap_or(f64::NAN);
+        let _ = writeln!(
+            out,
+            "    {{\"fragments\": {}, \"seed_ref_ns\": {:.1}, \"streaming_ns\": {:.1}, \"ratio\": {:.2}}}{}",
+            pieces,
+            slow,
+            fast,
+            slow / fast,
+            sep
+        );
+    }
+    out.push_str("  ]\n}\n");
+
+    // crates/bench -> workspace root.
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()?
+        .join("BENCH_wsc.json");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+    let results = c.take_results();
+    match write_snapshot(&results) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_wsc.json: {e}"),
+    }
+    for pieces in [1u32, 8, 64] {
+        let find = |id: String| results.iter().find(|r| r.id == id).map(|r| r.median_ns);
+        if let (Some(fast), Some(slow)) = (
+            find(format!("invariant/absorb_fragments/{pieces}")),
+            find(format!("invariant/absorb_fragments_ref/{pieces}")),
+        ) {
+            println!(
+                "speedup {pieces:>2} fragments: {:.2}x (seed {slow:.0} ns -> streaming {fast:.0} ns)",
+                slow / fast
+            );
+        }
+    }
+}

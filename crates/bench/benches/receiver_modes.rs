@@ -3,9 +3,7 @@
 //! B1 bench: receiver throughput in the three §3.3 delivery modes, on
 //! in-order and reversed arrivals.
 
-use chunks_transport::{
-    ConnectionParams, DeliveryMode, Framer, Receiver,
-};
+use chunks_transport::{ConnectionParams, DeliveryMode, Framer, Receiver};
 use chunks_wsc::InvariantLayout;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 

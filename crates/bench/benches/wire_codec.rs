@@ -52,7 +52,9 @@ fn bench_packets(c: &mut Criterion) {
     builder.push(chunk_of(256)).unwrap();
     let exact = builder.finish();
     g.bench_function("unpack_exact", |b| b.iter(|| unpack(&exact).unwrap()));
-    g.bench_function("unpack_padded_endmarker", |b| b.iter(|| unpack(&padded).unwrap()));
+    g.bench_function("unpack_padded_endmarker", |b| {
+        b.iter(|| unpack(&padded).unwrap())
+    });
     g.finish();
 }
 

@@ -120,11 +120,9 @@ mod tests {
         let dec_d = decrypt_chunk(&cipher(), &d).unwrap();
         let dec_b = decrypt_chunk(&cipher(), &b).unwrap();
         let dec_a = decrypt_chunk(&cipher(), &a).unwrap();
-        let merged = chunks_core::frag::merge(
-            &chunks_core::frag::merge(&dec_a, &dec_b).unwrap(),
-            &dec_d,
-        )
-        .unwrap();
+        let merged =
+            chunks_core::frag::merge(&chunks_core::frag::merge(&dec_a, &dec_b).unwrap(), &dec_d)
+                .unwrap();
         assert_eq!(merged, c);
     }
 

@@ -42,11 +42,7 @@ impl PositionCipher {
     }
 
     /// Encrypts the block at `position`.
-    pub fn encrypt_block(
-        &self,
-        position: u64,
-        mut block: [u8; BLOCK_BYTES],
-    ) -> [u8; BLOCK_BYTES] {
+    pub fn encrypt_block(&self, position: u64, mut block: [u8; BLOCK_BYTES]) -> [u8; BLOCK_BYTES] {
         let t = self.pad(position);
         for (b, t) in block.iter_mut().zip(&t) {
             *b ^= t;
@@ -59,11 +55,7 @@ impl PositionCipher {
     }
 
     /// Decrypts the block at `position`.
-    pub fn decrypt_block(
-        &self,
-        position: u64,
-        mut block: [u8; BLOCK_BYTES],
-    ) -> [u8; BLOCK_BYTES] {
+    pub fn decrypt_block(&self, position: u64, mut block: [u8; BLOCK_BYTES]) -> [u8; BLOCK_BYTES] {
         let t = self.pad(position);
         for (b, t) in block.iter_mut().zip(&t) {
             *b ^= t;

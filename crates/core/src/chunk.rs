@@ -262,7 +262,10 @@ mod tests {
     fn elements_carry_connection_sns() {
         let c = Chunk::new(hdr(2, 3), Bytes::from_static(b"aabbcc")).unwrap();
         let v: Vec<(u32, &[u8])> = c.elements().collect();
-        assert_eq!(v, vec![(100, &b"aa"[..]), (101, &b"bb"[..]), (102, &b"cc"[..])]);
+        assert_eq!(
+            v,
+            vec![(100, &b"aa"[..]), (101, &b"bb"[..]), (102, &b"cc"[..])]
+        );
     }
 
     #[test]

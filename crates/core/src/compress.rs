@@ -394,8 +394,7 @@ impl SnRegenEncoder {
     /// Encodes `h`, appending to `out`. Returns `true` when the header
     /// carried explicit SNs.
     pub fn encode(&mut self, h: &ChunkHeader, out: &mut Vec<u8>) -> bool {
-        let explicit =
-            self.since_resync >= self.resync_every || h.tpdu.sn == 0;
+        let explicit = self.since_resync >= self.resync_every || h.tpdu.sn == 0;
         self.since_resync = if explicit { 1 } else { self.since_resync + 1 };
         out.push(h.ty.to_u8());
         let mut flags = flags_of(h);
@@ -472,8 +471,16 @@ impl SnRegenDecoder {
             (rd(20), rd(24), rd(28))
         } else {
             // Regenerate. A new TPDU or external PDU restarts its counter.
-            let t_sn = if self.last_t_id == Some(t_id) { self.next_t_sn } else { 0 };
-            let x_sn = if self.last_x_id == Some(x_id) { self.next_x_sn } else { 0 };
+            let t_sn = if self.last_t_id == Some(t_id) {
+                self.next_t_sn
+            } else {
+                0
+            };
+            let x_sn = if self.last_x_id == Some(x_id) {
+                self.next_x_sn
+            } else {
+                0
+            };
             (self.next_c_sn, t_sn, x_sn)
         };
         // Advance the counters one step per element carried.
@@ -565,9 +572,7 @@ mod tests {
         c.header.tpdu.id = 0x51; // not C.SN - T.SN
         let ctx = SignalledContext::new();
         let mut buf = Vec::new();
-        assert!(
-            encode_header_form(&c.header, HeaderForm::ImplicitTid, &ctx, &mut buf).is_err()
-        );
+        assert!(encode_header_form(&c.header, HeaderForm::ImplicitTid, &ctx, &mut buf).is_err());
     }
 
     #[test]
@@ -716,7 +721,10 @@ mod sn_regen_tests {
         assert_eq!(h0, encoded[0].1);
         let (h2, _) = dec.decode(&encoded[2].0).unwrap();
         assert_ne!(h2, encoded[2].1, "desynchronized SNs differ");
-        assert_eq!(h2.conn.sn, encoded[1].1.conn.sn, "counter lags by one chunk");
+        assert_eq!(
+            h2.conn.sn, encoded[1].1.conn.sn,
+            "counter lags by one chunk"
+        );
         let (h3, _) = dec.decode(&encoded[3].0).unwrap();
         assert_eq!(h3, encoded[3].1, "explicit header resynchronizes");
     }

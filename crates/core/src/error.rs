@@ -62,7 +62,10 @@ impl fmt::Display for CoreError {
             CoreError::ZeroSize => write!(f, "chunk SIZE must be nonzero"),
             CoreError::ZeroLen => write!(f, "chunk LEN must be nonzero"),
             CoreError::ControlNotAtomic(t) => {
-                write!(f, "control chunk of type {t} must carry exactly one element")
+                write!(
+                    f,
+                    "control chunk of type {t} must carry exactly one element"
+                )
             }
             CoreError::SplitOutOfRange { at, len } => {
                 write!(f, "split point {at} outside chunk of {len} elements")

@@ -40,10 +40,7 @@ use crate::label::Level;
 pub fn split(chunk: &Chunk, first_len: u32) -> Result<(Chunk, Chunk), CoreError> {
     let len = chunk.header.len;
     if first_len == 0 || first_len >= len {
-        return Err(CoreError::SplitOutOfRange {
-            at: first_len,
-            len,
-        });
+        return Err(CoreError::SplitOutOfRange { at: first_len, len });
     }
     let cut = first_len as usize * chunk.header.size as usize;
 
@@ -206,9 +203,7 @@ impl ReassemblyPool {
     /// rejected and counted.
     pub fn insert(&mut self, chunk: Chunk) {
         let sn = chunk.header.tpdu.sn;
-        let pos = self
-            .segments
-            .partition_point(|c| c.header.tpdu.sn < sn);
+        let pos = self.segments.partition_point(|c| c.header.tpdu.sn < sn);
         if self
             .segments
             .get(pos)

@@ -174,11 +174,7 @@ impl FramingTuple {
 
 impl fmt::Display for FramingTuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "(id={}, sn={}, st={})",
-            self.id, self.sn, self.st as u8
-        )
+        write!(f, "(id={}, sn={}, st={})", self.id, self.sn, self.st as u8)
     }
 }
 

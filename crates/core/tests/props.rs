@@ -4,8 +4,8 @@
 use bytes::Bytes;
 use chunks_core::chunk::{Chunk, ChunkHeader};
 use chunks_core::compress::{
-    decode_header_form, decode_packet_delta, encode_header_form, encode_packet_delta,
-    implicit_tid, HeaderForm, SignalledContext,
+    decode_header_form, decode_packet_delta, encode_header_form, encode_packet_delta, implicit_tid,
+    HeaderForm, SignalledContext,
 };
 use chunks_core::frag::{merge, split, split_to_fit, ReassemblyPool};
 use chunks_core::label::{ChunkType, FramingTuple};

@@ -19,8 +19,27 @@
 //! Addition is XOR (characteristic 2), so every element is its own additive
 //! inverse — this is what makes the WSC-2 parities *incrementally updatable
 //! and order-independent*: symbols can be absorbed or removed in any order.
+//!
+//! # Fast path vs. reference path
+//!
+//! Every operation exists in two bit-identical implementations:
+//!
+//! * the **reference path** ([`Gf32::mul_ref`], [`Gf32::alpha_pow_ref`]) —
+//!   windowed shift-and-XOR multiply and square-and-multiply
+//!   exponentiation, dependency-free and `const`-friendly; the oracle the
+//!   property tests and benchmarks compare against;
+//! * the **table-driven fast path** ([`Gf32::mul_fast`],
+//!   [`Gf32::alpha_pow`]; see `tables.rs` internals) — 8-bit windowed
+//!   carry-less multiply tables, byte-wise reduction tables and cached
+//!   powers of `alpha`, built once behind a `OnceLock`.
+//!
+//! The operator impls (`*`, `/`) and everything layered above (WSC-2, the
+//! TPDU invariant, the transport receiver) use the fast path.
+
+#![deny(missing_docs)]
 
 mod poly;
+mod tables;
 
 pub use poly::{clmul32, reduce64, MODULUS, POLY_LOW};
 
@@ -86,10 +105,38 @@ impl Gf32 {
         self.0 == 0
     }
 
-    /// Field multiplication: carry-less product reduced modulo `p(x)`.
+    /// Field multiplication (table-driven fast path).
+    ///
+    /// ```
+    /// use chunks_gf::Gf32;
+    /// let a = Gf32::new(0xDEAD_BEEF);
+    /// let b = Gf32::new(0x0BAD_F00D);
+    /// assert_eq!(a.gf_mul(b), a * b);
+    /// assert_eq!(a.gf_mul(b), a.mul_ref(b)); // bit-identical to the oracle
+    /// ```
     #[inline]
     pub fn gf_mul(self, rhs: Gf32) -> Gf32 {
+        self.mul_fast(rhs)
+    }
+
+    /// Reference multiplication: 4-bit windowed carry-less product reduced
+    /// modulo `p(x)` with a data-dependent fold loop.
+    ///
+    /// This is the seed implementation, kept as the oracle for
+    /// [`Self::mul_fast`] equivalence tests and as the "slow path" arm of
+    /// the `codes`/`invariant` benchmarks. Use `*` or [`Self::gf_mul`] in
+    /// real code.
+    #[inline]
+    pub fn mul_ref(self, rhs: Gf32) -> Gf32 {
         Gf32(reduce64(clmul32(self.0, rhs.0)))
+    }
+
+    /// Table-driven multiplication: 16 lookups into a precomputed 8-bit
+    /// carry-less multiply table plus 4 lookups into byte-wise reduction
+    /// tables. Branch-free; bit-identical to [`Self::mul_ref`].
+    #[inline]
+    pub fn mul_fast(self, rhs: Gf32) -> Gf32 {
+        Gf32(tables::mul_tables(self.0, rhs.0))
     }
 
     /// Multiplication by the generator `alpha = x`: a single shift plus a
@@ -106,6 +153,14 @@ impl Gf32 {
     /// Exponentiation by squaring: `self^e`.
     ///
     /// `x^0 == 1` for every `x`, including zero (empty product convention).
+    ///
+    /// ```
+    /// use chunks_gf::Gf32;
+    /// let a = Gf32::new(0xABCD_EF01);
+    /// assert_eq!(a.pow(0), Gf32::ONE);
+    /// assert_eq!(a.pow(3), a * a * a);
+    /// assert_eq!(a.pow(7) * a.pow(5), a.pow(12)); // exponents add
+    /// ```
     pub fn pow(self, mut e: u64) -> Gf32 {
         let mut base = self;
         let mut acc = Gf32::ONE;
@@ -119,14 +174,36 @@ impl Gf32 {
         acc
     }
 
-    /// `alpha^i` via the precomputed square table — O(popcount(i)) field
-    /// multiplications. This is how WSC-2 weights random symbol positions.
+    /// `alpha^i` via cached power tables: at most 4 lookups and 3
+    /// multiplies, independent of `i`. This is how WSC-2 weights symbols at
+    /// arbitrary (disordered) positions without paying for exponentiation.
+    ///
+    /// Exponents at or above the group order `2^32 - 1` are folded by
+    /// Fermat (`alpha^(2^32-1) = 1`), so the result is correct for every
+    /// `u64` exponent.
+    ///
+    /// ```
+    /// use chunks_gf::{Gf32, ALPHA};
+    /// assert_eq!(Gf32::alpha_pow(0), Gf32::ONE);
+    /// assert_eq!(Gf32::alpha_pow(123_456), ALPHA.pow(123_456));
+    /// assert_eq!(Gf32::alpha_pow(123_456), Gf32::alpha_pow_ref(123_456));
+    /// ```
+    #[inline]
     pub fn alpha_pow(i: u64) -> Gf32 {
+        Gf32(tables::alpha_pow_tables((i % 0xFFFF_FFFF) as u32))
+    }
+
+    /// Reference `alpha^i` via the compile-time square table —
+    /// O(popcount(i)) windowed multiplications.
+    ///
+    /// The seed implementation, kept as the oracle for [`Self::alpha_pow`]
+    /// equivalence tests and the "slow path" arm of the benchmarks.
+    pub fn alpha_pow_ref(i: u64) -> Gf32 {
         let mut acc = Gf32::ONE;
         let mut bits = i;
         while bits != 0 {
             let k = bits.trailing_zeros() as usize;
-            acc = acc.gf_mul(Gf32(ALPHA_POW2[k]));
+            acc = acc.mul_ref(Gf32(ALPHA_POW2[k]));
             bits &= bits - 1;
         }
         acc
@@ -135,6 +212,13 @@ impl Gf32 {
     /// Multiplicative inverse. Returns `None` for zero.
     ///
     /// Uses Fermat's little theorem: `a^(2^32 - 2) = a^-1`.
+    ///
+    /// ```
+    /// use chunks_gf::Gf32;
+    /// let a = Gf32::new(0xCAFE_BABE);
+    /// assert_eq!(a * a.inv().unwrap(), Gf32::ONE);
+    /// assert_eq!(Gf32::ZERO.inv(), None);
+    /// ```
     pub fn inv(self) -> Option<Gf32> {
         if self.is_zero() {
             None

@@ -67,4 +67,18 @@ proptest! {
         // Squaring is a field automorphism in characteristic 2.
         prop_assert_eq!((a + b) * (a + b), a * a + b * b);
     }
+
+    #[test]
+    fn mul_fast_matches_reference(a in elem(), b in elem()) {
+        // The table-driven fast path is bit-identical to the seed
+        // shift-and-XOR oracle over the whole input space.
+        prop_assert_eq!(a.mul_fast(b), a.mul_ref(b));
+    }
+
+    #[test]
+    fn alpha_pow_matches_reference(i in any::<u64>()) {
+        // Cached power tables (with mod-(2^32 - 1) exponent folding) agree
+        // with the seed square-and-multiply path for every u64 exponent.
+        prop_assert_eq!(Gf32::alpha_pow(i), Gf32::alpha_pow_ref(i));
+    }
 }

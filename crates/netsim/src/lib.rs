@@ -22,7 +22,7 @@ pub mod link;
 pub mod path;
 pub mod router;
 
+pub use link::MIN_REPACK_MTU;
 pub use link::{Link, LinkConfig, LinkStats, MultipathLink, RouteChangeLink};
 pub use path::{Hop, Path, PathBuilder};
-pub use link::MIN_REPACK_MTU;
 pub use router::{ChunkRouter, PacketTransform, Passthrough, RefragPolicy, TurnerDropper};

@@ -306,7 +306,9 @@ mod tests {
             .with_corrupt(0.1);
         let run = |seed| {
             let mut l = Link::new(cfg, seed);
-            (0..200).flat_map(|t| l.transmit(t * 10, frame(32))).collect::<Vec<_>>()
+            (0..200)
+                .flat_map(|t| l.transmit(t * 10, frame(32)))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));

@@ -310,7 +310,11 @@ mod tests {
             .build();
         let inputs: Vec<(u64, Vec<u8>)> = (0..1000).map(|i| (i, vec![0u8; 10])).collect();
         let out = p.run(inputs);
-        assert!(out.len() > 300 && out.len() < 700, "delivered {}", out.len());
+        assert!(
+            out.len() > 300 && out.len() < 700,
+            "delivered {}",
+            out.len()
+        );
         assert_eq!(p.hops()[0].link.stats().lost, 1000 - out.len() as u64);
     }
 

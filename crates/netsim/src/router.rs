@@ -349,10 +349,7 @@ mod tests {
 
         let mut one = ChunkRouter::new(big, RefragPolicy::OnePerPacket);
         let mut repack = ChunkRouter::new(big, RefragPolicy::Reassemble { window: 6 });
-        let out_one: Vec<_> = frames
-            .iter()
-            .flat_map(|f| one.ingest(f.clone()))
-            .collect();
+        let out_one: Vec<_> = frames.iter().flat_map(|f| one.ingest(f.clone())).collect();
         let mut out_re: Vec<_> = frames
             .iter()
             .flat_map(|f| repack.ingest(f.clone()))
@@ -435,17 +432,20 @@ mod tests {
             survivors += dropper
                 .ingest(f)
                 .iter()
-                .map(|f| unpack(&Packet { bytes: f.clone().into() }).unwrap().len())
+                .map(|f| {
+                    unpack(&Packet {
+                        bytes: f.clone().into(),
+                    })
+                    .unwrap()
+                    .len()
+                })
                 .sum::<usize>();
         }
         // The 5th non-condemned data chunk is TPDU 1's first chunk; the
         // rest of TPDU 1 then follows it into the bin.
         assert_eq!(dropper.victims, 1);
         assert_eq!(dropper.followers, 3, "the TPDU's other three chunks");
-        assert_eq!(
-            survivors as u64,
-            12 - dropper.victims - dropper.followers
-        );
+        assert_eq!(survivors as u64, 12 - dropper.victims - dropper.followers);
     }
 
     #[test]

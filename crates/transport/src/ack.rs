@@ -34,8 +34,7 @@ pub struct AckInfo {
 impl AckInfo {
     /// Encodes the ack payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out =
-            Vec::with_capacity(12 + self.sacks.len() * 8 + self.gaps.len() * 16);
+        let mut out = Vec::with_capacity(12 + self.sacks.len() * 8 + self.gaps.len() * 16);
         out.extend_from_slice(&self.cumulative.to_be_bytes());
         out.extend_from_slice(&(self.sacks.len() as u16).to_be_bytes());
         for s in &self.sacks {

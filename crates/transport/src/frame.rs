@@ -118,7 +118,10 @@ impl Framer {
         assert_eq!(data.len() % esize, 0, "data must be whole elements");
         let total_elements = (data.len() / esize) as u64;
         let covered: u64 = alf.iter().map(|f| f.len_elements as u64).sum::<u64>()
-            + self.open_alf.map(|(f, _)| f.len_elements as u64).unwrap_or(0);
+            + self
+                .open_alf
+                .map(|(f, _)| f.len_elements as u64)
+                .unwrap_or(0);
         // The last frame may extend past this call's data; it stays open and
         // is continued by the next call.
         assert!(covered >= total_elements, "ALF frames must cover the data");
@@ -140,8 +143,7 @@ impl Framer {
         let mut out = Vec::new();
         let mut consumed = 0u64; // elements consumed from `data`
         while consumed < total_elements {
-            let tpdu_len =
-                (self.params.tpdu_elements as u64).min(total_elements - consumed) as u32;
+            let tpdu_len = (self.params.tpdu_elements as u64).min(total_elements - consumed) as u32;
             let start = self.sent_elements;
             let t_id = self.next_t_id;
             self.next_t_id = self.next_t_id.wrapping_add(1);
@@ -183,6 +185,9 @@ impl Framer {
             }
 
             // ED chunk: WSC-2 over the invariant of exactly these chunks.
+            // The framer feeds them in order, so the streaming encoder under
+            // TpduInvariant keeps perfect cursor contiguity — the sender-side
+            // digest costs one Horner sweep over the TPDU.
             let mut inv = TpduInvariant::new(self.layout).expect("layout fits");
             for c in &chunks {
                 inv.absorb_chunk(&c.header, &c.payload)

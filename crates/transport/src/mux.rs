@@ -214,8 +214,14 @@ mod tests {
         assert_eq!(packets.len(), 1, "both connections share one envelope");
 
         let mut demux = ConnectionDemux::new();
-        demux.register(1, Receiver::new(DeliveryMode::Immediate, params(1), layout(), 256));
-        demux.register(2, Receiver::new(DeliveryMode::Immediate, params(2), layout(), 256));
+        demux.register(
+            1,
+            Receiver::new(DeliveryMode::Immediate, params(1), layout(), 256),
+        );
+        demux.register(
+            2,
+            Receiver::new(DeliveryMode::Immediate, params(2), layout(), 256),
+        );
         let events = demux.handle_packet(&packets[0], 0);
         let delivered: Vec<u32> = events
             .iter()
@@ -253,7 +259,10 @@ mod tests {
         assert_eq!(packets.len(), 1, "ack costs no extra packet");
 
         let mut demux = ConnectionDemux::new();
-        demux.register(3, Receiver::new(DeliveryMode::Immediate, params(3), layout(), 256));
+        demux.register(
+            3,
+            Receiver::new(DeliveryMode::Immediate, params(3), layout(), 256),
+        );
         let events = demux.handle_packet(&packets[0], 0);
         assert!(events.iter().any(|e| matches!(
             e,

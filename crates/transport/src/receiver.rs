@@ -15,6 +15,13 @@
 //! modes make the paper's §3.3 claim quantitative: immediate processing
 //! touches each byte once; physical reassembly touches it twice; reordering
 //! falls in between, depending on how much disorder the network produced.
+//!
+//! Per-group error detection runs through the streaming verification path:
+//! each group's [`TpduInvariant`] absorbs chunk payloads via
+//! `chunks_wsc::Wsc2Stream`, whose cached cursor weight makes contiguous
+//! element runs — the common case even under heavy fragmentation — cost one
+//! table multiply per run instead of an `alpha^position` exponentiation per
+//! element (see docs/ARCHITECTURE.md, "The hot path").
 
 use std::collections::HashMap;
 
@@ -189,11 +196,7 @@ impl Receiver {
             .delivered
             .iter()
             .map(|&s| {
-                let elements = self
-                    .groups
-                    .get(&s)
-                    .map(|g| g.elements)
-                    .unwrap_or_default();
+                let elements = self.groups.get(&s).map(|g| g.elements).unwrap_or_default();
                 (s, elements)
             })
             .collect();
@@ -305,9 +308,7 @@ impl Receiver {
                 let sublen = (hi - lo) as u32;
                 match chunks_core::frag::extract(&chunk, offset, sublen) {
                     Ok(piece) => events.extend(self.handle_data(piece, now)),
-                    Err(_) => {
-                        events.extend(self.group_failure(start, FailureReason::BadChunk))
-                    }
+                    Err(_) => events.extend(self.group_failure(start, FailureReason::BadChunk)),
                 }
             }
             return events;
@@ -418,8 +419,10 @@ impl Receiver {
 
     fn stage(&mut self, bytes: u64) {
         self.stats.buffered_bytes += bytes;
-        self.stats.peak_buffered_bytes =
-            self.stats.peak_buffered_bytes.max(self.stats.buffered_bytes);
+        self.stats.peak_buffered_bytes = self
+            .stats
+            .peak_buffered_bytes
+            .max(self.stats.buffered_bytes);
     }
 
     fn unstage(&mut self, bytes: u64) {
@@ -657,9 +660,13 @@ mod tests {
         for chunk in [t.ed.clone(), c, b, a] {
             events.extend(r.handle_chunk(chunk, 0));
         }
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, RxEvent::TpduDelivered { start: 0, elements: 8 })));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            RxEvent::TpduDelivered {
+                start: 0,
+                elements: 8
+            }
+        )));
         assert_eq!(&r.app_data()[..8], b"abcdefgh");
         assert_eq!(r.stats.data_touches, 8, "still one touch per byte");
     }
@@ -787,7 +794,7 @@ mod tests {
     fn ack_reflects_verified_prefix_and_sacks() {
         let mut r = rx(DeliveryMode::Immediate);
         let tpdus = framed(&[7u8; 24]); // three TPDUs of 8
-        // Deliver TPDU 0 and TPDU 2, skip TPDU 1.
+                                        // Deliver TPDU 0 and TPDU 2, skip TPDU 1.
         for t in [&tpdus[0], &tpdus[2]] {
             for c in t.all_chunks() {
                 r.handle_chunk(c, 0);
@@ -802,7 +809,7 @@ mod tests {
     fn csn_corruption_is_cross_group_consistency_failure() {
         let mut r = rx(DeliveryMode::Immediate);
         let tpdus = framed(&[7u8; 16]); // two TPDUs of 8
-        // Deliver TPDU 0 intact.
+                                        // Deliver TPDU 0 intact.
         for c in tpdus[0].all_chunks() {
             r.handle_chunk(c, 0);
         }
@@ -883,8 +890,7 @@ mod tests {
     #[test]
     fn connection_close_event() {
         let mut r = rx(DeliveryMode::Immediate);
-        let tpdus =
-            Framer::new(params(), layout()).frame_simple(b"abcdefgh", 0xF, true);
+        let tpdus = Framer::new(params(), layout()).frame_simple(b"abcdefgh", 0xF, true);
         let mut events = Vec::new();
         for c in tpdus[0].all_chunks() {
             events.extend(r.handle_chunk(c, 0));

@@ -245,8 +245,8 @@ impl Sender {
 
     /// Success feedback: grow the TPDU size additively.
     pub fn on_success(&mut self) {
-        self.tpdu_elements = (self.tpdu_elements + self.cfg.min_tpdu_elements)
-            .min(self.cfg.max_tpdu_elements);
+        self.tpdu_elements =
+            (self.tpdu_elements + self.cfg.min_tpdu_elements).min(self.cfg.max_tpdu_elements);
     }
 }
 

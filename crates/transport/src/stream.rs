@@ -141,7 +141,11 @@ impl StreamReceiver {
         self.advance();
     }
 
-    fn group_entry(groups: &mut BTreeMap<u64, Group>, layout: InvariantLayout, start: u64) -> &mut Group {
+    fn group_entry(
+        groups: &mut BTreeMap<u64, Group>,
+        layout: InvariantLayout,
+        start: u64,
+    ) -> &mut Group {
         groups.entry(start).or_insert_with(|| Group {
             tracker: PduTracker::new(),
             inv: TpduInvariant::new(layout).expect("layout fits"),
@@ -186,9 +190,7 @@ impl StreamReceiver {
             self.stats.duplicate_chunks += 1;
             for (lo, hi) in uncovered {
                 let off = (lo - h.tpdu.sn as u64) as u32;
-                if let Ok(piece) =
-                    chunks_core::frag::extract(&chunk, off, (hi - lo) as u32)
-                {
+                if let Ok(piece) = chunks_core::frag::extract(&chunk, off, (hi - lo) as u32) {
                     self.handle_data(piece);
                 }
             }
@@ -271,7 +273,8 @@ impl StreamReceiver {
             let esize = self.params.elem_size as usize;
             for e in 0..elements {
                 let slot = ((self.base_abs + e) % self.window) as usize * esize;
-                self.outbox.extend_from_slice(&self.ring[slot..slot + esize]);
+                self.outbox
+                    .extend_from_slice(&self.ring[slot..slot + esize]);
             }
             self.stats.delivered_bytes += elements * esize as u64;
             self.groups.remove(&start);
@@ -467,7 +470,10 @@ mod tests {
             rx.handle_chunk(c, 0);
         }
         assert_eq!(rx.stats.tpdus_failed, 1);
-        assert!(rx.poll_delivered().is_empty(), "nothing may pass the bad TPDU");
+        assert!(
+            rx.poll_delivered().is_empty(),
+            "nothing may pass the bad TPDU"
+        );
         // Retransmission with identical labels recovers the stream.
         assert_eq!(rx.failed_starts(), vec![0]);
         rx.reset_group(0);

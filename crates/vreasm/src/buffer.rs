@@ -149,7 +149,10 @@ mod tests {
         let mut b = ReassemblyBuffer::new(100);
         assert_eq!(b.offer(1, 0, 40, false), BufferEvent::Stored);
         assert_eq!(b.used(), 40);
-        assert_eq!(b.offer(1, 40, 40, true), BufferEvent::Completed { bytes: 80 });
+        assert_eq!(
+            b.offer(1, 40, 40, true),
+            BufferEvent::Completed { bytes: 80 }
+        );
         assert_eq!(b.used(), 0);
         assert_eq!(b.completed, 1);
     }
@@ -173,7 +176,10 @@ mod tests {
         assert_eq!(b.offer(1, 0, 30, false), BufferEvent::Stored);
         assert_eq!(b.offer(2, 0, 30, false), BufferEvent::Stored);
         // Buffer is full, but PDU 1's tail completes it and frees space.
-        assert_eq!(b.offer(1, 30, 30, true), BufferEvent::Completed { bytes: 60 });
+        assert_eq!(
+            b.offer(1, 30, 30, true),
+            BufferEvent::Completed { bytes: 60 }
+        );
         assert_eq!(b.used(), 30);
     }
 

@@ -103,12 +103,7 @@ impl PduTracker {
             Some(end) => self.received.gaps(end),
             None => {
                 // Without the stop bit we only know about interior gaps.
-                let last = self
-                    .received
-                    .ranges()
-                    .last()
-                    .map(|&(_, e)| e)
-                    .unwrap_or(0);
+                let last = self.received.ranges().last().map(|&(_, e)| e).unwrap_or(0);
                 self.received.gaps(last)
             }
         }

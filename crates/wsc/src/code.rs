@@ -43,8 +43,8 @@ pub const MAX_SYMBOLS: u64 = (1 << 29) - 2;
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct Wsc2 {
-    p0: Gf32,
-    p1: Gf32,
+    pub(crate) p0: Gf32,
+    pub(crate) p1: Gf32,
 }
 
 impl Wsc2 {
@@ -110,6 +110,43 @@ impl Wsc2 {
         }
         self.p0 += p0;
         self.p1 += Gf32::alpha_pow(start) * horner;
+    }
+
+    /// Reference-path [`Self::add_symbol`]: identical result via the seed
+    /// bit-serial field arithmetic ([`Gf32::alpha_pow_ref`] /
+    /// [`Gf32::mul_ref`]).
+    ///
+    /// Kept as the honest "slow path" arm for the `codes` and `invariant`
+    /// benchmarks and for cross-checking the table-driven path. Use
+    /// [`Self::add_symbol`] in real code.
+    pub fn add_symbol_ref(&mut self, i: u64, d: u32) {
+        debug_assert!(i < MAX_SYMBOLS, "symbol position {i} outside code space");
+        let d = Gf32::new(d);
+        self.p0 += d;
+        self.p1 += Gf32::alpha_pow_ref(i).mul_ref(d);
+    }
+
+    /// Reference-path [`Self::add_bytes`]: identical result via the seed
+    /// bit-serial field arithmetic. See [`Self::add_symbol_ref`].
+    pub fn add_bytes_ref(&mut self, start: u64, bytes: &[u8]) {
+        let mut p0 = Gf32::ZERO;
+        let mut horner = Gf32::ZERO;
+        let mut iter = bytes.chunks_exact(4);
+        let rem = iter.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 4];
+            word[..rem.len()].copy_from_slice(rem);
+            let d = Gf32::new(u32::from_be_bytes(word));
+            horner = d;
+            p0 += d;
+        }
+        for group in iter.by_ref().rev() {
+            let d = Gf32::new(u32::from_be_bytes([group[0], group[1], group[2], group[3]]));
+            horner = horner.mul_alpha() + d;
+            p0 += d;
+        }
+        self.p0 += p0;
+        self.p1 += Gf32::alpha_pow_ref(start).mul_ref(horner);
     }
 
     /// Number of symbols `n` bytes occupy.
@@ -267,6 +304,18 @@ mod tests {
         rx.add_symbols(0, &[10, 20, 30]);
         rx.combine(&tx);
         assert!(rx.is_zero());
+    }
+
+    #[test]
+    fn reference_paths_agree_with_fast_paths() {
+        let bytes: Vec<u8> = (0u8..23).map(|x| x.wrapping_mul(37)).collect();
+        let mut fast = Wsc2::new();
+        fast.add_bytes(12_345, &bytes);
+        fast.add_symbol(1 << 20, 0xFEED_FACE);
+        let mut slow = Wsc2::new();
+        slow.add_bytes_ref(12_345, &bytes);
+        slow.add_symbol_ref(1 << 20, 0xFEED_FACE);
+        assert_eq!(fast, slow);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::code::{Wsc2, MAX_SYMBOLS};
+use crate::stream::Wsc2Stream;
 
 /// Geometry of the invariant's code space.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -113,10 +114,16 @@ impl Error for InvariantError {}
 
 /// Incrementally accumulates the invariant of one TPDU from its chunks,
 /// arriving in any order and fragmented arbitrarily.
+///
+/// Built on [`Wsc2Stream`]: a chunk's elements occupy consecutive symbol
+/// positions, so after the first element each one reuses the stream's
+/// cached cursor weight instead of recomputing `alpha^position` from
+/// scratch — and when chunks themselves arrive in order, the contiguity
+/// extends across chunk boundaries too.
 #[derive(Clone, Debug)]
 pub struct TpduInvariant {
     layout: InvariantLayout,
-    wsc: Wsc2,
+    wsc: Wsc2Stream,
     ids: Option<(u32, u32)>, // (T.ID, C.ID), encoded exactly once
 }
 
@@ -128,7 +135,7 @@ impl TpduInvariant {
         }
         Ok(TpduInvariant {
             layout,
-            wsc: Wsc2::new(),
+            wsc: Wsc2Stream::new(),
             ids: None,
         })
     }
@@ -180,15 +187,6 @@ impl TpduInvariant {
             }
         }
 
-        // Data symbols at element-determined positions: order-independent
-        // and unchanged by any Appendix C split. Each SIZE-byte element maps
-        // to its own `spe` symbol positions (zero-padded), so the position of
-        // a byte depends only on its element's T.SN — never on which chunk
-        // carried it.
-        for (e, element) in payload.chunks(header.size as usize).enumerate() {
-            self.wsc.add_bytes((first + e as u64) * spe, element);
-        }
-
         // C.ST: set at most once per TPDU, encoded as symbol value 1.
         if header.conn.st {
             self.wsc.add_symbol(self.layout.cst_pos(), 1);
@@ -203,12 +201,30 @@ impl TpduInvariant {
             self.wsc.add_symbol(base, header.ext.id);
             self.wsc.add_symbol(base + 1, header.ext.st as u32);
         }
+
+        // Data symbols at element-determined positions: order-independent
+        // and unchanged by any Appendix C split. Each SIZE-byte element maps
+        // to its own `spe` symbol positions (zero-padded), so the position of
+        // a byte depends only on its element's T.SN — never on which chunk
+        // carried it. Absorbed last so the stream cursor ends at the chunk's
+        // final data symbol: the next in-order chunk continues contiguously.
+        if header.size as u64 == spe * 4 {
+            // SIZE is a whole number of symbols: the chunk's payload is one
+            // contiguous run with no per-element padding.
+            self.wsc.add_bytes(first * spe, payload);
+        } else {
+            // Padded elements: one run per element, each starting exactly at
+            // the stream cursor, so only the first pays a cursor seek.
+            for (e, element) in payload.chunks(header.size as usize).enumerate() {
+                self.wsc.add_bytes((first + e as u64) * spe, element);
+            }
+        }
         Ok(())
     }
 
     /// The accumulated WSC-2 value.
     pub fn code(&self) -> Wsc2 {
-        self.wsc
+        self.wsc.code()
     }
 
     /// Wire digest of the accumulated value (the ED chunk payload).

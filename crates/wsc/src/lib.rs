@@ -18,10 +18,25 @@
 //! Module [`compare`] provides CRC-32 and the Internet checksum as
 //! comparators for the evaluation (experiment B4): the Internet checksum is
 //! order-independent but weak; CRC-32 is strong but order-dependent.
+//!
+//! # Fast path vs. reference path
+//!
+//! The hot verification path is [`Wsc2Stream`] (module [`stream`]): it feeds
+//! disordered `(position, symbols)` runs through the table-driven GF(2^32)
+//! arithmetic of `chunks_gf`, caching the weight of the cursor position so
+//! contiguous runs never recompute `alpha^position`. [`TpduInvariant`] is
+//! built on it. The one-shot [`Wsc2`] API stays as the simple entry point,
+//! and its `*_ref` methods ([`Wsc2::add_bytes_ref`], [`Wsc2::add_symbol_ref`])
+//! preserve the seed bit-serial path as the oracle the property tests and
+//! the `codes`/`invariant` benchmarks compare against.
+
+#![deny(missing_docs)]
 
 pub mod code;
 pub mod compare;
 pub mod invariant;
+pub mod stream;
 
 pub use code::{Wsc2, MAX_SYMBOLS};
 pub use invariant::{InvariantError, InvariantLayout, TpduInvariant};
+pub use stream::Wsc2Stream;

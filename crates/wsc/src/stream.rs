@@ -1,0 +1,299 @@
+//! Streaming WSC-2 encoder for disordered runs of symbols.
+//!
+//! [`Wsc2`]'s one-shot entry points pay one `alpha^start` exponentiation per
+//! call. That is the right shape for whole messages, but the TPDU invariant
+//! feeds the code *element by element* — thousands of tiny runs whose
+//! positions are usually consecutive. [`Wsc2Stream`] keeps a **cursor** (the
+//! position one past the last symbol absorbed) and a **cached weight**
+//! `alpha^cursor`, so a run that starts exactly at the cursor — the common
+//! case for in-order chunk payloads — costs one Horner sweep (a shift and
+//! conditional fold per symbol) plus a single table multiply, with *no*
+//! exponentiation at all. Disordered arrivals just reseat the cursor with one
+//! table-driven [`Gf32::alpha_pow`] and continue.
+//!
+//! Because the parities are sums, independently accumulated streams over
+//! disjoint position sets can be [`fold`](Wsc2Stream::fold)ed into one; the
+//! result is identical to a single in-order pass.
+
+use chunks_gf::Gf32;
+
+use crate::code::{Wsc2, MAX_SYMBOLS};
+
+/// Incremental WSC-2 encoder over `(position, symbols)` runs arriving in any
+/// order.
+///
+/// Produces bit-identical parities to [`Wsc2`]; the difference is purely
+/// cost: contiguous runs reuse the cached cursor weight instead of
+/// recomputing `alpha^start` from scratch.
+///
+/// ```
+/// use chunks_wsc::{Wsc2, Wsc2Stream};
+///
+/// // One-shot reference over the whole message.
+/// let mut one_shot = Wsc2::new();
+/// one_shot.add_bytes(0, b"abcdefgh");
+///
+/// // The same message as disordered fragments through the stream.
+/// let mut stream = Wsc2Stream::new();
+/// stream.add_bytes(1, b"efgh"); // symbols 1..3 arrive first
+/// stream.add_bytes(0, b"abcd");
+/// assert_eq!(stream.digest(), one_shot.digest());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Wsc2Stream {
+    acc: Wsc2,
+    /// The position one past the last absorbed symbol.
+    cursor: u64,
+    /// Cached `alpha^cursor`.
+    weight: Gf32,
+}
+
+impl Default for Wsc2Stream {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Wsc2Stream {
+    /// Short cursor moves step the cached weight with per-symbol
+    /// `mul_alpha` shifts; anything longer pays one table exponentiation.
+    const STEP_LIMIT: u64 = 16;
+
+    /// A fresh stream positioned at symbol 0.
+    pub fn new() -> Self {
+        Wsc2Stream {
+            acc: Wsc2::new(),
+            cursor: 0,
+            weight: Gf32::ONE,
+        }
+    }
+
+    /// Moves the cursor to `pos` and returns `alpha^pos`.
+    ///
+    /// Contiguous input (`pos == cursor`) is free; a short forward hop is a
+    /// few shifts; everything else is one table `alpha_pow`.
+    #[inline]
+    fn seek(&mut self, pos: u64) -> Gf32 {
+        if pos != self.cursor {
+            if pos > self.cursor && pos - self.cursor <= Self::STEP_LIMIT {
+                for _ in 0..pos - self.cursor {
+                    self.weight = self.weight.mul_alpha();
+                }
+            } else {
+                self.weight = Gf32::alpha_pow(pos);
+            }
+            self.cursor = pos;
+        }
+        self.weight
+    }
+
+    /// Advances the cursor past `n` just-absorbed symbols, keeping the
+    /// cached weight in sync.
+    #[inline]
+    fn advance(&mut self, n: u64) {
+        self.cursor += n;
+        if n <= Self::STEP_LIMIT {
+            for _ in 0..n {
+                self.weight = self.weight.mul_alpha();
+            }
+        } else {
+            self.weight = Gf32::alpha_pow(self.cursor);
+        }
+    }
+
+    /// Absorbs (or removes — characteristic 2) one symbol at position `i`.
+    ///
+    /// # Panics
+    /// Panics in debug builds when `i` exceeds [`MAX_SYMBOLS`].
+    #[inline]
+    pub fn add_symbol(&mut self, i: u64, d: u32) {
+        debug_assert!(i < MAX_SYMBOLS, "symbol position {i} outside code space");
+        let w = self.seek(i);
+        let d = Gf32::new(d);
+        self.acc.p0 += d;
+        self.acc.p1 += w * d;
+        self.advance(1);
+    }
+
+    /// Absorbs a run of symbols at consecutive positions starting at
+    /// `start`. Backward Horner over the run, then one multiply by the
+    /// cursor weight.
+    pub fn add_symbols(&mut self, start: u64, data: &[u32]) {
+        if data.is_empty() {
+            return;
+        }
+        debug_assert!(start + data.len() as u64 <= MAX_SYMBOLS);
+        let mut p0 = Gf32::ZERO;
+        let mut horner = Gf32::ZERO;
+        for &d in data.iter().rev() {
+            let d = Gf32::new(d);
+            horner = horner.mul_alpha() + d;
+            p0 += d;
+        }
+        let w = self.seek(start);
+        self.acc.p0 += p0;
+        self.acc.p1 += w * horner;
+        self.advance(data.len() as u64);
+    }
+
+    /// Absorbs raw bytes as big-endian 32-bit symbols at consecutive
+    /// positions starting at `start`; a trailing partial symbol is
+    /// zero-padded on the right, exactly like [`Wsc2::add_bytes`].
+    pub fn add_bytes(&mut self, start: u64, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        let n = Wsc2::symbols_for_bytes(bytes.len());
+        debug_assert!(start + n <= MAX_SYMBOLS);
+        let mut p0 = Gf32::ZERO;
+        let mut horner = Gf32::ZERO;
+        let mut iter = bytes.chunks_exact(4);
+        let rem = iter.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 4];
+            word[..rem.len()].copy_from_slice(rem);
+            let d = Gf32::new(u32::from_be_bytes(word));
+            horner = d;
+            p0 += d;
+        }
+        for group in iter.by_ref().rev() {
+            let d = Gf32::new(u32::from_be_bytes([group[0], group[1], group[2], group[3]]));
+            horner = horner.mul_alpha() + d;
+            p0 += d;
+        }
+        let w = self.seek(start);
+        self.acc.p0 += p0;
+        self.acc.p1 += w * horner;
+        self.advance(n);
+    }
+
+    /// Folds in a stream accumulated over a *disjoint* set of positions
+    /// (parities are sums). This stream's cursor is kept, so contiguous
+    /// input can continue where it left off.
+    ///
+    /// ```
+    /// use chunks_wsc::{Wsc2, Wsc2Stream};
+    /// let mut whole = Wsc2::new();
+    /// whole.add_bytes(0, b"spliced from two halves");
+    ///
+    /// let mut left = Wsc2Stream::new();
+    /// left.add_bytes(0, b"spliced from");
+    /// let mut right = Wsc2Stream::new();
+    /// right.add_bytes(3, b" two halves"); // 12 bytes = 3 symbols in `left`
+    /// left.fold(&right);
+    /// assert_eq!(left.digest(), whole.digest());
+    /// ```
+    pub fn fold(&mut self, other: &Wsc2Stream) {
+        self.acc.combine(&other.acc);
+    }
+
+    /// The position one past the last absorbed symbol — where contiguous
+    /// input would continue for free.
+    pub fn position(&self) -> u64 {
+        self.cursor
+    }
+
+    /// The accumulated code value.
+    pub fn code(&self) -> Wsc2 {
+        self.acc
+    }
+
+    /// Consumes the stream, returning the accumulated code value.
+    pub fn finish(self) -> Wsc2 {
+        self.acc
+    }
+
+    /// Wire digest of the accumulated value (`P0 || P1`, big-endian).
+    pub fn digest(&self) -> [u8; 8] {
+        self.acc.digest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_one_shot_in_order() {
+        let bytes: Vec<u8> = (0u16..257).map(|x| (x * 7) as u8).collect();
+        let mut reference = Wsc2::new();
+        reference.add_bytes(0, &bytes);
+        let mut stream = Wsc2Stream::new();
+        for piece in bytes.chunks(4) {
+            let pos = stream.position();
+            stream.add_bytes(pos, piece);
+        }
+        assert_eq!(stream.code(), reference);
+    }
+
+    #[test]
+    fn matches_one_shot_disordered() {
+        let bytes: Vec<u8> = (0u8..96).collect();
+        let mut reference = Wsc2::new();
+        reference.add_bytes(5, &bytes);
+        // Feed 8-byte (2-symbol) runs back to front.
+        let mut stream = Wsc2Stream::new();
+        for (k, piece) in bytes.chunks(8).enumerate().rev() {
+            stream.add_bytes(5 + 2 * k as u64, piece);
+        }
+        assert_eq!(stream.code(), reference);
+    }
+
+    #[test]
+    fn symbol_paths_agree() {
+        let data = [0xDEAD_BEEFu32, 0x0123_4567, 0x89AB_CDEF];
+        let mut a = Wsc2Stream::new();
+        a.add_symbols(1000, &data);
+        let mut b = Wsc2Stream::new();
+        for (k, &d) in data.iter().enumerate() {
+            b.add_symbol(1000 + k as u64, d);
+        }
+        let mut c = Wsc2::new();
+        c.add_symbols(1000, &data);
+        assert_eq!(a.code(), c);
+        assert_eq!(b.code(), c);
+    }
+
+    #[test]
+    fn long_jump_reseats_cursor() {
+        let mut stream = Wsc2Stream::new();
+        stream.add_symbol(0, 7);
+        stream.add_symbol(1_000_000, 9); // far beyond STEP_LIMIT
+        stream.add_symbol(3, 11); // backwards
+        let mut reference = Wsc2::new();
+        reference.add_symbol(0, 7);
+        reference.add_symbol(1_000_000, 9);
+        reference.add_symbol(3, 11);
+        assert_eq!(stream.code(), reference);
+    }
+
+    #[test]
+    fn fold_of_disjoint_partials() {
+        let bytes: Vec<u8> = (0u8..64).collect();
+        let mut whole = Wsc2::new();
+        whole.add_bytes(0, &bytes);
+
+        let mut parts: Vec<Wsc2Stream> = Vec::new();
+        for (k, piece) in bytes.chunks(16).enumerate() {
+            let mut s = Wsc2Stream::new();
+            s.add_bytes(4 * k as u64, piece);
+            parts.push(s);
+        }
+        // Fold in an arbitrary order.
+        parts.swap(0, 3);
+        let mut acc = Wsc2Stream::new();
+        for p in &parts {
+            acc.fold(p);
+        }
+        assert_eq!(acc.finish(), whole);
+    }
+
+    #[test]
+    fn empty_runs_are_noops() {
+        let mut stream = Wsc2Stream::new();
+        stream.add_bytes(10, &[]);
+        stream.add_symbols(10, &[]);
+        assert!(stream.code().is_zero());
+        assert_eq!(stream.position(), 0);
+    }
+}

@@ -6,21 +6,21 @@ use bytes::Bytes;
 use chunks_core::chunk::{Chunk, ChunkHeader};
 use chunks_core::frag::split;
 use chunks_core::label::FramingTuple;
-use chunks_wsc::{InvariantLayout, TpduInvariant, Wsc2};
+use chunks_wsc::{InvariantLayout, TpduInvariant, Wsc2, Wsc2Stream};
 use proptest::prelude::*;
 
 /// A whole TPDU as a single chunk with randomized labels and ST bits.
 fn whole_tpdu() -> impl Strategy<Value = Chunk> {
     (
-        1u16..=8,                     // SIZE
-        2u32..=48,                    // LEN
-        any::<u32>(),                 // C.ID
-        any::<u32>(),                 // C.SN base
-        any::<u32>(),                 // T.ID
-        any::<u32>(),                 // X.ID
-        any::<u32>(),                 // X.SN base
-        any::<bool>(),                // C.ST
-        any::<bool>(),                // X.ST
+        1u16..=8,      // SIZE
+        2u32..=48,     // LEN
+        any::<u32>(),  // C.ID
+        any::<u32>(),  // C.SN base
+        any::<u32>(),  // T.ID
+        any::<u32>(),  // X.ID
+        any::<u32>(),  // X.SN base
+        any::<bool>(), // C.ST
+        any::<bool>(), // X.ST
         proptest::collection::vec(any::<u8>(), 8 * 48),
     )
         .prop_map(
@@ -151,6 +151,81 @@ proptest! {
         right.add_symbols(cut as u64, &data[cut..]);
         left.combine(&right);
         prop_assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn stream_folded_in_any_order_matches_one_shot(
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        cuts in proptest::collection::vec(0.01f64..0.99, 0..6),
+        seed in any::<u64>(),
+    ) {
+        // One-shot reference over the whole byte run.
+        let mut one_shot = Wsc2::new();
+        one_shot.add_bytes(0, &data);
+
+        // Cut the run at symbol boundaries into disjoint pieces.
+        let n_sym = Wsc2::symbols_for_bytes(data.len()) as usize;
+        let mut bounds: Vec<usize> = cuts
+            .iter()
+            .map(|f| ((n_sym as f64 * f) as usize).min(n_sym))
+            .collect();
+        bounds.push(0);
+        bounds.push(n_sym);
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        // Accumulate each piece in its own stream, then fold the partial
+        // states together in a seed-driven pseudo-random order.
+        let mut parts: Vec<Wsc2Stream> = bounds
+            .windows(2)
+            .map(|w| {
+                let (lo, hi) = (w[0] * 4, (w[1] * 4).min(data.len()));
+                let mut s = Wsc2Stream::new();
+                s.add_bytes(w[0] as u64, &data[lo..hi]);
+                s
+            })
+            .collect();
+        let n = parts.len();
+        for i in 0..n {
+            let j = (seed.wrapping_add((i as u64) * 2654435761) % n as u64) as usize;
+            parts.swap(i, j);
+        }
+        let mut acc = Wsc2Stream::new();
+        for p in &parts {
+            acc.fold(p);
+        }
+        prop_assert_eq!(acc.finish(), one_shot);
+    }
+
+    #[test]
+    fn stream_matches_wsc2_on_disordered_runs(
+        runs in proptest::collection::vec(
+            (0u64..10_000, proptest::collection::vec(any::<u8>(), 1..32)),
+            1..24,
+        ),
+    ) {
+        // Place each run on its own 8-symbol-aligned stride so runs never
+        // overlap (duplicated positions model duplicated data, which the
+        // receiver rejects before absorbing).
+        let placed: Vec<(u64, &[u8])> = runs
+            .iter()
+            .enumerate()
+            .map(|(k, (jitter, bytes))| {
+                let slack = 8 - Wsc2::symbols_for_bytes(bytes.len()).min(7);
+                ((k as u64) * 8 + jitter % slack, bytes.as_slice())
+            })
+            .collect();
+        let mut one_shot = Wsc2::new();
+        for &(start, bytes) in &placed {
+            one_shot.add_bytes(start, bytes);
+        }
+        // The stream sees the same runs back to front: every run arrives at
+        // a position *before* the cursor, exercising the reseat path.
+        let mut stream = Wsc2Stream::new();
+        for &(start, bytes) in placed.iter().rev() {
+            stream.add_bytes(start, bytes);
+        }
+        prop_assert_eq!(stream.code(), one_shot);
     }
 }
 

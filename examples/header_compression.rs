@@ -10,8 +10,8 @@
 //! ```
 
 use chunks::core::compress::{
-    decode_header_form, decode_packet_delta, encode_header_form, encode_packet_delta,
-    implicit_tid, HeaderForm, SignalledContext,
+    decode_header_form, decode_packet_delta, encode_header_form, encode_packet_delta, implicit_tid,
+    HeaderForm, SignalledContext,
 };
 use chunks::core::frag::split;
 use chunks::core::label::ChunkType;
@@ -49,7 +49,10 @@ fn main() {
     let mut ctx = SignalledContext::new();
     ctx.signal_size(ChunkType::Data, 1); // SIZE signalled at establishment
 
-    println!("header forms for one chunk (payload {} B):", chunk.payload.len());
+    println!(
+        "header forms for one chunk (payload {} B):",
+        chunk.payload.len()
+    );
     for (name, form) in [
         ("full fixed-field ", HeaderForm::Full),
         ("implicit T.ID    ", HeaderForm::ImplicitTid),

@@ -40,7 +40,10 @@ fn main() {
     );
 
     for (name, regrow_policy) in [
-        ("method 1 (one chunk per packet)", RefragPolicy::OnePerPacket),
+        (
+            "method 1 (one chunk per packet)",
+            RefragPolicy::OnePerPacket,
+        ),
         ("method 2 (combine chunks)", RefragPolicy::Repack),
         (
             "method 3 (reassemble in network)",
@@ -58,7 +61,11 @@ fn main() {
         // Router into the small network always splits/repacks.
         let mut shrink = ChunkRouter::new(hops[1], RefragPolicy::Repack);
         frames = frames.drain(..).flat_map(|f| shrink.ingest(f)).collect();
-        print!(" -> {} small frames (router split {} chunks)", frames.len(), shrink.splits);
+        print!(
+            " -> {} small frames (router split {} chunks)",
+            frames.len(),
+            shrink.splits
+        );
 
         // Router back into the large network applies the chosen method.
         let mut grow = ChunkRouter::new(hops[2], regrow_policy);

@@ -54,7 +54,11 @@ fn main() {
             assert!(rounds < 20, "burst did not converge");
             seed = seed.wrapping_add(1);
             let mut path = PathBuilder::new(seed)
-                .multipath(4, LinkConfig::clean(1500, 50_000, 622_000_000).with_loss(0.01), 40_000)
+                .multipath(
+                    4,
+                    LinkConfig::clean(1500, 50_000, 622_000_000).with_loss(0.01),
+                    40_000,
+                )
                 .build();
             let inputs = pending
                 .iter()

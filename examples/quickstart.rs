@@ -5,9 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use chunks::transport::{
-    ConnectionParams, DeliveryMode, Receiver, RxEvent, Sender, SenderConfig,
-};
+use chunks::transport::{ConnectionParams, DeliveryMode, Receiver, RxEvent, Sender, SenderConfig};
 use chunks::wsc::InvariantLayout;
 
 fn main() {

@@ -1,0 +1,27 @@
+# Lint and verification recipes. Everything runs offline — the external
+# dependencies are vendored (see vendor/ and [patch.crates-io]).
+# Each recipe is a plain cargo command, so `just` itself is optional.
+
+# Full lint gate: formatting, clippy, rustdoc — all warnings denied.
+check: fmt clippy doc
+
+# Formatting only, no changes written.
+fmt:
+    cargo fmt --all --check
+
+# Clippy across the workspace, warnings as errors.
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Rustdoc with warnings denied (deny(missing_docs) holds on gf and wsc).
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+# Tier-1: what the repo must always pass (see ROADMAP.md).
+test:
+    cargo build --release
+    cargo test -q
+
+# Regenerate the BENCH_wsc.json fast-path snapshot at the repo root.
+bench-wsc:
+    cargo bench -p chunks-bench --bench invariant

@@ -98,8 +98,23 @@ fn print_fig(f: figures::FigureResult) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = [
-        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "appendixb", "b1",
-        "b2", "b3", "b4", "b5", "b6", "b7", "b8",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "table1",
+        "appendixb",
+        "b1",
+        "b2",
+        "b3",
+        "b4",
+        "b5",
+        "b6",
+        "b7",
+        "b8",
     ];
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         all.to_vec()

@@ -44,9 +44,8 @@ fn cell(s: FieldSupport) -> &'static str {
 
 /// Builds the rendered table.
 pub fn run() -> AppendixB {
-    let mut text = String::from(
-        "  protocol  TYPE  C(id,sn,st)  T(id,sn,st)  X(id,sn,st)  LEN  misorder?\n",
-    );
+    let mut text =
+        String::from("  protocol  TYPE  C(id,sn,st)  T(id,sn,st)  X(id,sn,st)  LEN  misorder?\n");
     for row in COMPARISON {
         text.push_str(&format!(
             "  {:<9} {:>4}  {:>3} {} {} {:>6} {} {} {:>6} {} {} {:>6}  {}\n",

@@ -137,8 +137,11 @@ pub fn run(pdus: usize, pdu_bytes: usize, loss: f64, seed: u64) -> B3Result {
         for c in &chunk_arrivals {
             let t = trackers.entry(c.header.tpdu.id).or_default();
             let was_complete = t.is_complete();
-            if t.offer(c.header.tpdu.sn as u64, c.header.len as u64, c.header.tpdu.st)
-                == chunks_vreasm::TrackEvent::Accepted
+            if t.offer(
+                c.header.tpdu.sn as u64,
+                c.header.len as u64,
+                c.header.tpdu.st,
+            ) == chunks_vreasm::TrackEvent::Accepted
             {
                 let base = c.header.tpdu.id as usize * pdu_bytes + c.header.tpdu.sn as usize;
                 app[base..base + c.payload.len()].copy_from_slice(&c.payload);

@@ -41,14 +41,22 @@ impl fmt::Display for B4Result {
             "=== B4 — error detection codes over {} MiB ===",
             self.buffer_bytes >> 20
         )?;
-        writeln!(f, "  {:<20} {:>10} {:>22}", "code", "MB/s", "disordered data?")?;
+        writeln!(
+            f,
+            "  {:<20} {:>10} {:>22}",
+            "code", "MB/s", "disordered data?"
+        )?;
         for (name, mbps, disordered) in &self.throughput {
             writeln!(
                 f,
                 "  {:<20} {:>10.0} {:>22}",
                 name,
                 mbps,
-                if *disordered { "yes" } else { "no (must buffer)" }
+                if *disordered {
+                    "yes"
+                } else {
+                    "no (must buffer)"
+                }
             )?;
         }
         writeln!(

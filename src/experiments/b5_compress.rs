@@ -10,8 +10,8 @@ use std::fmt;
 
 use chunks_core::chunk::Chunk;
 use chunks_core::compress::{
-    decode_header_form, decode_packet_delta, encode_header_form, encode_packet_delta,
-    implicit_tid, HeaderForm, SignalledContext, SnRegenDecoder, SnRegenEncoder,
+    decode_header_form, decode_packet_delta, encode_header_form, encode_packet_delta, implicit_tid,
+    HeaderForm, SignalledContext, SnRegenDecoder, SnRegenEncoder,
 };
 use chunks_core::label::ChunkType;
 use chunks_core::wire::WIRE_HEADER_LEN;

@@ -182,11 +182,7 @@ pub fn run(tpdus: u64) -> B7Result {
     let frames: Vec<Vec<u8>> = framed
         .iter()
         .flat_map(|t| t.chunks.iter())
-        .map(|c| {
-            pack(vec![c.clone()], 1 << 12).unwrap()[0]
-                .bytes
-                .to_vec()
-        })
+        .map(|c| pack(vec![c.clone()], 1 << 12).unwrap()[0].bytes.to_vec())
         .collect();
 
     let mut naive = NaiveDropper {

@@ -42,7 +42,11 @@ impl fmt::Display for B8Result {
             f,
             "=== B8 — virtual-reassembly gap-list budget vs multipath disorder ==="
         )?;
-        writeln!(f, "  {:>6} {:>8} {:>10} {:>10} {:>9}", "paths", "budget", "refused", "offered", "rate")?;
+        writeln!(
+            f,
+            "  {:>6} {:>8} {:>10} {:>10} {:>9}",
+            "paths", "budget", "refused", "offered", "rate"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -108,8 +112,11 @@ fn run_cell(paths: usize, budget: usize, seed: u64) -> B8Row {
             let t = trackers
                 .entry(key)
                 .or_insert_with(|| BoundedTracker::new(budget));
-            if t.offer(c.header.tpdu.sn as u64, c.header.len as u64, c.header.tpdu.st)
-                == BoundedEvent::Refused
+            if t.offer(
+                c.header.tpdu.sn as u64,
+                c.header.len as u64,
+                c.header.tpdu.st,
+            ) == BoundedEvent::Refused
             {
                 refusals += 1;
             }

@@ -142,9 +142,8 @@ pub fn figure2_chunk() -> Chunk {
 /// with identical `TYPE` and `ID`s shares one header.
 pub fn figure2() -> FigureResult {
     let elements = figure2_elements();
-    let mut text = String::from(
-        "element table (C.ID=A, X.ID=C throughout):\n  C.SN  T.ID T.SN T.ST  X.SN\n",
-    );
+    let mut text =
+        String::from("element table (C.ID=A, X.ID=C throughout):\n  C.SN  T.ID T.SN T.ST  X.SN\n");
     for (c_sn, t_id, t_sn, t_st, x_sn) in &elements {
         text.push_str(&format!(
             "  {c_sn:>4}  {:>4} {t_sn:>4} {:>4}  {x_sn:>4}\n",
@@ -161,10 +160,14 @@ pub fn figure2() -> FigureResult {
             "the 7 TPDU-Q elements share TYPE and IDs".into(),
             elements[1..8].iter().all(|&(_, t_id, ..)| t_id == 0x51),
         ),
-        ("chunk SNs are the first element's (36, 0, 24)".into(),
-            (h.conn.sn, h.tpdu.sn, h.ext.sn) == (36, 0, 24)),
-        ("chunk STs are the last element's (0, 1, 0)".into(),
-            (h.conn.st, h.tpdu.st, h.ext.st) == (false, true, false)),
+        (
+            "chunk SNs are the first element's (36, 0, 24)".into(),
+            (h.conn.sn, h.tpdu.sn, h.ext.sn) == (36, 0, 24),
+        ),
+        (
+            "chunk STs are the last element's (0, 1, 0)".into(),
+            (h.conn.st, h.tpdu.st, h.ext.st) == (false, true, false),
+        ),
         ("LEN = 7, SIZE = 1".into(), h.len == 7 && h.size == 1),
         (
             "per-element labels reconstruct the table".into(),
@@ -217,7 +220,10 @@ pub fn figure3() -> FigureResult {
         header_line(&b.header),
         &ed.payload[..]
     );
-    text.push_str(&format!("packed into {} packets (MTU {mtu}):\n", packets.len()));
+    text.push_str(&format!(
+        "packed into {} packets (MTU {mtu}):\n",
+        packets.len()
+    ));
     for (i, p) in packets.iter().enumerate() {
         let inside = unpack(p).unwrap();
         text.push_str(&format!(
@@ -250,20 +256,17 @@ pub fn figure3() -> FigureResult {
             "packet 2 carries the data chunk and the ED chunk together".into(),
             p2.len() == 2 && p2[1].header.ty == ChunkType::ErrorDetection,
         ),
-        (
-            "receiver reassembles the original in one step".into(),
-            {
-                let mut pool = ReassemblyPool::new();
-                for p in &packets {
-                    for c in unpack(p).unwrap() {
-                        if c.header.ty == ChunkType::Data {
-                            pool.insert(c);
-                        }
+        ("receiver reassembles the original in one step".into(), {
+            let mut pool = ReassemblyPool::new();
+            for p in &packets {
+                for c in unpack(p).unwrap() {
+                    if c.header.ty == ChunkType::Data {
+                        pool.insert(c);
                     }
                 }
-                pool.take_complete() == Some(chunk)
-            },
-        ),
+            }
+            pool.take_complete() == Some(chunk)
+        }),
     ];
     FigureResult {
         figure: "Figure 3 — TPDU chunks and their mapping onto packets",
@@ -287,14 +290,12 @@ pub fn figure4() -> FigureResult {
     let small_mtu = WIRE_HEADER_LEN + 60;
     let big_mtu = 4 * (WIRE_HEADER_LEN + 60);
     // Fragmented: squeeze through the small network.
-    let small_frames: Vec<Vec<u8>> = pack(
-        split_to_fit(whole.clone(), small_mtu).unwrap(),
-        small_mtu,
-    )
-    .unwrap()
-    .into_iter()
-    .map(|p| p.bytes.to_vec())
-    .collect();
+    let small_frames: Vec<Vec<u8>> =
+        pack(split_to_fit(whole.clone(), small_mtu).unwrap(), small_mtu)
+            .unwrap()
+            .into_iter()
+            .map(|p| p.bytes.to_vec())
+            .collect();
 
     let mut text = format!(
         "TPDU of 360 elements; small network MTU {small_mtu} -> {} packets\n",
@@ -302,8 +303,14 @@ pub fn figure4() -> FigureResult {
     );
     let mut rows = Vec::new();
     for (name, policy) in [
-        ("method 1: one chunk per large packet", RefragPolicy::OnePerPacket),
-        ("method 2: combine chunks into large packets", RefragPolicy::Repack),
+        (
+            "method 1: one chunk per large packet",
+            RefragPolicy::OnePerPacket,
+        ),
+        (
+            "method 2: combine chunks into large packets",
+            RefragPolicy::Repack,
+        ),
         (
             "method 3: chunk reassembly in the network",
             RefragPolicy::Reassemble { window: 16 },
@@ -320,7 +327,11 @@ pub fn figure4() -> FigureResult {
         // Receiver: always the same single-step reassembly.
         let mut pool = ReassemblyPool::new();
         for f in &out {
-            for c in unpack(&chunks_core::packet::Packet { bytes: f.clone().into() }).unwrap() {
+            for c in unpack(&chunks_core::packet::Packet {
+                bytes: f.clone().into(),
+            })
+            .unwrap()
+            {
                 pool.insert(c);
             }
         }

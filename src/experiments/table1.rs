@@ -66,7 +66,10 @@ impl Table1 {
 
 impl fmt::Display for Table1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "=== Table 1 — how corruption is detected, per chunk field ===")?;
+        writeln!(
+            f,
+            "=== Table 1 — how corruption is detected, per chunk field ==="
+        )?;
         writeln!(
             f,
             "  {:<10} {:<14} {:<22} {:<22}",
@@ -77,10 +80,18 @@ impl fmt::Display for Table1 {
                 f,
                 "  {:<10} {:<14} {:<22} {:<22} {}",
                 r.field,
-                if r.changed_by_fragmentation { "yes" } else { "no" },
+                if r.changed_by_fragmentation {
+                    "yes"
+                } else {
+                    "no"
+                },
                 r.paper.to_string(),
                 r.measured.to_string(),
-                if r.measured == r.paper { "ok" } else { "MISMATCH" }
+                if r.measured == r.paper {
+                    "ok"
+                } else {
+                    "MISMATCH"
+                }
             )?;
         }
         Ok(())
@@ -106,10 +117,22 @@ fn victim_tpdus() -> Vec<Tpdu> {
     f.frame_stream(
         &[7u8; 18],
         &[
-            AlfFrame { id: 0xE1, len_elements: 3 },
-            AlfFrame { id: 0xE2, len_elements: 3 },
-            AlfFrame { id: 0xE3, len_elements: 3 },
-            AlfFrame { id: 0xE4, len_elements: 9 },
+            AlfFrame {
+                id: 0xE1,
+                len_elements: 3,
+            },
+            AlfFrame {
+                id: 0xE2,
+                len_elements: 3,
+            },
+            AlfFrame {
+                id: 0xE3,
+                len_elements: 3,
+            },
+            AlfFrame {
+                id: 0xE4,
+                len_elements: 9,
+            },
         ],
         false,
     )

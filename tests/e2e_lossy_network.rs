@@ -165,7 +165,10 @@ fn midpath_refragmentation_is_transparent() {
                     LinkConfig::clean(narrow, 20_000, 0),
                 )
                 .routed_link(
-                    Box::new(ChunkRouter::new(1500, RefragPolicy::Reassemble { window: 8 })),
+                    Box::new(ChunkRouter::new(
+                        1500,
+                        RefragPolicy::Reassemble { window: 8 },
+                    )),
                     LinkConfig::clean(1500, 20_000, 0),
                 )
                 .build()
@@ -193,11 +196,7 @@ fn all_modes_deliver_identical_data_under_stress() {
             1024,
             1500,
             17,
-            |s| {
-                PathBuilder::new(s)
-                    .multipath(4, cfg, 60_000)
-                    .build()
-            },
+            |s| PathBuilder::new(s).multipath(4, cfg, 60_000).build(),
             24,
         );
         assert!(rounds < 24, "{mode:?} converged");

@@ -3,9 +3,7 @@
 //! (Appendix C), which cost far fewer bytes than whole-TPDU retransmission.
 
 use chunks::core::packet::{unpack, Packet};
-use chunks::transport::{
-    ConnectionParams, DeliveryMode, Receiver, RxEvent, Sender, SenderConfig,
-};
+use chunks::transport::{ConnectionParams, DeliveryMode, Receiver, RxEvent, Sender, SenderConfig};
 use chunks::wsc::InvariantLayout;
 
 fn params() -> ConnectionParams {

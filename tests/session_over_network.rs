@@ -63,9 +63,13 @@ fn duplex_over_lossy_multipath() {
     while !(a.outbound_done() && b.outbound_done()) {
         rounds += 1;
         assert!(rounds < 30, "did not converge");
-        let mut ab = PathBuilder::new(100 + rounds).multipath(4, cfg, 50_000).build();
+        let mut ab = PathBuilder::new(100 + rounds)
+            .multipath(4, cfg, 50_000)
+            .build();
         ship(&mut ab, a.poll_transmit().unwrap(), &mut b, 0);
-        let mut ba = PathBuilder::new(200 + rounds).multipath(4, cfg, 50_000).build();
+        let mut ba = PathBuilder::new(200 + rounds)
+            .multipath(4, cfg, 50_000)
+            .build();
         ship(&mut ba, b.poll_transmit().unwrap(), &mut a, 0);
     }
     assert_eq!(&b.received()[..msg_a.len()], &msg_a[..]);
@@ -91,9 +95,13 @@ fn transfer_survives_route_change() {
         rounds += 1;
         assert!(rounds < 10, "did not converge");
         // The switch happens while the batch is still being injected.
-        let mut ab = PathBuilder::new(rounds).route_change(old, new, 4_000).build();
+        let mut ab = PathBuilder::new(rounds)
+            .route_change(old, new, 4_000)
+            .build();
         ship(&mut ab, a.poll_transmit().unwrap(), &mut b, 0);
-        let mut ba = PathBuilder::new(50 + rounds).link(LinkConfig::clean(mtu, 100_000, 0)).build();
+        let mut ba = PathBuilder::new(50 + rounds)
+            .link(LinkConfig::clean(mtu, 100_000, 0))
+            .build();
         ship(&mut ba, b.poll_transmit().unwrap(), &mut a, 0);
     }
     assert_eq!(&b.received()[..msg.len()], &msg[..]);

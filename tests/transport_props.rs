@@ -107,7 +107,7 @@ proptest! {
                 for c in t.all_chunks() {
                     rx.handle_chunk(c.clone(), 0);
                     state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    if (state >> 40) % 3 == 0 {
+                    if (state >> 40).is_multiple_of(3) {
                         rx.handle_chunk(c, 0); // duplicate
                     }
                 }

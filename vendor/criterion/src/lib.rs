@@ -1,0 +1,328 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build sandbox for this repository cannot reach crates.io, so the
+//! workspace patches `criterion` to this implementation (see
+//! `[patch.crates-io]` in the root `Cargo.toml`). It is a *real* measuring
+//! harness — warm-up, calibrated iteration counts, multiple samples, median
+//! and mean reporting, bytes-per-second throughput — just without the
+//! statistical machinery, plotting, and saved baselines of the real crate.
+//!
+//! Environment knobs (milliseconds): `CRITERION_WARMUP_MS` (default 150)
+//! and `CRITERION_MEASURE_MS` (default 600).
+//!
+//! Measured results can also be harvested programmatically via
+//! [`Criterion::take_results`], which the workspace's bench targets use to
+//! emit JSON snapshots such as `BENCH_wsc.json`.
+
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, matching the real crate's helper.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Units for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+}
+
+/// Conversion of the various id forms benches pass around.
+pub trait IntoBenchmarkId {
+    /// The full textual id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// One measured benchmark outcome.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration across samples.
+    pub mean_ns: f64,
+    /// Declared per-iteration throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    /// Throughput in MiB/s, when [`Throughput::Bytes`] was declared.
+    pub fn mib_per_s(&self) -> Option<f64> {
+        match self.throughput {
+            Some(Throughput::Bytes(b)) => {
+                Some(b as f64 / (1u64 << 20) as f64 / (self.median_ns / 1e9))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Filled in by `iter`.
+    result: Option<(f64, f64)>, // (median ns/iter, mean ns/iter)
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`, called repeatedly in calibrated batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up while estimating cost.
+        let warmup = self.config.warmup;
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < warmup {
+            std_black_box(routine());
+            iters += 1;
+        }
+        let per_iter = warmup.as_nanos() as f64 / iters.max(1) as f64;
+
+        // Aim for SAMPLES samples inside the measurement budget.
+        const SAMPLES: usize = 10;
+        let budget_ns = self.config.measure.as_nanos() as f64;
+        let iters_per_sample = ((budget_ns / SAMPLES as f64) / per_iter).ceil().max(1.0) as u64;
+
+        let mut samples = [0f64; SAMPLES];
+        for sample in &mut samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(routine());
+            }
+            *sample = t.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = (samples[SAMPLES / 2 - 1] + samples[SAMPLES / 2]) / 2.0;
+        let mean = samples.iter().sum::<f64>() / SAMPLES as f64;
+        self.result = Some((median, mean));
+    }
+
+    /// `iter` variant receiving the elapsed-time budget per call; provided
+    /// for API compatibility, measured the same way.
+    pub fn iter_with_large_drop<O, R: FnMut() -> O>(&mut self, routine: R) {
+        self.iter(routine);
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Config {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Config {
+    fn from_env() -> Self {
+        let ms = |var: &str, default: u64| {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        Config {
+            warmup: Duration::from_millis(ms("CRITERION_WARMUP_MS", 150)),
+            measure: Duration::from_millis(ms("CRITERION_MEASURE_MS", 600)),
+        }
+    }
+}
+
+/// The benchmark manager: entry point mirroring the real crate.
+pub struct Criterion {
+    config: Config,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            config: Config::from_env(),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single ungrouped function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(id.into_id(), None, f);
+        self
+    }
+
+    /// Drains every result measured so far (used by bench targets that
+    /// export JSON snapshots).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            config: &self.config,
+            result: None,
+        };
+        f(&mut b);
+        let Some((median, mean)) = b.result else {
+            eprintln!("warning: bench {id} never called Bencher::iter");
+            return;
+        };
+        let result = BenchResult {
+            id,
+            median_ns: median,
+            mean_ns: mean,
+            throughput,
+        };
+        match result.mib_per_s() {
+            Some(rate) => println!(
+                "bench {:<48} {:>12.1} ns/iter {:>10.1} MiB/s",
+                result.id, result.median_ns, rate
+            ),
+            None => println!("bench {:<48} {:>12.1} ns/iter", result.id, result.median_ns),
+        }
+        self.results.push(result);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Ignored; accepted for compatibility with the real API.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored; accepted for compatibility with the real API.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let throughput = self.throughput;
+        self.criterion.run_one(full, throughput, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::set_var("CRITERION_WARMUP_MS", "5");
+        std::env::set_var("CRITERION_MEASURE_MS", "20");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("nop", |b| b.iter(|| black_box(1u64 + 1)));
+        g.finish();
+        let results = c.take_results();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].median_ns > 0.0);
+        assert!(results[0].mib_per_s().unwrap() > 0.0);
+    }
+}
