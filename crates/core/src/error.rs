@@ -35,6 +35,15 @@ pub enum CoreError {
     NotAdjacent,
     /// The buffer ended before a complete header or payload.
     Truncated,
+    /// A header's claimed payload (`SIZE * LEN`) exceeds the decoder's
+    /// sanity bound: a hostile length field that would otherwise demand an
+    /// enormous allocation before truncation could even be noticed.
+    OversizedLen {
+        /// Bytes the header claims (`SIZE * LEN`, widened).
+        claimed: u64,
+        /// The decoder's bound.
+        max: u64,
+    },
     /// Unknown `TYPE` byte on the wire.
     BadType(u8),
     /// A single element (`SIZE` bytes plus header) cannot fit in the MTU, so
@@ -75,6 +84,12 @@ impl fmt::Display for CoreError {
                 "chunks are not adjacent on all three framing levels (Appendix D)"
             ),
             CoreError::Truncated => write!(f, "truncated chunk or packet"),
+            CoreError::OversizedLen { claimed, max } => {
+                write!(
+                    f,
+                    "header claims {claimed} payload bytes, decoder bound is {max}"
+                )
+            }
             CoreError::BadType(b) => write!(f, "unknown chunk TYPE byte {b:#04x}"),
             CoreError::ElementExceedsMtu { size, mtu } => write!(
                 f,

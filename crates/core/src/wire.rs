@@ -26,6 +26,12 @@ use crate::label::{ChunkType, FramingTuple};
 /// Byte length of the uncompressed chunk header.
 pub const WIRE_HEADER_LEN: usize = 32;
 
+/// Upper bound on the payload a decoded header may claim (`SIZE * LEN`).
+/// The two fields multiply out to nearly 2^48 bytes; an adversarial header
+/// must be refused as [`CoreError::OversizedLen`] before any buffer math
+/// trusts the claim.
+pub const MAX_DECODE_PAYLOAD: usize = 1 << 24; // 16 MiB
+
 const FLAG_C_ST: u8 = 1 << 0;
 const FLAG_T_ST: u8 = 1 << 1;
 const FLAG_X_ST: u8 = 1 << 2;
@@ -96,6 +102,12 @@ pub fn decode_chunk(buf: &[u8]) -> Result<(Chunk, usize), CoreError> {
     let header = decode_header(buf)?;
     header.validate()?;
     let plen = header.payload_len();
+    if plen > MAX_DECODE_PAYLOAD {
+        return Err(CoreError::OversizedLen {
+            claimed: plen as u64,
+            max: MAX_DECODE_PAYLOAD as u64,
+        });
+    }
     let total = WIRE_HEADER_LEN + plen;
     if buf.len() < total {
         return Err(CoreError::Truncated);
@@ -172,6 +184,21 @@ mod tests {
         encode_chunk(&c, &mut buf);
         buf[0] = 0x7F;
         assert_eq!(decode_chunk(&buf).unwrap_err(), CoreError::BadType(0x7F));
+    }
+
+    #[test]
+    fn oversized_len_rejected_before_allocation() {
+        let c = sample();
+        let mut buf = Vec::new();
+        encode_chunk(&c, &mut buf);
+        // Claim SIZE = 0xFFFF and LEN = 0xFFFF_FFFF: nearly 2^48 bytes.
+        buf[2] = 0xFF;
+        buf[3] = 0xFF;
+        buf[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            decode_chunk(&buf).unwrap_err(),
+            CoreError::OversizedLen { .. }
+        ));
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! Adversarial in-network fault injection.
+//!
+//! The faults of [`crate::link`] are *oblivious* — loss, duplication and
+//! corruption strike uniformly. A Byzantine middlebox is worse: it can
+//! target exactly the chunks the protocol leans on. [`ByzantineRouter`]
+//! models that adversary as a [`PacketTransform`]:
+//!
+//! * **selective ack drop** — acknowledgment control chunks vanish while
+//!   data sails through, starving the sender of the feedback its reactive
+//!   repair loop needs (the failure mode the RTO timer exists for);
+//! * **ED duplication** — the 8-byte WSC-2 digest chunk is delivered twice,
+//!   exercising receiver-side duplicate rejection of control chunks;
+//! * **label flips** — a bit of a data chunk's `T.SN`, `C.ID` or `LEN`
+//!   header field is flipped *on the wire*, after packing, producing
+//!   exactly the Table-1 corruptions (misaddressing, misdelivery, length
+//!   error) the paper's detection story is about.
+//!
+//! All decisions come from a seeded [`StdRng`], so a soak run is exactly
+//! reproducible from its seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use chunks_core::label::ChunkType;
+use chunks_core::packet::{pack, unpack, Packet};
+
+use crate::link::MIN_REPACK_MTU;
+use crate::router::PacketTransform;
+
+/// Fault probabilities of a [`ByzantineRouter`] (each in `[0, 1]`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ByzantineConfig {
+    /// Probability an Ack control chunk is silently deleted.
+    pub ack_drop: f64,
+    /// Probability an ErrorDetection chunk is delivered twice.
+    pub ed_duplicate: f64,
+    /// Probability a data chunk's `T.SN` field gets one bit flipped.
+    pub flip_tsn: f64,
+    /// Probability a data chunk's `C.ID` field gets one bit flipped.
+    pub flip_cid: f64,
+    /// Probability a data chunk's `LEN` field gets one bit flipped.
+    pub flip_len: f64,
+}
+
+impl ByzantineConfig {
+    /// An adversary that only deletes acks.
+    pub fn ack_dropper(p: f64) -> Self {
+        ByzantineConfig {
+            ack_drop: p,
+            ..Default::default()
+        }
+    }
+}
+
+/// Counters kept by a [`ByzantineRouter`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ByzantineStats {
+    /// Ack chunks deleted.
+    pub acks_dropped: u64,
+    /// ED chunks duplicated.
+    pub eds_duplicated: u64,
+    /// `T.SN` fields flipped.
+    pub tsn_flips: u64,
+    /// `C.ID` fields flipped.
+    pub cid_flips: u64,
+    /// `LEN` fields flipped.
+    pub len_flips: u64,
+    /// Frames that did not parse as chunk packets (passed through intact).
+    pub unparsed: u64,
+}
+
+impl ByzantineStats {
+    /// Total mutations of any kind.
+    pub fn total(&self) -> u64 {
+        self.acks_dropped + self.eds_duplicated + self.tsn_flips + self.cid_flips + self.len_flips
+    }
+}
+
+/// A middlebox that mutates traffic adversarially (see module docs).
+#[derive(Debug)]
+pub struct ByzantineRouter {
+    cfg: ByzantineConfig,
+    rng: StdRng,
+    /// Accumulated mutation counters.
+    pub stats: ByzantineStats,
+}
+
+// Wire offsets inside a 32-byte chunk header (see `chunks_core::wire`).
+const OFF_LEN: usize = 4;
+const OFF_C_ID: usize = 8;
+const OFF_T_SN: usize = 20;
+const HDR: usize = chunks_core::wire::WIRE_HEADER_LEN;
+
+impl ByzantineRouter {
+    /// Creates a router with a deterministic mutation stream.
+    pub fn new(cfg: ByzantineConfig, seed: u64) -> Self {
+        ByzantineRouter {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            stats: ByzantineStats::default(),
+        }
+    }
+
+    /// Flips one random bit in the 4-byte field at `at` of `frame`.
+    fn flip_field(&mut self, frame: &mut [u8], at: usize) {
+        let byte = at + self.rng.random_range(0..4usize);
+        let bit = 1u8 << self.rng.random_range(0..8);
+        frame[byte] ^= bit;
+    }
+
+    /// Walks the packed frame and applies label flips to data chunk
+    /// headers, *after* packing so the mutation reaches the wire exactly as
+    /// a broken router would emit it. Offsets are collected before any
+    /// mutation so a flipped `LEN` cannot derail the walk itself.
+    fn flip_labels(&mut self, frame: &mut [u8]) {
+        let mut data_headers = Vec::new();
+        let mut off = 0;
+        while off + HDR <= frame.len() {
+            let ty = frame[off];
+            let size = u16::from_be_bytes([frame[off + 2], frame[off + 3]]) as usize;
+            let len = u32::from_be_bytes([
+                frame[off + 4],
+                frame[off + 5],
+                frame[off + 6],
+                frame[off + 7],
+            ]) as usize;
+            if len == 0 {
+                break; // end-of-packet marker
+            }
+            if ty == ChunkType::Data.to_u8() {
+                data_headers.push(off);
+            }
+            off += HDR + size * len;
+        }
+        for h in data_headers {
+            if self.rng.random::<f64>() < self.cfg.flip_tsn {
+                self.flip_field(frame, h + OFF_T_SN);
+                self.stats.tsn_flips += 1;
+            }
+            if self.rng.random::<f64>() < self.cfg.flip_cid {
+                self.flip_field(frame, h + OFF_C_ID);
+                self.stats.cid_flips += 1;
+            }
+            if self.rng.random::<f64>() < self.cfg.flip_len {
+                self.flip_field(frame, h + OFF_LEN);
+                self.stats.len_flips += 1;
+            }
+        }
+    }
+}
+
+impl PacketTransform for ByzantineRouter {
+    fn ingest(&mut self, frame: Vec<u8>) -> Vec<Vec<u8>> {
+        let mtu = frame.len().max(MIN_REPACK_MTU);
+        let packet = Packet {
+            bytes: frame.into(),
+        };
+        let Ok(chunks) = unpack(&packet) else {
+            // Already mangled beyond chunk syntax: forward it untouched and
+            // let the endpoint's decoder prove it copes.
+            self.stats.unparsed += 1;
+            return vec![packet.bytes.to_vec()];
+        };
+        let mut keep = Vec::with_capacity(chunks.len() + 1);
+        for c in chunks {
+            match c.header.ty {
+                ChunkType::Ack if self.rng.random::<f64>() < self.cfg.ack_drop => {
+                    self.stats.acks_dropped += 1;
+                }
+                ChunkType::ErrorDetection if self.rng.random::<f64>() < self.cfg.ed_duplicate => {
+                    self.stats.eds_duplicated += 1;
+                    keep.push(c.clone());
+                    keep.push(c);
+                }
+                _ => keep.push(c),
+            }
+        }
+        if keep.is_empty() {
+            return Vec::new();
+        }
+        let Ok(packets) = pack(keep, mtu) else {
+            return Vec::new();
+        };
+        packets
+            .into_iter()
+            .map(|p| {
+                let mut f = p.bytes.to_vec();
+                self.flip_labels(&mut f);
+                f
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use chunks_core::chunk::{byte_chunk, Chunk, ChunkHeader};
+    use chunks_core::label::FramingTuple;
+
+    fn data_chunk(c_sn: u32, t_sn: u32, payload: &[u8]) -> Chunk {
+        byte_chunk(
+            FramingTuple::new(0xC1, c_sn, false),
+            FramingTuple::new(0, t_sn, false),
+            FramingTuple::new(0xF, c_sn, false),
+            payload,
+        )
+    }
+
+    fn ack_chunk() -> Chunk {
+        Chunk::new(
+            ChunkHeader::control(
+                ChunkType::Ack,
+                12,
+                FramingTuple::new(0xC1, 0, false),
+                FramingTuple::new(0, 0, false),
+                FramingTuple::new(0, 0, false),
+            ),
+            Bytes::from(vec![0u8; 12]),
+        )
+        .unwrap()
+    }
+
+    fn ed_chunk() -> Chunk {
+        Chunk::new(
+            ChunkHeader::control(
+                ChunkType::ErrorDetection,
+                8,
+                FramingTuple::new(0xC1, 0, false),
+                FramingTuple::new(0, 0, false),
+                FramingTuple::new(0, 0, false),
+            ),
+            Bytes::from(vec![7u8; 8]),
+        )
+        .unwrap()
+    }
+
+    fn one_frame(chunks: Vec<Chunk>) -> Vec<u8> {
+        let packets = pack(chunks, 4096).unwrap();
+        assert_eq!(packets.len(), 1);
+        packets[0].bytes.to_vec()
+    }
+
+    #[test]
+    fn ack_dropper_deletes_only_acks() {
+        let mut r = ByzantineRouter::new(ByzantineConfig::ack_dropper(1.0), 1);
+        let frame = one_frame(vec![data_chunk(0, 0, &[1; 8]), ack_chunk()]);
+        let out = r.ingest(frame);
+        assert_eq!(r.stats.acks_dropped, 1);
+        let survivors = unpack(&Packet {
+            bytes: out[0].clone().into(),
+        })
+        .unwrap();
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0].header.ty, ChunkType::Data);
+    }
+
+    #[test]
+    fn ed_duplication_doubles_the_digest() {
+        let cfg = ByzantineConfig {
+            ed_duplicate: 1.0,
+            ..Default::default()
+        };
+        let mut r = ByzantineRouter::new(cfg, 2);
+        let out = r.ingest(one_frame(vec![data_chunk(0, 0, &[1; 8]), ed_chunk()]));
+        let chunks: Vec<Chunk> = out
+            .iter()
+            .flat_map(|f| {
+                unpack(&Packet {
+                    bytes: f.clone().into(),
+                })
+                .unwrap()
+            })
+            .collect();
+        let eds = chunks
+            .iter()
+            .filter(|c| c.header.ty == ChunkType::ErrorDetection)
+            .count();
+        assert_eq!(eds, 2);
+        assert_eq!(r.stats.eds_duplicated, 1);
+    }
+
+    #[test]
+    fn label_flip_changes_exactly_one_header_bit() {
+        let cfg = ByzantineConfig {
+            flip_tsn: 1.0,
+            ..Default::default()
+        };
+        let mut r = ByzantineRouter::new(cfg, 3);
+        let original = one_frame(vec![data_chunk(4, 4, &[9; 8])]);
+        let out = r.ingest(original.clone());
+        assert_eq!(out.len(), 1);
+        assert_eq!(r.stats.tsn_flips, 1);
+        let diff: u32 = original
+            .iter()
+            .zip(&out[0])
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1, "exactly one bit of the wire image changed");
+        // And the flipped bit sits inside the T.SN field (bytes 20..24).
+        let at = original
+            .iter()
+            .zip(&out[0])
+            .position(|(a, b)| a != b)
+            .unwrap();
+        assert!((OFF_T_SN..OFF_T_SN + 4).contains(&at));
+    }
+
+    #[test]
+    fn len_flip_survives_to_the_wire() {
+        let cfg = ByzantineConfig {
+            flip_len: 1.0,
+            ..Default::default()
+        };
+        let mut r = ByzantineRouter::new(cfg, 4);
+        let out = r.ingest(one_frame(vec![data_chunk(0, 0, &[3; 16])]));
+        assert_eq!(r.stats.len_flips, 1);
+        // The emitted frame's LEN no longer matches its payload: the
+        // receiver's decoder must reject it without panicking.
+        let _ = unpack(&Packet {
+            bytes: out[0].clone().into(),
+        });
+    }
+
+    #[test]
+    fn unparsed_frames_pass_through() {
+        let mut r = ByzantineRouter::new(ByzantineConfig::ack_dropper(1.0), 5);
+        let junk = vec![0xEEu8; 48];
+        let out = r.ingest(junk.clone());
+        assert_eq!(out, vec![junk]);
+        assert_eq!(r.stats.unparsed, 1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = ByzantineConfig {
+            ack_drop: 0.5,
+            ed_duplicate: 0.5,
+            flip_tsn: 0.3,
+            flip_cid: 0.3,
+            flip_len: 0.3,
+        };
+        let run = |seed| {
+            let mut r = ByzantineRouter::new(cfg, seed);
+            (0..50u32)
+                .flat_map(|i| {
+                    r.ingest(one_frame(vec![
+                        data_chunk(i * 8, 0, &[i as u8; 8]),
+                        ed_chunk(),
+                        ack_chunk(),
+                    ]))
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+}

@@ -18,10 +18,17 @@
 //! Everything is driven by a seeded RNG, so every experiment is exactly
 //! reproducible.
 
+//!
+//! Adversarial (Byzantine) fault injection — targeted ack deletion, ED
+//! duplication and on-the-wire label flips — lives in [`byzantine`]; the
+//! reliability soak harness (`experiments soak`) is built on it.
+
+pub mod byzantine;
 pub mod link;
 pub mod path;
 pub mod router;
 
+pub use byzantine::{ByzantineConfig, ByzantineRouter, ByzantineStats};
 pub use link::MIN_REPACK_MTU;
 pub use link::{Link, LinkConfig, LinkStats, MultipathLink, RouteChangeLink};
 pub use path::{Hop, Path, PathBuilder};

@@ -172,17 +172,34 @@ impl Link {
 pub struct MultipathLink {
     paths: Vec<Link>,
     next: usize,
+    /// Per-path stall windows `(from_ns, until_ns)`: frames striped onto a
+    /// stalled path inside the window queue until the stall clears.
+    stalls: Vec<Option<(u64, u64)>>,
 }
 
 impl MultipathLink {
     /// Creates a bundle from sub-link configurations.
     pub fn new(configs: Vec<LinkConfig>, seed: u64) -> Self {
-        let paths = configs
+        let paths: Vec<Link> = configs
             .into_iter()
             .enumerate()
             .map(|(i, c)| Link::new(c, seed.wrapping_add(i as u64 * 0x9E37_79B9)))
             .collect();
-        MultipathLink { paths, next: 0 }
+        let stalls = vec![None; paths.len()];
+        MultipathLink {
+            paths,
+            next: 0,
+            stalls,
+        }
+    }
+
+    /// Stalls one path of the bundle for `[from_ns, until_ns)`: frames the
+    /// round-robin striper hands to it during the window are held and only
+    /// enter the link when the stall clears — a head-of-line blockage on a
+    /// single stripe that mass-reorders the bundle (and starves acks long
+    /// enough to make retransmission timers fire).
+    pub fn stall_path(&mut self, idx: usize, from_ns: u64, until_ns: u64) {
+        self.stalls[idx] = Some((from_ns, until_ns));
     }
 
     /// The classic configuration: `n` identical paths whose latencies are
@@ -206,7 +223,11 @@ impl MultipathLink {
     pub fn transmit(&mut self, now: u64, frame: Vec<u8>) -> Vec<(u64, Vec<u8>)> {
         let i = self.next;
         self.next = (self.next + 1) % self.paths.len();
-        self.paths[i].transmit(now, frame)
+        let offered = match self.stalls[i] {
+            Some((from, until)) if now >= from && now < until => until,
+            _ => now,
+        };
+        self.paths[i].transmit(offered, frame)
     }
 
     /// Aggregated statistics over the sub-links.
@@ -329,6 +350,22 @@ mod tests {
         arrivals.sort();
         let order: Vec<u8> = arrivals.iter().map(|&(_, id)| id).collect();
         assert_eq!(order, vec![0, 2, 1, 3], "skew must interleave the stripes");
+    }
+
+    #[test]
+    fn stalled_path_releases_at_window_end() {
+        let base = LinkConfig::clean(1500, 1_000, 0);
+        let mut mp = MultipathLink::skewed(2, base, 0, 3);
+        mp.stall_path(1, 0, 50_000);
+        // Frame 0 takes path 0 (clear), frame 1 takes stalled path 1.
+        let d0 = mp.transmit(10, vec![0]);
+        let d1 = mp.transmit(20, vec![1]);
+        assert_eq!(d0[0].0, 1_010);
+        assert_eq!(d1[0].0, 51_000, "held until the stall clears");
+        // After the window the path behaves normally again.
+        mp.transmit(60_000, vec![2]);
+        let d3 = mp.transmit(60_000, vec![3]);
+        assert_eq!(d3[0].0, 61_000);
     }
 
     #[test]

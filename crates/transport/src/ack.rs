@@ -32,6 +32,12 @@ pub struct AckInfo {
 }
 
 impl AckInfo {
+    /// True when the TPDU spanning `[start, end)` is fully acknowledged by
+    /// this ack — below the cumulative point or selectively acknowledged.
+    pub fn acknowledges(&self, start: u64, end: u64) -> bool {
+        end <= self.cumulative || self.sacks.contains(&start)
+    }
+
     /// Encodes the ack payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(12 + self.sacks.len() * 8 + self.gaps.len() * 16);

@@ -37,9 +37,21 @@ pub enum Signal {
         /// The connection being closed.
         conn_id: u32,
     },
+    /// Declares the connection dead from the sender's side: the reliability
+    /// layer's retry budget emptied ([`crate::rto::TransportError`]'s
+    /// `PeerUnreachable`), so the peer should stop waiting for repairs.
+    Abort {
+        /// The connection being aborted.
+        conn_id: u32,
+        /// Reason code (today only [`Signal::ABORT_PEER_UNREACHABLE`]).
+        code: u8,
+    },
 }
 
 impl Signal {
+    /// Abort reason: the retransmission retry budget emptied without an ack.
+    pub const ABORT_PEER_UNREACHABLE: u8 = 1;
+
     /// Encodes the signal payload.
     pub fn encode(&self) -> Vec<u8> {
         match self {
@@ -54,6 +66,12 @@ impl Signal {
             Signal::Teardown { conn_id } => {
                 let mut out = vec![2u8];
                 out.extend_from_slice(&conn_id.to_be_bytes());
+                out
+            }
+            Signal::Abort { conn_id, code } => {
+                let mut out = vec![3u8];
+                out.extend_from_slice(&conn_id.to_be_bytes());
+                out.push(*code);
                 out
             }
         }
@@ -71,6 +89,10 @@ impl Signal {
             2 if buf.len() == 5 => Some(Signal::Teardown {
                 conn_id: u32::from_be_bytes(buf[1..5].try_into().ok()?),
             }),
+            3 if buf.len() == 6 => Some(Signal::Abort {
+                conn_id: u32::from_be_bytes(buf[1..5].try_into().ok()?),
+                code: buf[5],
+            }),
             _ => None,
         }
     }
@@ -80,7 +102,7 @@ impl Signal {
         let payload = self.encode();
         let conn_id = match self {
             Signal::Establish(p) => p.conn_id,
-            Signal::Teardown { conn_id } => *conn_id,
+            Signal::Teardown { conn_id } | Signal::Abort { conn_id, .. } => *conn_id,
         };
         Chunk::new(
             ChunkHeader::control(
@@ -139,9 +161,20 @@ mod tests {
     }
 
     #[test]
+    fn abort_roundtrip() {
+        let s = Signal::Abort {
+            conn_id: 9,
+            code: Signal::ABORT_PEER_UNREACHABLE,
+        };
+        assert_eq!(Signal::decode(&s.encode()), Some(s));
+        assert_eq!(Signal::from_chunk(&s.to_chunk()).unwrap(), s);
+    }
+
+    #[test]
     fn garbage_rejected() {
         assert_eq!(Signal::decode(&[]), None);
         assert_eq!(Signal::decode(&[9, 0, 0]), None);
         assert_eq!(Signal::decode(&[1, 0]), None);
+        assert_eq!(Signal::decode(&[3, 0, 0, 0, 0]), None, "abort too short");
     }
 }

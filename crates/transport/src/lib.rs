@@ -19,7 +19,11 @@
 //! * [`mux`] — packets shared by multiple connections, data, signals and
 //!   piggybacked acks (Appendix A), and TYPE-field demultiplexing;
 //! * [`conn`] — connection establishment/teardown signalling that carries
-//!   the parameters compressed headers rely on (Appendix A).
+//!   the parameters compressed headers rely on (Appendix A);
+//! * [`rto`] — the reliability layer's timer half: deterministic
+//!   virtual-clock RTO estimation (Jacobson SRTT/RTTVAR, Karn's rule),
+//!   exponential backoff, bounded retry budgets, and the typed dead-peer
+//!   verdict that replaces an ack-loss deadlock.
 
 pub mod ack;
 pub mod conn;
@@ -27,6 +31,7 @@ pub mod frame;
 pub mod mtu;
 pub mod mux;
 pub mod receiver;
+pub mod rto;
 pub mod sender;
 pub mod session;
 pub mod stream;
@@ -37,6 +42,7 @@ pub use frame::{AlfFrame, Framer, Tpdu};
 pub use mtu::MtuProbe;
 pub use mux::{ConnectionDemux, DemuxEvent, PacketMux};
 pub use receiver::{DeliveryMode, FailureReason, Receiver, RxEvent, RxStats};
+pub use rto::{DegradePolicy, RetransmitTimer, RtoConfig, TimerVerdict, TransportError};
 pub use sender::{Sender, SenderConfig};
-pub use session::Session;
+pub use session::{ReliabilityStats, Session};
 pub use stream::{StreamReceiver, StreamStats};

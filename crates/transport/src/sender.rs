@@ -48,6 +48,9 @@ pub struct Sender {
     tpdu_elements: u32,
     /// TPDUs retransmitted.
     pub retransmissions: u64,
+    /// TPDUs shed by the reliability layer after their retry budget emptied
+    /// (graceful degradation: the window keeps moving without them).
+    pub shed: u64,
 }
 
 impl Sender {
@@ -63,6 +66,7 @@ impl Sender {
             cfg,
             pending: BTreeMap::new(),
             retransmissions: 0,
+            shed: 0,
         }
     }
 
@@ -133,7 +137,7 @@ impl Sender {
         let acked: Vec<u64> = self
             .pending
             .iter()
-            .filter(|(&s, t)| s + t.elements as u64 <= ack.cumulative || ack.sacks.contains(&s))
+            .filter(|(&s, t)| ack.acknowledges(s, s + t.elements as u64))
             .map(|(&s, _)| s)
             .collect();
         for s in acked {
@@ -146,6 +150,24 @@ impl Sender {
     /// Starts of TPDUs still awaiting acknowledgment.
     pub fn unacked_starts(&self) -> Vec<u64> {
         self.pending.keys().copied().collect()
+    }
+
+    /// True while the TPDU at `start` awaits acknowledgment.
+    pub fn is_pending(&self, start: u64) -> bool {
+        self.pending.contains_key(&start)
+    }
+
+    /// Abandons an unacked TPDU: the reliability layer's graceful
+    /// degradation when a retry budget empties. The TPDU leaves the window
+    /// (so `pending_tpdus` can reach zero and the stream keeps moving) and
+    /// is counted in [`Self::shed`]. Returns true when the TPDU existed.
+    pub fn abandon(&mut self, start: u64) -> bool {
+        if self.pending.remove(&start).is_some() {
+            self.shed += 1;
+            true
+        } else {
+            false
+        }
     }
 
     /// Re-sends only the 8-byte ED chunks of the named TPDUs (the data
@@ -171,24 +193,88 @@ impl Sender {
         &mut self,
         ack: &crate::ack::AckInfo,
     ) -> Result<Vec<Packet>, CoreError> {
-        let mut packets = self.retransmit_gaps(&ack.gaps)?;
-        packets.extend(self.retransmit_eds(&ack.need_ed)?);
-        let unmentioned: Vec<u64> = self
-            .pending
-            .iter()
-            .filter(|(&start, t)| {
-                let end = start + t.elements as u64;
-                let acked = end <= ack.cumulative || ack.sacks.contains(&start);
-                let touched = ack.need_ed.contains(&start)
-                    || ack.gaps.iter().any(|&(lo, hi)| lo < end && start < hi);
-                !acked && !touched
-            })
-            .map(|(&s, _)| s)
-            .collect();
-        if !unmentioned.is_empty() {
-            packets.extend(self.retransmit(&unmentioned)?);
+        self.retransmit_for_ack_limited(ack, usize::MAX)
+    }
+
+    /// [`Self::retransmit_for_ack`] with window-limited repair: at most
+    /// `max_tpdus` pending TPDUs (in connection-space order) are repaired
+    /// per call, so a pathological gap report cannot make one call
+    /// retransmit the whole stream in a single burst. The remaining TPDUs
+    /// are picked up by later calls (or by the retransmission timer).
+    pub fn retransmit_for_ack_limited(
+        &mut self,
+        ack: &crate::ack::AckInfo,
+        max_tpdus: usize,
+    ) -> Result<Vec<Packet>, CoreError> {
+        self.retransmit_for_ack_parts(ack, max_tpdus)
+            .map(|(packets, _)| packets)
+    }
+
+    /// [`Self::retransmit_for_ack_limited`], also reporting which TPDU
+    /// starts were repaired (so the reliability layer can re-arm their
+    /// retransmission timers).
+    pub fn retransmit_for_ack_parts(
+        &mut self,
+        ack: &crate::ack::AckInfo,
+        max_tpdus: usize,
+    ) -> Result<(Vec<Packet>, Vec<u64>), CoreError> {
+        let mut chunks = Vec::new();
+        let mut repaired: Vec<u64> = Vec::new();
+        for (&start, tpdu) in &self.pending {
+            if repaired.len() >= max_tpdus {
+                break;
+            }
+            let end = start + tpdu.elements as u64;
+            if ack.acknowledges(start, end) {
+                continue; // acknowledged, nothing to repair
+            }
+            repaired.push(start);
+            if ack.need_ed.contains(&start) {
+                // Data arrived; only the 8-byte digest is missing.
+                chunks.push(tpdu.ed.clone());
+                continue;
+            }
+            let overlapping: Vec<(u64, u64)> = ack
+                .gaps
+                .iter()
+                .filter(|&&(lo, hi)| lo < end && start < hi)
+                .copied()
+                .collect();
+            if overlapping.is_empty() {
+                // The report does not mention this TPDU at all: its packets
+                // vanished before the receiver learned they exist, so it
+                // cannot nack what it never saw. Full retransmission.
+                chunks.extend(tpdu.all_chunks());
+                continue;
+            }
+            // Precise sub-chunk repair (Appendix C extraction); the ED chunk
+            // rides along so a receiver that lost it can still verify.
+            for &(lo, hi) in &overlapping {
+                let want_lo = lo.max(start);
+                let want_hi = hi.min(end);
+                if want_lo >= want_hi {
+                    continue;
+                }
+                for c in &tpdu.chunks {
+                    // Chunk covers [c_lo, c_hi) in connection space.
+                    let c_lo = start + c.header.tpdu.sn as u64;
+                    let c_hi = c_lo + c.header.len as u64;
+                    let take_lo = want_lo.max(c_lo);
+                    let take_hi = want_hi.min(c_hi);
+                    if take_lo >= take_hi {
+                        continue;
+                    }
+                    chunks.push(chunks_core::frag::extract(
+                        c,
+                        (take_lo - c_lo) as u32,
+                        (take_hi - take_lo) as u32,
+                    )?);
+                }
+            }
+            chunks.push(tpdu.ed.clone());
         }
-        Ok(packets)
+        self.retransmissions += repaired.len() as u64;
+        Ok((pack(chunks, self.cfg.mtu)?, repaired))
     }
 
     /// Retransmits only the element ranges a receiver reported missing —

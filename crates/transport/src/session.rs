@@ -7,6 +7,8 @@
 //! [`PacketMux`] that lets acknowledgments for the inbound stream ride the
 //! outbound data packets — Appendix A's free piggybacking.
 
+use std::collections::VecDeque;
+
 use chunks_core::error::CoreError;
 use chunks_core::packet::{unpack, Packet};
 
@@ -14,8 +16,24 @@ use crate::ack::AckInfo;
 use crate::conn::ConnectionParams;
 use crate::mux::PacketMux;
 use crate::receiver::{DeliveryMode, Receiver, RxEvent};
+use crate::rto::{DegradePolicy, RetransmitTimer, RtoConfig, TimerVerdict, TransportError};
 use crate::sender::{Sender, SenderConfig};
 use chunks_wsc::InvariantLayout;
+
+/// Counters kept by the session's reliability layer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReliabilityStats {
+    /// TPDUs retransmitted because their timer fired (no ack arrived).
+    pub timer_retransmits: u64,
+    /// TPDUs shed after their retry budget emptied (graceful degradation).
+    pub shed_tpdus: u64,
+    /// RTT samples absorbed by the estimator.
+    pub rtt_samples: u64,
+    /// The current base RTO in virtual nanoseconds.
+    pub base_rto_ns: u64,
+    /// Packets deferred to a later pump by the burst cap.
+    pub burst_deferrals: u64,
+}
 
 /// One endpoint of a bidirectional chunk conversation.
 #[derive(Debug)]
@@ -28,6 +46,21 @@ pub struct Session {
     inbound_ack: Option<AckInfo>,
     /// Whether the first full transmission already happened.
     transmitted_once: bool,
+    /// Timer-driven retransmission state (virtual clock).
+    rto: RetransmitTimer,
+    /// The session's virtual clock, advanced by [`Self::pump`] and
+    /// [`Self::handle_packet`] (monotonic).
+    clock: u64,
+    /// Packets built but withheld by the per-pump burst cap.
+    backlog: VecDeque<Packet>,
+    /// Maximum packets emitted per [`Self::pump`] call.
+    max_burst_packets: usize,
+    /// Maximum TPDUs repaired per ack-driven pass (window-limited repair).
+    repair_limit_tpdus: usize,
+    /// Sticky dead-peer verdict: once declared, every later pump repeats it.
+    dead: Option<TransportError>,
+    /// Timer/shedding counters.
+    stats: ReliabilityStats,
 }
 
 impl Session {
@@ -47,7 +80,33 @@ impl Session {
             rx: Receiver::new(mode, remote, remote_layout, capacity_elements),
             inbound_ack: None,
             transmitted_once: false,
+            rto: RetransmitTimer::new(RtoConfig::default()),
+            clock: 0,
+            backlog: VecDeque::new(),
+            max_burst_packets: 256,
+            repair_limit_tpdus: 64,
+            dead: None,
+            stats: ReliabilityStats::default(),
         }
+    }
+
+    /// Replaces the retransmission-timer configuration (call before the
+    /// first transmission).
+    pub fn with_rto(mut self, cfg: RtoConfig) -> Self {
+        self.rto = RetransmitTimer::new(cfg);
+        self
+    }
+
+    /// Overrides the per-pump burst cap (packets) and the per-pass repair
+    /// limit (TPDUs).
+    pub fn with_burst_limits(
+        mut self,
+        max_burst_packets: usize,
+        repair_limit_tpdus: usize,
+    ) -> Self {
+        self.max_burst_packets = max_burst_packets.max(1);
+        self.repair_limit_tpdus = repair_limit_tpdus.max(1);
+        self
     }
 
     /// Queues application data on the outbound stream.
@@ -77,39 +136,151 @@ impl Session {
         self.rx.stats
     }
 
+    /// The session's virtual clock.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Snapshot of the reliability counters.
+    pub fn reliability(&self) -> ReliabilityStats {
+        ReliabilityStats {
+            rtt_samples: self.rto.samples,
+            base_rto_ns: self.rto.base_rto_ns(),
+            ..self.stats
+        }
+    }
+
     /// Builds the next batch of packets to put on the wire: outbound data
     /// (initial transmission, or a selective repair driven by the last ack
     /// we received) with the current inbound ack piggybacked onto it.
+    ///
+    /// This is the purely reactive half of the sender — lost acks stall it.
+    /// Timer-driven recovery lives in [`Self::pump`].
     pub fn poll_transmit(&mut self) -> Result<Vec<Packet>, CoreError> {
+        match self.emit(false) {
+            Ok(packets) => Ok(packets),
+            Err(TransportError::Core(e)) => Err(e),
+            Err(other) => unreachable!("timer verdicts are disabled on this path: {other}"),
+        }
+    }
+
+    /// Advances the virtual clock to `now` and builds the next batch of
+    /// packets: everything [`Self::poll_transmit`] does *plus* timer-driven
+    /// retransmission of unacked TPDUs whose RTO expired (identical labels,
+    /// §3.3). When a TPDU's retry budget empties, the configured
+    /// [`DegradePolicy`] decides between shedding it (the window keeps
+    /// moving; see [`ReliabilityStats::shed_tpdus`]) and the sticky
+    /// [`TransportError::PeerUnreachable`] verdict.
+    pub fn pump(&mut self, now: u64) -> Result<Vec<Packet>, TransportError> {
+        if let Some(err) = &self.dead {
+            return Err(err.clone());
+        }
+        self.clock = self.clock.max(now);
+        self.emit(true)
+    }
+
+    fn emit(&mut self, timers: bool) -> Result<Vec<Packet>, TransportError> {
+        let now = self.clock;
         let mut mux = PacketMux::new(self.mtu);
+        // TPDUs put on the wire by this call, and whether the send is a
+        // retransmission (ambiguous for RTT sampling — Karn's rule).
+        let mut sent: Vec<(u64, bool)> = Vec::new();
+
         if !self.transmitted_once {
             self.transmitted_once = true;
             for p in self.tx.packets_for_pending()? {
                 mux.enqueue_chunks(unpack(&p)?);
             }
+            for s in self.tx.unacked_starts() {
+                // A TPDU that was already armed is going out again.
+                let again = self.rto.rto_for(s).is_some();
+                sent.push((s, again));
+            }
         } else if let Some(ack) = self.inbound_ack.take() {
             self.tx.handle_ack(&ack);
-            for p in self.tx.retransmit_for_ack(&ack)? {
+            let (packets, repaired) = self
+                .tx
+                .retransmit_for_ack_parts(&ack, self.repair_limit_tpdus)?;
+            for p in packets {
                 mux.enqueue_chunks(unpack(&p)?);
             }
+            sent.extend(repaired.into_iter().map(|s| (s, true)));
         }
+
+        if timers {
+            for verdict in self.rto.poll(now) {
+                match verdict {
+                    TimerVerdict::Retransmit(start) => {
+                        if !self.tx.is_pending(start) {
+                            // Acked or shed since the timer was armed.
+                            self.rto.forget(start);
+                            continue;
+                        }
+                        for p in self.tx.retransmit(&[start])? {
+                            mux.enqueue_chunks(unpack(&p)?);
+                        }
+                        self.stats.timer_retransmits += 1;
+                        // `poll` already backed the timer off and re-armed.
+                    }
+                    TimerVerdict::Exhausted {
+                        start,
+                        retries,
+                        elapsed_ns,
+                    } => match self.rto.config().policy {
+                        DegradePolicy::Shed => {
+                            if self.tx.abandon(start) {
+                                self.stats.shed_tpdus += 1;
+                            }
+                        }
+                        DegradePolicy::Abort => {
+                            let err = TransportError::PeerUnreachable {
+                                conn_id: self.local_conn,
+                                tpdu_start: start,
+                                retries,
+                                elapsed_ns,
+                            };
+                            self.dead = Some(err.clone());
+                            return Err(err);
+                        }
+                    },
+                }
+            }
+        }
+
+        // Arm (or re-arm) the timer for everything this call sent. This runs
+        // after the poll above so a TPDU armed now cannot fire in the same
+        // call it went out in.
+        for (s, retransmission) in sent {
+            self.rto.on_send(s, now, retransmission);
+        }
+
         // Piggyback the current state of the inbound stream. Failed groups
         // are cleared so their retransmissions verify afresh.
         for s in self.rx.failed_starts() {
             self.rx.reset_group(s);
         }
         mux.enqueue_ack(self.local_conn, &self.rx.make_ack());
-        mux.flush()
+
+        // Burst cap: everything queues, at most `max_burst_packets` leave.
+        self.backlog.extend(mux.flush()?);
+        let take = self.backlog.len().min(self.max_burst_packets);
+        let out: Vec<Packet> = self.backlog.drain(..take).collect();
+        self.stats.burst_deferrals += self.backlog.len() as u64;
+        Ok(out)
     }
 
     /// Ingests a packet from the peer: inbound data feeds the receiver,
-    /// acks for our outbound connection feed the sender.
+    /// acks for our outbound connection feed the sender (disarming timers
+    /// and, for never-retransmitted TPDUs, contributing RTT samples).
     pub fn handle_packet(&mut self, packet: &Packet, now: u64) -> Vec<RxEvent> {
+        self.clock = self.clock.max(now);
         let mut app_events = Vec::new();
         for event in self.rx.handle_packet(packet, now) {
             match event {
                 RxEvent::Acked(ack) => {
-                    self.tx.handle_ack(&ack);
+                    for start in self.tx.handle_ack(&ack) {
+                        self.rto.on_ack(start, self.clock);
+                    }
                     // Remember it for the next repair pass too.
                     self.inbound_ack = Some(ack);
                 }

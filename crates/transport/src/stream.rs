@@ -305,6 +305,40 @@ impl StreamReceiver {
         self.groups.remove(&start);
         self.x_deltas.retain(|&(s, _), _| s != start);
     }
+
+    /// Builds the current acknowledgment for the window, in the same shape
+    /// the block receiver produces: the delivered prefix is cumulative,
+    /// verified-but-blocked groups are SACKed, incomplete groups report
+    /// their precise missing ranges, and failed groups are re-nacked whole.
+    /// This is what lets the reliability layer drive timer-based repair of
+    /// a long-running stream exactly like a bounded transfer.
+    pub fn make_ack(&self) -> crate::ack::AckInfo {
+        let mut sacks: Vec<u64> = Vec::new();
+        let mut gaps: Vec<(u64, u64)> = Vec::new();
+        let mut need_ed: Vec<u64> = Vec::new();
+        for (&start, g) in &self.groups {
+            if g.verified {
+                sacks.push(start);
+            } else if g.failed.is_some() {
+                // Verification failed: the whole TPDU must come again.
+                gaps.push((start, start + g.elements.max(1)));
+            } else {
+                for (lo, hi) in g.tracker.missing() {
+                    gaps.push((start + lo, start + hi));
+                }
+                if g.tracker.is_complete() && g.ed.is_none() {
+                    need_ed.push(start);
+                }
+            }
+        }
+        gaps.sort_unstable();
+        crate::ack::AckInfo {
+            cumulative: self.base_abs,
+            sacks,
+            gaps,
+            need_ed,
+        }
+    }
 }
 
 enum Place {
@@ -482,6 +516,33 @@ mod tests {
         }
         assert_eq!(rx.poll_delivered(), vec![7u8; 16]);
         assert_eq!(rx.delivered(), 16);
+    }
+
+    #[test]
+    fn stream_ack_reports_window_state() {
+        let p = params(0);
+        let mut framer = Framer::new(p, layout());
+        let mut rx = StreamReceiver::new(p, layout(), 32);
+        let tpdus = framer.frame_simple(&[9u8; 24], 0xF, false); // 3 × 8
+                                                                 // TPDU 0 delivered, TPDU 1 missing its first half (the second half
+                                                                 // carries the T.ST bit, so the tracker knows the extent), TPDU 2
+                                                                 // whole but blocked behind TPDU 1 (SACKed, not cumulative).
+        for c in tpdus[0].all_chunks() {
+            rx.handle_chunk(c, 0);
+        }
+        let half = chunks_core::frag::extract(&tpdus[1].chunks[0], 4, 4).unwrap();
+        rx.handle_chunk(half, 0);
+        rx.handle_chunk(tpdus[1].ed.clone(), 0);
+        for c in tpdus[2].all_chunks() {
+            rx.handle_chunk(c, 0);
+        }
+        let ack = rx.make_ack();
+        assert_eq!(ack.cumulative, 8);
+        assert_eq!(ack.sacks, vec![16]);
+        assert_eq!(ack.gaps.len(), 1);
+        let (lo, hi) = ack.gaps[0];
+        assert!(lo >= 8 && hi <= 16, "gap inside TPDU 1: {lo}..{hi}");
+        assert!(ack.need_ed.is_empty());
     }
 
     #[test]

@@ -2,7 +2,11 @@
 # dependencies are vendored (see vendor/ and [patch.crates-io]).
 # Each recipe is a plain cargo command, so `just` itself is optional.
 
-# Full lint gate: formatting, clippy, rustdoc — all warnings denied.
+# Full lint gate: formatting, clippy, rustdoc — all warnings denied —
+# plus the release-mode test suite and the reliability soak.
+lint: check test-release soak
+
+# Static gate only: formatting, clippy, rustdoc.
 check: fmt clippy doc
 
 # Formatting only, no changes written.
@@ -21,6 +25,15 @@ doc:
 test:
     cargo build --release
     cargo test -q
+
+# Release-mode test suite (the soak assertions also run here, in seconds).
+test-release:
+    cargo test -q --release
+
+# Reliability soak: the full fault matrix under two seeds, deterministic,
+# release mode, well under 60 s. Rewrites BENCH_soak.json at the repo root.
+soak:
+    cargo run --release --bin experiments soak
 
 # Regenerate the BENCH_wsc.json fast-path snapshot at the repo root.
 bench-wsc:

@@ -10,10 +10,12 @@
 
 use chunks::experiments::{
     appendix_b, b1_receiver_modes, b2_frag_systems, b3_lockup, b4_codes, b5_compress, b6_demux,
-    b7_turner, b8_gap_budget, figures, table1,
+    b7_turner, b8_gap_budget, figures, soak, table1,
 };
 
 const SEED: u64 = 0xC0451;
+/// Second, independent seed for the soak determinism sweep.
+const SEED2: u64 = 0xA5EED;
 
 fn run_one(name: &str) -> bool {
     match name {
@@ -82,11 +84,58 @@ fn run_one(name: &str) -> bool {
                 .filter(|row| row.budget == 8)
                 .all(|row| row.refusals == 0)
         }
+        "soak" => {
+            let (r1, r2) = (soak::run(SEED), soak::run(SEED2));
+            println!("{r1}");
+            println!("{r2}");
+            // Same seed, same rows — the whole matrix is reproducible.
+            let deterministic = soak::run(SEED) == r1;
+            if let Err(e) = std::fs::write("BENCH_soak.json", soak_json(&[&r1, &r2])) {
+                eprintln!("could not write BENCH_soak.json: {e}");
+            }
+            deterministic && r1.passes() && r2.passes()
+        }
         other => {
             eprintln!("unknown experiment: {other}");
             false
         }
     }
+}
+
+/// Renders the soak sweeps as the BENCH_soak.json goodput-under-loss record.
+fn soak_json(results: &[&soak::SoakResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"soak-reliability-under-faults\",\n");
+    out.push_str(
+        "  \"regenerate\": \"cargo run --release --bin experiments soak (or: just soak)\",\n",
+    );
+    out.push_str(&format!(
+        "  \"workload\": \"{} bytes over a 4-path bundle through a Byzantine middlebox, virtual clock, tick {} ns\",\n",
+        soak::PAYLOAD_BYTES,
+        soak::TICK_NS
+    ));
+    out.push_str("  \"results\": [\n");
+    let rows: Vec<String> = results
+        .iter()
+        .flat_map(|r| r.rows.iter())
+        .map(|row| {
+            format!(
+                "    {{\"scenario\": \"{}\", \"seed\": \"{:#x}\", \"outcome\": \"{}\", \"delivered_frac\": {:.3}, \"virtual_ms\": {:.1}, \"timer_retransmits\": {}, \"shed_tpdus\": {}, \"acks_dropped\": {}, \"goodput_mib_s\": {:.2}}}",
+                row.scenario,
+                row.seed,
+                row.outcome,
+                row.delivered_frac(),
+                row.elapsed_ns as f64 / 1e6,
+                row.timer_retransmits,
+                row.shed_tpdus,
+                row.acks_dropped,
+                row.goodput_mibps,
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
 }
 
 fn print_fig(f: figures::FigureResult) -> bool {
@@ -115,6 +164,7 @@ fn main() {
         "b6",
         "b7",
         "b8",
+        "soak",
     ];
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         all.to_vec()

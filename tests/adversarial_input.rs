@@ -6,6 +6,7 @@ use chunks::baseline::aal::{Cell, CellReassembler};
 use chunks::baseline::ip::{IpPacket, IpReassembler};
 use chunks::baseline::xtp::{decode_super, XtpPdu};
 use chunks::core::packet::Packet;
+use chunks::core::wire;
 use chunks::transport::{
     AckInfo, ConnectionDemux, ConnectionParams, DeliveryMode, Receiver, Sender, SenderConfig,
     Signal,
@@ -123,4 +124,102 @@ proptest! {
             let _ = r.push(&Cell { payload, eof });
         }
     }
+}
+
+/// One valid encoded chunk of every chunk type (padding is represented by
+/// the all-zero end-of-packet marker).
+fn valid_exemplars() -> Vec<Vec<u8>> {
+    use chunks::core::chunk::{byte_chunk, Chunk, ChunkHeader};
+    use chunks::core::label::{ChunkType, FramingTuple};
+
+    let t = |id, sn| FramingTuple::new(id, sn, false);
+    let control = |ty, size: u16| {
+        Chunk::new(
+            ChunkHeader::control(ty, size, t(5, 0), t(0, 0), t(0, 0)),
+            vec![0x5Au8; size as usize].into(),
+        )
+        .unwrap()
+    };
+    let mut frames = Vec::new();
+    for chunk in [
+        byte_chunk(t(5, 64), t(0, 64), t(0xE, 0), &[0xA5u8; 24]),
+        control(ChunkType::ErrorDetection, 8),
+        control(ChunkType::Signal, 6),
+        control(ChunkType::Ack, 14),
+    ] {
+        let mut buf = Vec::new();
+        wire::encode_chunk(&chunk, &mut buf);
+        frames.push(buf);
+    }
+    frames.push(vec![0u8; wire::WIRE_HEADER_LEN]); // end-of-packet marker
+    frames
+}
+
+/// Deterministic byte-mangling fuzz loop over every valid header form: every
+/// single-bit flip, every truncation, and a seeded multi-byte mangle. The
+/// decoder must always return a typed [`chunks::core::error::CoreError`] or
+/// a consistent success — never panic, never read past the buffer.
+#[test]
+fn decoder_survives_systematic_mangling_of_all_valid_headers() {
+    for original in valid_exemplars() {
+        // Every single-bit flip of the encoding.
+        for at in 0..original.len() {
+            for bit in 0..8 {
+                let mut buf = original.clone();
+                buf[at] ^= 1u8 << bit;
+                if let Ok((_, used)) = wire::decode_chunk(&buf) {
+                    assert!(used <= buf.len(), "decoder claimed {used} of {}", buf.len());
+                }
+                let _ = wire::decode_header(&buf);
+            }
+        }
+        // Every truncation point.
+        for cut in 0..original.len() {
+            let _ = wire::decode_chunk(&original[..cut]);
+        }
+        // Seeded multi-byte mangle: 1..=4 bytes rewritten per iteration.
+        let mut state = 0x1D_F00Du64;
+        let mut next = move |m: usize| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m
+        };
+        for _ in 0..2_000 {
+            let mut buf = original.clone();
+            for _ in 0..=next(4) {
+                let at = next(buf.len());
+                buf[at] = next(256) as u8;
+            }
+            let _ = wire::decode_chunk(&buf);
+        }
+    }
+}
+
+/// The same mangling applied at the packet level: a frame holding every
+/// exemplar chunk, bit-flipped everywhere, must always unpack to a typed
+/// result — and an adversarial `SIZE`/`LEN` pair claiming a near-2^48
+/// payload must be refused as `OversizedLen` before any allocation.
+#[test]
+fn packet_unpack_survives_systematic_mangling() {
+    use chunks::core::error::CoreError;
+    use chunks::core::packet::unpack;
+
+    let frame: Vec<u8> = valid_exemplars().concat();
+    for at in 0..frame.len() {
+        for bit in 0..8 {
+            let mut buf = frame.clone();
+            buf[at] ^= 1u8 << bit;
+            let _ = unpack(&Packet { bytes: buf.into() });
+        }
+    }
+    // Hostile length claim: SIZE = 0xFFFF, LEN = 0xFFFF_FFFF.
+    let mut buf = frame;
+    buf[2] = 0xFF;
+    buf[3] = 0xFF;
+    buf[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
+    assert!(matches!(
+        wire::decode_chunk(&buf),
+        Err(CoreError::OversizedLen { .. })
+    ));
 }

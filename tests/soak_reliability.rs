@@ -1,0 +1,102 @@
+//! Tier-1 assertions over the reliability soak harness (`experiments soak`).
+//!
+//! The soak drives full transfers through a Byzantine middlebox on a
+//! deterministic virtual clock. These tests pin the acceptance criteria:
+//! every fault-matrix cell terminates (no livelock), pure ack loss up to
+//! 20% still delivers 100% via timer-driven retransmission, budget
+//! exhaustion degrades exactly as the policy prescribes, and the whole
+//! sweep is bit-for-bit reproducible from its seed.
+
+use chunks::experiments::soak::{self, Outcome};
+
+const SEED_A: u64 = 0xC0451;
+const SEED_B: u64 = 0xA5EED;
+
+#[test]
+fn every_cell_terminates_under_both_seeds() {
+    for seed in [SEED_A, SEED_B] {
+        let result = soak::run(seed);
+        assert_eq!(result.rows.len(), soak::fault_matrix().len());
+        for row in &result.rows {
+            assert!(
+                !row.hang,
+                "{} (seed {seed:#x}) hit the {} -tick livelock bound",
+                row.scenario,
+                soak::MAX_TICKS
+            );
+            assert!(
+                row.terminated_cleanly(),
+                "{} (seed {seed:#x}) ended dirty: {:?}",
+                row.scenario,
+                row
+            );
+        }
+        assert!(result.passes(), "acceptance failed under seed {seed:#x}");
+    }
+}
+
+#[test]
+fn ack_loss_up_to_twenty_percent_still_delivers_everything() {
+    for seed in [SEED_A, SEED_B] {
+        let result = soak::run(seed);
+        for row in result
+            .rows
+            .iter()
+            .filter(|r| matches!(r.scenario, "ack-loss-0" | "ack-loss-10" | "ack-loss-20"))
+        {
+            assert_eq!(
+                row.outcome,
+                Outcome::Delivered,
+                "{} under seed {seed:#x}",
+                row.scenario
+            );
+            assert_eq!(row.delivered_bytes, row.total_bytes);
+        }
+    }
+}
+
+#[test]
+fn timer_retransmission_is_what_recovers_the_blackout_rows() {
+    let result = soak::run(SEED_A);
+    let abort = result
+        .rows
+        .iter()
+        .find(|r| r.scenario == "ack-blackout-abort")
+        .unwrap();
+    // Total ack blackout under Abort: the timer fires through the whole
+    // budget for every TPDU, then the typed dead-peer verdict surfaces.
+    assert_eq!(abort.outcome, Outcome::Aborted);
+    assert!(abort.timer_retransmits > 0);
+    assert_eq!(abort.shed_tpdus, 0);
+
+    let shed = result
+        .rows
+        .iter()
+        .find(|r| r.scenario == "ack-blackout-shed")
+        .unwrap();
+    // Same blackout under Shed: every TPDU is abandoned instead, the
+    // window drains, and the session ends without an error.
+    assert_eq!(shed.outcome, Outcome::Shed);
+    assert!(shed.shed_tpdus > 0);
+    assert!(!shed.hang);
+}
+
+#[test]
+fn the_sweep_is_deterministic_and_seed_sensitive() {
+    let first = soak::run(SEED_A);
+    let second = soak::run(SEED_A);
+    assert_eq!(first, second, "same seed must reproduce identical rows");
+    // Compare behaviour only (the seed field trivially differs).
+    let behaviour = |r: &soak::SoakResult| -> Vec<_> {
+        r.rows
+            .iter()
+            .map(|row| (row.elapsed_ns, row.timer_retransmits, row.acks_dropped))
+            .collect()
+    };
+    let other = soak::run(SEED_B);
+    assert_ne!(
+        behaviour(&first),
+        behaviour(&other),
+        "different seeds must draw different fault streams"
+    );
+}

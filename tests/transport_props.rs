@@ -2,8 +2,11 @@
 //! loss/duplication/reorder pattern, retransmission with identical labels
 //! converges and the delivered bytes equal the sent bytes.
 
+use chunks::core::label::ChunkType;
+use chunks::core::packet::unpack;
 use chunks::transport::{
-    ConnectionParams, DeliveryMode, Receiver, Sender, SenderConfig, StreamReceiver,
+    ConnectionParams, DegradePolicy, DeliveryMode, Receiver, RetransmitTimer, RtoConfig, Sender,
+    SenderConfig, Session, StreamReceiver,
 };
 use chunks::wsc::InvariantLayout;
 use proptest::prelude::*;
@@ -117,5 +120,90 @@ proptest! {
         prop_assert_eq!(&received, &sent);
         prop_assert_eq!(rx.stats.overrun_chunks, 0);
         prop_assert_eq!(rx.stats.tpdus_failed, 0);
+    }
+
+    #[test]
+    fn timer_retransmissions_are_byte_identical(
+        message in proptest::collection::vec(any::<u8>(), 32..300),
+    ) {
+        // §3.3: "retransmitted data uses identical identifiers". Whatever
+        // the timer resends must match an originally transmitted chunk on
+        // labels AND payload, bit for bit.
+        let mut s = Session::new(
+            SenderConfig {
+                params: params(),
+                layout: layout(),
+                mtu: 128,
+                min_tpdu_elements: 4,
+                max_tpdu_elements: 64,
+            },
+            params(),
+            layout(),
+            DeliveryMode::Immediate,
+            4096,
+        );
+        s.send(&message, 0xE, false);
+        let mut originals = Vec::new();
+        for p in s.pump(0).unwrap() {
+            originals.extend(unpack(&p).unwrap());
+        }
+        prop_assert!(originals.iter().any(|c| c.header.ty == ChunkType::Data));
+        // No acks ever arrive; keep pumping until the timer fires.
+        let mut retransmitted = Vec::new();
+        let mut t = 0u64;
+        while retransmitted.is_empty() && t < 20_000_000 {
+            t += 500_000;
+            for p in s.pump(t).unwrap() {
+                retransmitted.extend(
+                    unpack(&p).unwrap().into_iter().filter(|c| {
+                        matches!(c.header.ty, ChunkType::Data | ChunkType::ErrorDetection)
+                    }),
+                );
+            }
+        }
+        prop_assert!(!retransmitted.is_empty(), "timer never fired");
+        for c in &retransmitted {
+            prop_assert!(
+                originals.contains(c),
+                "retransmission differs from every original: {:?}",
+                c.header
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_is_monotone_until_a_sample_resets_it(
+        initial in 200_000u64..5_000_000,
+        retries in 4u32..12,
+    ) {
+        let cfg = RtoConfig {
+            initial_rto_ns: initial,
+            min_rto_ns: initial / 4,
+            max_rto_ns: initial * 64,
+            max_retries: retries,
+            policy: DegradePolicy::Shed,
+        };
+        let mut timer = RetransmitTimer::new(cfg);
+        timer.on_send(0, 0, false);
+        // With no acks the per-TPDU RTO never decreases, fire after fire,
+        // until the budget empties and the entry is disarmed.
+        let mut prev = 0u64;
+        while let Some(rto) = timer.rto_for(0) {
+            prop_assert!(rto >= prev, "backoff shrank: {rto} < {prev}");
+            prev = rto;
+            let due = timer.next_expiry().unwrap();
+            timer.poll(due);
+        }
+        prop_assert_eq!(timer.fires, retries as u64);
+        // A fresh RTT sample (from a never-retransmitted TPDU) recomputes
+        // the base and so resets the saturated backoff for future sends.
+        let now = 1_000_000_000;
+        timer.on_send(8, now, false);
+        timer.on_ack(8, now + initial / 8);
+        prop_assert_eq!(timer.samples, 1);
+        timer.on_send(16, now, false);
+        let fresh = timer.rto_for(16).unwrap();
+        prop_assert!(fresh <= initial, "sample did not reset the base");
+        prop_assert!(fresh < prev, "fresh send still runs under old backoff");
     }
 }
