@@ -12,7 +12,7 @@ use bytes::Bytes;
 use crate::chunk::Chunk;
 use crate::error::CoreError;
 use crate::frag::split;
-use crate::wire::{decode_chunk, encode_chunk, WIRE_HEADER_LEN};
+use crate::wire::{decode_chunk, encode_chunk, MAX_DECODE_PAYLOAD, WIRE_HEADER_LEN};
 
 /// A packet: the atomic physical unit exchanged between protocol processors.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -172,6 +172,54 @@ pub fn unpack(packet: &Packet) -> Result<Vec<Chunk>, CoreError> {
     Ok(chunks)
 }
 
+/// Scans a packet's encoded chunks without materialising payloads, returning
+/// the byte span `[start, end)` of each chunk in placement order.
+///
+/// Validation is identical to [`unpack`]: the same end-marker, padding,
+/// truncation, oversize and header rules apply, so a packet is either
+/// accepted by both functions with the same chunk boundaries or rejected by
+/// both. A sharded dispatcher uses this to route cheap [`bytes::Bytes`]
+/// sub-slices of the packet to workers without touching a single payload
+/// byte on the dispatch stage.
+pub fn chunk_spans(packet: &Packet) -> Result<Vec<(usize, usize)>, CoreError> {
+    let bytes: &[u8] = &packet.bytes;
+    let mut spans = Vec::new();
+    let mut at = 0usize;
+    while at < bytes.len() {
+        let rest = &bytes[at..];
+        if rest.len() < WIRE_HEADER_LEN {
+            if rest.iter().all(|&b| b == 0) {
+                break;
+            }
+            return Err(CoreError::Truncated);
+        }
+        let header = crate::wire::decode_header(rest)?;
+        if header.len == 0 {
+            if rest[WIRE_HEADER_LEN..].iter().any(|&b| b != 0) {
+                return Err(CoreError::TrailingGarbage);
+            }
+            break;
+        }
+        header.validate()?;
+        // Same widened bound check as `decode_chunk` (the claim approaches
+        // 2^48 and must not touch usize arithmetic first).
+        let claimed = header.size as u64 * header.len as u64;
+        if claimed > MAX_DECODE_PAYLOAD as u64 {
+            return Err(CoreError::OversizedLen {
+                claimed,
+                max: MAX_DECODE_PAYLOAD as u64,
+            });
+        }
+        let total = WIRE_HEADER_LEN + claimed as usize;
+        if rest.len() < total {
+            return Err(CoreError::Truncated);
+        }
+        spans.push((at, at + total));
+        at += total;
+    }
+    Ok(spans)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,5 +353,69 @@ mod tests {
     #[test]
     fn empty_chunk_list_produces_no_packets() {
         assert!(pack(vec![], 1500).unwrap().is_empty());
+    }
+
+    /// `chunk_spans` and `unpack` must agree chunk-for-chunk on accepted
+    /// packets and error-for-error on rejected ones — the property a
+    /// zero-copy dispatch stage depends on.
+    fn assert_spans_agree(p: &Packet) {
+        match (chunk_spans(p), unpack(p)) {
+            (Ok(spans), Ok(chunks)) => {
+                assert_eq!(spans.len(), chunks.len());
+                for ((lo, hi), chunk) in spans.iter().zip(&chunks) {
+                    let (decoded, used) = decode_chunk(&p.bytes[*lo..*hi]).unwrap();
+                    assert_eq!(used, hi - lo);
+                    assert_eq!(&decoded, chunk);
+                }
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("span scan {a:?} disagrees with unpack {b:?}"),
+        }
+    }
+
+    #[test]
+    fn spans_agree_with_unpack_on_wellformed_packets() {
+        let chunks = vec![data_chunk(7), ed_chunk(), data_chunk(30)];
+        for p in pack(chunks, 120).unwrap() {
+            assert_spans_agree(&p);
+        }
+        let mut b = PacketBuilder::new(200);
+        b.push(data_chunk(5)).unwrap();
+        assert_spans_agree(&b.finish_padded());
+        assert_spans_agree(&Packet {
+            bytes: Bytes::new(),
+        });
+    }
+
+    #[test]
+    fn spans_agree_with_unpack_on_malformed_packets() {
+        // Truncated mid-payload.
+        let mut raw = Vec::new();
+        encode_chunk(&data_chunk(9), &mut raw);
+        raw.truncate(raw.len() - 3);
+        assert_spans_agree(&Packet { bytes: raw.into() });
+        // Garbage after the end marker.
+        let mut b = PacketBuilder::new(120);
+        b.push(data_chunk(5)).unwrap();
+        let mut raw = b.finish_padded().bytes.to_vec();
+        *raw.last_mut().unwrap() = 0x42;
+        assert_spans_agree(&Packet { bytes: raw.into() });
+        // Unknown TYPE byte.
+        let mut raw = Vec::new();
+        encode_chunk(&data_chunk(4), &mut raw);
+        raw[0] = 0x7F;
+        assert_spans_agree(&Packet { bytes: raw.into() });
+        // Oversized claim.
+        let mut raw = Vec::new();
+        encode_chunk(&data_chunk(4), &mut raw);
+        raw[2] = 0xFF;
+        raw[3] = 0xFF;
+        raw[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert_spans_agree(&Packet { bytes: raw.into() });
+        // Sub-header trailing garbage.
+        let mut raw = Vec::new();
+        encode_chunk(&data_chunk(4), &mut raw);
+        raw.extend_from_slice(&[0, 0, 0x99]);
+        assert_spans_agree(&Packet { bytes: raw.into() });
     }
 }

@@ -101,13 +101,17 @@ pub fn encode_chunk(c: &Chunk, out: &mut Vec<u8>) {
 pub fn decode_chunk(buf: &[u8]) -> Result<(Chunk, usize), CoreError> {
     let header = decode_header(buf)?;
     header.validate()?;
-    let plen = header.payload_len();
-    if plen > MAX_DECODE_PAYLOAD {
+    // Widen before multiplying: `SIZE * LEN` approaches 2^48, which on a
+    // 32-bit target would wrap a `usize` product *before* the bound check
+    // could see it — `ChunkHeader::payload_len` must not be trusted here.
+    let claimed = header.size as u64 * header.len as u64;
+    if claimed > MAX_DECODE_PAYLOAD as u64 {
         return Err(CoreError::OversizedLen {
-            claimed: plen as u64,
+            claimed,
             max: MAX_DECODE_PAYLOAD as u64,
         });
     }
+    let plen = claimed as usize;
     let total = WIRE_HEADER_LEN + plen;
     if buf.len() < total {
         return Err(CoreError::Truncated);
@@ -199,6 +203,90 @@ mod tests {
             decode_chunk(&buf).unwrap_err(),
             CoreError::OversizedLen { .. }
         ));
+    }
+
+    /// Builds a raw wire buffer for a data chunk claiming `size`×`len` with
+    /// `payload` actually present after the header.
+    fn raw_data_chunk(size: u16, len: u32, payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(WIRE_HEADER_LEN + payload.len());
+        buf.push(ChunkType::Data.to_u8());
+        buf.push(0); // flags
+        buf.extend_from_slice(&size.to_be_bytes());
+        buf.extend_from_slice(&len.to_be_bytes());
+        buf.extend_from_slice(&[0u8; 24]); // C/T/X tuples all zero
+        buf.extend_from_slice(payload);
+        buf
+    }
+
+    #[test]
+    fn payload_exactly_at_limit_accepted() {
+        // SIZE × LEN lands exactly on MAX_DECODE_PAYLOAD: the bound is
+        // inclusive, so the chunk decodes.
+        let size = 1u16 << 8;
+        let len = (MAX_DECODE_PAYLOAD / size as usize) as u32;
+        assert_eq!(size as usize * len as usize, MAX_DECODE_PAYLOAD);
+        let payload = vec![0x5Au8; MAX_DECODE_PAYLOAD];
+        let buf = raw_data_chunk(size, len, &payload);
+        let (chunk, used) = decode_chunk(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(chunk.payload.len(), MAX_DECODE_PAYLOAD);
+    }
+
+    #[test]
+    fn payload_one_below_limit_accepted() {
+        let len = (MAX_DECODE_PAYLOAD - 1) as u32;
+        let payload = vec![0xA5u8; MAX_DECODE_PAYLOAD - 1];
+        let buf = raw_data_chunk(1, len, &payload);
+        let (chunk, used) = decode_chunk(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(chunk.payload.len(), MAX_DECODE_PAYLOAD - 1);
+    }
+
+    #[test]
+    fn payload_one_above_limit_rejected_before_truncation() {
+        // One byte over the bound, with *no* payload present at all: the
+        // oversize check must fire before the truncation check, otherwise a
+        // hostile header steers the decoder into buffer-length math with an
+        // attacker-controlled 2^48-scale claim.
+        let len = (MAX_DECODE_PAYLOAD + 1) as u32;
+        let buf = raw_data_chunk(1, len, &[]);
+        assert_eq!(
+            decode_chunk(&buf).unwrap_err(),
+            CoreError::OversizedLen {
+                claimed: MAX_DECODE_PAYLOAD as u64 + 1,
+                max: MAX_DECODE_PAYLOAD as u64,
+            }
+        );
+    }
+
+    #[test]
+    fn oversize_claim_is_widened_not_wrapped() {
+        // SIZE = 0xFFFF, LEN = 0xFFFF_FFFF multiplies to ~2^48. On a 32-bit
+        // usize that product wraps to a small number; the decoder must
+        // compute the claim in u64 so the bound check still fires and the
+        // reported claim is the real one.
+        let buf = raw_data_chunk(0xFFFF, u32::MAX, &[]);
+        assert_eq!(
+            decode_chunk(&buf).unwrap_err(),
+            CoreError::OversizedLen {
+                claimed: 0xFFFF_u64 * 0xFFFF_FFFF_u64,
+                max: MAX_DECODE_PAYLOAD as u64,
+            }
+        );
+    }
+
+    #[test]
+    fn zero_len_data_chunk_rejected_without_allocation() {
+        // A data-TYPE header with LEN = 0 is not an end marker (that role is
+        // reserved for padding); it must be refused by validation — before
+        // any payload arithmetic or allocation — and must not panic even
+        // with an extreme SIZE riding along.
+        let buf = raw_data_chunk(0xFFFF, 0, &[]);
+        assert_eq!(decode_chunk(&buf).unwrap_err(), CoreError::ZeroLen);
+        // Same for a zero SIZE with a huge LEN: caught as ZeroSize, and the
+        // 0 × LEN product never reaches the allocator as a "fits" claim.
+        let buf = raw_data_chunk(0, u32::MAX, &[]);
+        assert_eq!(decode_chunk(&buf).unwrap_err(), CoreError::ZeroSize);
     }
 
     #[test]

@@ -26,10 +26,12 @@
 pub mod byzantine;
 pub mod link;
 pub mod path;
+pub mod profiles;
 pub mod router;
 
 pub use byzantine::{ByzantineConfig, ByzantineRouter, ByzantineStats};
 pub use link::MIN_REPACK_MTU;
 pub use link::{Link, LinkConfig, LinkStats, MultipathLink, RouteChangeLink};
 pub use path::{Hop, Path, PathBuilder};
+pub use profiles::Profile;
 pub use router::{ChunkRouter, PacketTransform, Passthrough, RefragPolicy, TurnerDropper};

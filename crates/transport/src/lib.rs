@@ -23,13 +23,18 @@
 //! * [`rto`] — the reliability layer's timer half: deterministic
 //!   virtual-clock RTO estimation (Jacobson SRTT/RTTVAR, Karn's rule),
 //!   exponential backoff, bounded retry budgets, and the typed dead-peer
-//!   verdict that replaces an ack-loss deadlock.
+//!   verdict that replaces an ack-loss deadlock;
+//! * [`parallel`] — the order-free parallel receive pipeline: arriving
+//!   chunks fan out to shard-per-worker receivers by connection label, with
+//!   a merge stage that folds per-worker verification transcripts; provably
+//!   equivalent to the serial path (`tests/parallel_differential.rs`).
 
 pub mod ack;
 pub mod conn;
 pub mod frame;
 pub mod mtu;
 pub mod mux;
+pub mod parallel;
 pub mod receiver;
 pub mod rto;
 pub mod sender;
@@ -41,6 +46,10 @@ pub use conn::{ConnectionParams, Signal};
 pub use frame::{AlfFrame, Framer, Tpdu};
 pub use mtu::MtuProbe;
 pub use mux::{ConnectionDemux, DemuxEvent, PacketMux};
+pub use parallel::{
+    shard_of, ConnSpec, ControlEvent, ControlKind, DispatchStats, Engine, ParallelOutcome,
+    ParallelReceiver, Schedule, StageTimings, SyncSnapshot,
+};
 pub use receiver::{DeliveryMode, FailureReason, Receiver, RxEvent, RxStats};
 pub use rto::{DegradePolicy, RetransmitTimer, RtoConfig, TimerVerdict, TransportError};
 pub use sender::{Sender, SenderConfig};

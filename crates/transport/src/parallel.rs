@@ -1,0 +1,866 @@
+//! Order-free parallel receive pipeline.
+//!
+//! The paper's data-labelling argument (§3.3) is that self-describing chunks
+//! can be processed *the moment they arrive*, in *any* order — which means
+//! they can also be processed *anywhere*: a chunk's labels carry everything a
+//! processing unit needs, so arriving chunks can be fanned out across
+//! parallel workers with no shared reassembly state. This module builds that
+//! pipeline and keeps it provably equivalent to the serial
+//! [`ConnectionDemux`](crate::mux::ConnectionDemux) path:
+//!
+//! * **Dispatch** — [`ParallelReceiver::ingest`] walks a packet's chunk
+//!   spans (validated exactly like `unpack`: one malformed chunk rejects the
+//!   whole packet), peeks only the fixed 32-byte header of each span, and
+//!   hands the span to a worker chosen by hashing the chunk's **connection
+//!   label** (`C.ID`). The span is a zero-copy [`bytes::Bytes`] slice of the
+//!   arriving packet; payload bytes are not touched at this stage.
+//! * **Workers** — each worker owns the full [`Receiver`] state for the
+//!   connections hashed to it and processes its work queue in FIFO order.
+//!   Because *every* chunk of a connection lands on the same worker, the
+//!   per-connection arrival order is preserved, and each receiver behaves
+//!   bit-identically to the serial path — for any worker count and any
+//!   cross-worker interleaving. That is the equivalence argument the
+//!   differential harness (`tests/parallel_differential.rs`) checks
+//!   mechanically.
+//! * **Merge** — [`ParallelReceiver::finish`] moves each worker's receivers
+//!   out (no payload byte is ever buffered twice), folds the per-worker
+//!   delivery transcripts ([`Wsc2Stream::fold`] — parities are sums, so the
+//!   fold is order-independent), and interleaves control events back into
+//!   global arrival order using the dispatch stamps.
+//!
+//! Two engines run the same worker code:
+//!
+//! * [`Engine::Threads`] — one OS thread per worker behind a bounded SPSC
+//!   work queue; the real pipeline, used for throughput measurements.
+//! * [`Engine::Virtual`] — single-threaded, with a deterministic
+//!   [`Schedule`] choosing which worker's queue advances next. Adversarial
+//!   schedules (reverse, seeded-random, starvation) let tests *prove* that
+//!   worker interleaving cannot change any observable outcome.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use bytes::Bytes;
+use chunks_core::label::ChunkType;
+use chunks_core::packet::{chunk_spans, Packet};
+use chunks_core::wire::decode_chunk;
+use chunks_wsc::{InvariantLayout, Wsc2Stream};
+
+use crate::ack::AckInfo;
+use crate::conn::{ConnectionParams, Signal};
+use crate::receiver::{DeliveryMode, Receiver, RxEvent};
+
+/// Depth of each worker's bounded work queue (threads engine). Ingest blocks
+/// when a queue fills — backpressure instead of unbounded buffering.
+const WORK_QUEUE_DEPTH: usize = 1024;
+
+/// Chooses the worker that owns connection `conn_id`.
+///
+/// Fibonacci multiplicative hashing: sequential connection ids (the common
+/// allocation pattern) spread evenly across workers instead of clumping the
+/// way `id % workers` would under strided id assignment.
+pub fn shard_of(conn_id: u32, workers: usize) -> usize {
+    assert!(workers > 0, "at least one worker");
+    (((conn_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % workers as u64) as usize
+}
+
+/// How the pipeline executes its workers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Engine {
+    /// One OS thread per worker, bounded SPSC queues.
+    Threads,
+    /// Single-threaded deterministic simulation: queued work is drained
+    /// under the given worker-interleaving schedule. Same worker code, fully
+    /// reproducible — the engine the equivalence proofs run on.
+    Virtual(Schedule),
+}
+
+/// Deterministic worker-interleaving schedules for [`Engine::Virtual`].
+///
+/// A schedule only decides *which worker's queue advances next*; it can
+/// never reorder one worker's queue. The schedule tests assert that every
+/// variant below produces identical observable outcomes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Schedule {
+    /// Round-robin, one work item per turn.
+    Fair,
+    /// Round-robin walking worker indices downward.
+    Reverse,
+    /// Seeded LCG picks a random non-empty worker each step.
+    Seeded(u64),
+    /// Cycles through an explicit worker ordering (indices may repeat —
+    /// repeating a worker gives it longer bursts).
+    Rotation(Vec<usize>),
+    /// The named worker is starved: it runs only once every other worker's
+    /// queue is empty.
+    Starve(usize),
+}
+
+/// Everything needed to register one connection with the pipeline.
+#[derive(Clone, Debug)]
+pub struct ConnSpec {
+    /// Connection parameters (id, element size, initial `C.SN`).
+    pub params: ConnectionParams,
+    /// Invariant layout shared with the sender.
+    pub layout: InvariantLayout,
+    /// Receive-side delivery strategy.
+    pub mode: DeliveryMode,
+    /// Application address space capacity, in elements.
+    pub capacity_elements: u64,
+}
+
+/// A control-plane event observed at dispatch, stamped with its global
+/// arrival order so the merge stage can interleave events from all workers
+/// back into one deterministic sequence.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ControlEvent {
+    /// Global dispatch order (one stamp per chunk, across all packets).
+    pub stamp: u64,
+    /// What arrived.
+    pub kind: ControlKind,
+}
+
+/// The control-plane event kinds the dispatcher surfaces directly (data and
+/// ED chunks instead flow to workers and surface as [`RxEvent`]s).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ControlKind {
+    /// An acknowledgment for a connection we send on.
+    Ack {
+        /// The acknowledged connection.
+        conn_id: u32,
+        /// The acknowledgment.
+        ack: AckInfo,
+    },
+    /// A connection signal.
+    Signal(Signal),
+    /// A data/ED chunk referenced a connection no receiver is registered
+    /// for.
+    UnknownConnection {
+        /// The unknown `C.ID`.
+        conn_id: u32,
+    },
+}
+
+/// Dispatch-stage counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DispatchStats {
+    /// Packets ingested.
+    pub packets: u64,
+    /// Packets rejected whole (malformed chunk sequence), mirroring the
+    /// serial `unpack` contract.
+    pub bad_packets: u64,
+    /// Chunks routed, by wire type byte — same accounting as
+    /// [`ConnectionDemux::routed`](crate::mux::ConnectionDemux).
+    pub routed: [u64; 5],
+    /// Data/ED spans handed to workers.
+    pub chunks_dispatched: u64,
+    /// Worker-side decode failures (spans are pre-validated, so this stays
+    /// zero unless memory is corrupted between stages).
+    pub decode_errors: u64,
+}
+
+/// Wall-clock spent in each pipeline stage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimings {
+    /// Time in [`ParallelReceiver::ingest`]: span validation + routing.
+    pub dispatch_ns: u64,
+    /// Busiest single worker — the pipeline's critical path.
+    pub process_max_ns: u64,
+    /// Total worker busy time across all workers.
+    pub process_total_ns: u64,
+    /// Time in the merge stage of [`ParallelReceiver::finish`].
+    pub merge_ns: u64,
+}
+
+/// Per-connection result assembled by the merge stage. The receiver (and
+/// with it the application address space) is *moved* out of its worker —
+/// delivered payload bytes are never copied again.
+#[derive(Debug)]
+pub struct ConnReport {
+    /// The worker that owned this connection.
+    pub worker: usize,
+    /// Every [`RxEvent`] the connection's receiver emitted, in
+    /// per-connection arrival order.
+    pub events: Vec<RxEvent>,
+    /// The connection's final acknowledgment state.
+    pub ack: AckInfo,
+    /// The receiver itself, final state intact (application data,
+    /// statistics, delivered digests).
+    pub receiver: Receiver,
+}
+
+/// The merged output of the whole pipeline.
+#[derive(Debug)]
+pub struct ParallelOutcome {
+    /// Per-connection reports, keyed by `C.ID`.
+    pub conns: BTreeMap<u32, ConnReport>,
+    /// Control events in global arrival (stamp) order.
+    pub control: Vec<ControlEvent>,
+    /// Digest of the session delivery transcript: the XOR-fold of every
+    /// delivered TPDU's verified WSC-2 code, across all workers. Equal for
+    /// any worker count and schedule iff the pipelines delivered the same
+    /// verified TPDUs.
+    pub transcript_digest: [u8; 8],
+    /// Dispatch-stage counters.
+    pub dispatch: DispatchStats,
+    /// Per-stage wall-clock.
+    pub timings: StageTimings,
+    /// Data/ED chunks processed per worker (shard balance).
+    pub worker_chunks: Vec<u64>,
+}
+
+/// One unit of work on a worker queue.
+enum Work {
+    /// A data/ED chunk span, zero-copy slice of the arriving packet.
+    Chunk { raw: Bytes, now: u64 },
+    /// Clear a failed/incomplete group so a retransmission verifies afresh.
+    Reset { conn_id: u32, start: u64 },
+    /// Barrier: reply with per-connection snapshots (threads engine).
+    Sync(mpsc::Sender<Vec<SyncSnapshot>>),
+}
+
+/// Mid-stream state of one connection, taken at a [`ParallelReceiver::sync`]
+/// barrier — everything a closed-loop sender needs to keep the transfer
+/// moving (acknowledgment to return, failed groups to clear and repair).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SyncSnapshot {
+    /// The connection.
+    pub conn_id: u32,
+    /// Its current acknowledgment.
+    pub ack: AckInfo,
+    /// Starts of groups that failed verification and await a reset +
+    /// retransmission.
+    pub failed: Vec<u64>,
+}
+
+/// A worker's whole state: the receivers it owns plus its slice of the
+/// eventual merge inputs.
+struct Shard {
+    index: usize,
+    receivers: HashMap<u32, Receiver>,
+    events: HashMap<u32, Vec<RxEvent>>,
+    /// XOR-fold of verified TPDU codes delivered by this worker.
+    transcript: Wsc2Stream,
+    chunks: u64,
+    decode_errors: u64,
+    busy_ns: u64,
+}
+
+impl Shard {
+    fn new(index: usize) -> Self {
+        Shard {
+            index,
+            receivers: HashMap::new(),
+            events: HashMap::new(),
+            transcript: Wsc2Stream::new(),
+            chunks: 0,
+            decode_errors: 0,
+            busy_ns: 0,
+        }
+    }
+
+    /// Processes one work item. Identical code under both engines — the
+    /// engines differ only in *when* this runs, never in what it does.
+    fn process(&mut self, work: Work) {
+        let started = Instant::now();
+        match work {
+            Work::Chunk { raw, now } => {
+                let chunk = match decode_chunk(&raw) {
+                    Ok((c, _)) => c,
+                    Err(_) => {
+                        self.decode_errors += 1;
+                        return;
+                    }
+                };
+                let conn_id = chunk.header.conn.id;
+                let Some(rx) = self.receivers.get_mut(&conn_id) else {
+                    // Dispatch only routes registered connections here.
+                    self.decode_errors += 1;
+                    return;
+                };
+                self.chunks += 1;
+                let events = rx.handle_chunk(chunk, now);
+                for event in &events {
+                    if let RxEvent::TpduDelivered { start, .. } = event {
+                        if let Some(code) = rx.delivered_code(*start) {
+                            self.transcript.fold_code(&code);
+                        }
+                    }
+                }
+                self.events.entry(conn_id).or_default().extend(events);
+            }
+            Work::Reset { conn_id, start } => {
+                if let Some(rx) = self.receivers.get_mut(&conn_id) {
+                    rx.reset_group(start);
+                }
+            }
+            Work::Sync(reply) => {
+                let snapshots = self.snapshots();
+                // The barrier caller may have hung up; nothing to do then.
+                let _ = reply.send(snapshots);
+            }
+        }
+        self.busy_ns += started.elapsed().as_nanos() as u64;
+    }
+
+    fn snapshots(&self) -> Vec<SyncSnapshot> {
+        let mut v: Vec<SyncSnapshot> = self
+            .receivers
+            .iter()
+            .map(|(&id, rx)| SyncSnapshot {
+                conn_id: id,
+                ack: rx.make_ack(),
+                failed: rx.failed_starts(),
+            })
+            .collect();
+        v.sort_unstable_by_key(|s| s.conn_id);
+        v
+    }
+}
+
+/// Deterministic worker picker for [`Engine::Virtual`].
+struct Picker {
+    schedule: Schedule,
+    cursor: usize,
+    lcg: u64,
+    rotation_at: usize,
+}
+
+impl Picker {
+    fn new(schedule: Schedule) -> Self {
+        let lcg = match schedule {
+            Schedule::Seeded(seed) => seed ^ 0x9E37_79B9_7F4A_7C15,
+            _ => 0,
+        };
+        Picker {
+            schedule,
+            cursor: 0,
+            lcg,
+            rotation_at: 0,
+        }
+    }
+
+    /// Picks the next worker with pending work, or `None` when all queues
+    /// are empty.
+    fn next(&mut self, queues: &[VecDeque<Work>]) -> Option<usize> {
+        let n = queues.len();
+        let nonempty: Vec<usize> = (0..n).filter(|&i| !queues[i].is_empty()).collect();
+        if nonempty.is_empty() {
+            return None;
+        }
+        let pick = match &self.schedule {
+            Schedule::Fair => {
+                let chosen = (0..n)
+                    .map(|k| (self.cursor + k) % n)
+                    .find(|&i| !queues[i].is_empty())
+                    .expect("some queue is non-empty");
+                self.cursor = (chosen + 1) % n;
+                chosen
+            }
+            Schedule::Reverse => {
+                let chosen = (0..n)
+                    .map(|k| (self.cursor + n - k % n) % n)
+                    .find(|&i| !queues[i].is_empty())
+                    .expect("some queue is non-empty");
+                self.cursor = (chosen + n - 1) % n;
+                chosen
+            }
+            Schedule::Seeded(_) => {
+                self.lcg = self
+                    .lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                nonempty[((self.lcg >> 33) as usize) % nonempty.len()]
+            }
+            Schedule::Rotation(order) => {
+                assert!(!order.is_empty(), "rotation order must name a worker");
+                let mut chosen = None;
+                for _ in 0..order.len() {
+                    let cand = order[self.rotation_at % order.len()];
+                    self.rotation_at += 1;
+                    assert!(cand < n, "rotation names worker {cand} of {n}");
+                    if !queues[cand].is_empty() {
+                        chosen = Some(cand);
+                        break;
+                    }
+                }
+                // Every worker in the order is empty but some queue is not:
+                // the order must cover all workers with work, so fall back
+                // to the first non-empty to guarantee progress.
+                chosen.unwrap_or(nonempty[0])
+            }
+            Schedule::Starve(victim) => {
+                let others: Vec<usize> = nonempty.iter().copied().filter(|i| i != victim).collect();
+                if others.is_empty() {
+                    *victim
+                } else {
+                    let chosen = others[self.cursor % others.len()];
+                    self.cursor += 1;
+                    chosen
+                }
+            }
+        };
+        Some(pick)
+    }
+}
+
+/// Engine-specific runtime state.
+enum Runtime {
+    Threads {
+        senders: Vec<mpsc::SyncSender<Work>>,
+        handles: Vec<JoinHandle<Shard>>,
+    },
+    Virtual {
+        picker: Picker,
+        shards: Vec<Shard>,
+        queues: Vec<VecDeque<Work>>,
+    },
+}
+
+/// The shard-per-worker parallel receive pipeline. See the module docs for
+/// the three stages and the equivalence argument.
+pub struct ParallelReceiver {
+    workers: usize,
+    runtime: Runtime,
+    dispatch: DispatchStats,
+    dispatch_ns: u64,
+    /// Global chunk arrival counter; stamps control events so the merge can
+    /// restore one deterministic order.
+    stamp: u64,
+    control: Vec<ControlEvent>,
+    registered: Vec<u32>,
+}
+
+impl std::fmt::Debug for ParallelReceiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelReceiver")
+            .field("workers", &self.workers)
+            .field("dispatch", &self.dispatch)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ParallelReceiver {
+    /// Builds the pipeline with `workers` workers and registers every
+    /// connection in `conns`, each on the worker [`shard_of`] names.
+    pub fn new(workers: usize, engine: Engine, conns: Vec<ConnSpec>) -> Self {
+        assert!(workers > 0, "at least one worker");
+        let mut shards: Vec<Shard> = (0..workers).map(Shard::new).collect();
+        let mut registered = Vec::with_capacity(conns.len());
+        for spec in conns {
+            let conn_id = spec.params.conn_id;
+            registered.push(conn_id);
+            shards[shard_of(conn_id, workers)].receivers.insert(
+                conn_id,
+                Receiver::new(spec.mode, spec.params, spec.layout, spec.capacity_elements),
+            );
+        }
+        let runtime = match engine {
+            Engine::Threads => {
+                let mut senders = Vec::with_capacity(workers);
+                let mut handles = Vec::with_capacity(workers);
+                for mut shard in shards {
+                    let (tx, rx) = mpsc::sync_channel::<Work>(WORK_QUEUE_DEPTH);
+                    senders.push(tx);
+                    handles.push(std::thread::spawn(move || {
+                        while let Ok(work) = rx.recv() {
+                            shard.process(work);
+                        }
+                        shard
+                    }));
+                }
+                Runtime::Threads { senders, handles }
+            }
+            Engine::Virtual(schedule) => Runtime::Virtual {
+                picker: Picker::new(schedule),
+                shards,
+                queues: (0..workers).map(|_| VecDeque::new()).collect(),
+            },
+        };
+        ParallelReceiver {
+            workers,
+            runtime,
+            dispatch: DispatchStats::default(),
+            dispatch_ns: 0,
+            stamp: 0,
+            control: Vec::new(),
+            registered,
+        }
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The worker that owns `conn_id`.
+    pub fn worker_of(&self, conn_id: u32) -> usize {
+        shard_of(conn_id, self.workers)
+    }
+
+    /// Ingests one arriving packet at time `now`: validates the chunk
+    /// sequence exactly like the serial `unpack` (a single malformed chunk
+    /// rejects the whole packet), then routes each span.
+    pub fn ingest(&mut self, packet: &Packet, now: u64) {
+        let started = Instant::now();
+        self.dispatch.packets += 1;
+        let spans = match chunk_spans(packet) {
+            Ok(s) => s,
+            Err(_) => {
+                self.dispatch.bad_packets += 1;
+                self.dispatch_ns += started.elapsed().as_nanos() as u64;
+                return;
+            }
+        };
+        for (at, end) in spans {
+            let raw = packet.bytes.slice(at..end);
+            // The span walk already validated this header.
+            let Ok(header) = chunks_core::wire::decode_header(&raw) else {
+                continue;
+            };
+            let stamp = self.stamp;
+            self.stamp += 1;
+            self.dispatch.routed[header.ty.to_u8() as usize] += 1;
+            match header.ty {
+                ChunkType::Ack => {
+                    if let Ok((chunk, _)) = decode_chunk(&raw) {
+                        if let Ok(ack) = AckInfo::from_chunk(&chunk) {
+                            self.control.push(ControlEvent {
+                                stamp,
+                                kind: ControlKind::Ack {
+                                    conn_id: chunk.header.conn.id,
+                                    ack,
+                                },
+                            });
+                        }
+                    }
+                }
+                ChunkType::Signal => {
+                    if let Ok((chunk, _)) = decode_chunk(&raw) {
+                        if let Ok(s) = Signal::from_chunk(&chunk) {
+                            self.control.push(ControlEvent {
+                                stamp,
+                                kind: ControlKind::Signal(s),
+                            });
+                        }
+                    }
+                }
+                ChunkType::Data | ChunkType::ErrorDetection => {
+                    let conn_id = header.conn.id;
+                    if self.registered.contains(&conn_id) {
+                        self.dispatch.chunks_dispatched += 1;
+                        self.send(shard_of(conn_id, self.workers), Work::Chunk { raw, now });
+                    } else {
+                        self.control.push(ControlEvent {
+                            stamp,
+                            kind: ControlKind::UnknownConnection { conn_id },
+                        });
+                    }
+                }
+                ChunkType::Padding => {}
+            }
+        }
+        self.dispatch_ns += started.elapsed().as_nanos() as u64;
+    }
+
+    /// Clears a failed/incomplete group on `conn_id` so a retransmission
+    /// (identical identifiers, §3.3) verifies afresh. Ordered with the
+    /// connection's chunks: the reset travels the same FIFO.
+    pub fn reset_group(&mut self, conn_id: u32, start: u64) {
+        self.send(
+            shard_of(conn_id, self.workers),
+            Work::Reset { conn_id, start },
+        );
+    }
+
+    fn send(&mut self, worker: usize, work: Work) {
+        match &mut self.runtime {
+            Runtime::Threads { senders, .. } => {
+                // A send can only fail if the worker panicked; surface that
+                // at join time, not here.
+                let _ = senders[worker].send(work);
+            }
+            Runtime::Virtual { queues, .. } => queues[worker].push_back(work),
+        }
+    }
+
+    /// Drives every queued work item to completion (virtual engine), using
+    /// the schedule to interleave workers.
+    fn drain_virtual(&mut self) {
+        if let Runtime::Virtual {
+            picker,
+            shards,
+            queues,
+        } = &mut self.runtime
+        {
+            while let Some(w) = picker.next(queues) {
+                let work = queues[w].pop_front().expect("picker returned non-empty");
+                shards[w].process(work);
+            }
+        }
+    }
+
+    /// Mid-stream snapshot of every registered connection, sorted by
+    /// `C.ID`. Acts as a barrier: all work queued so far is processed first.
+    pub fn sync(&mut self) -> Vec<SyncSnapshot> {
+        match &mut self.runtime {
+            Runtime::Threads { senders, .. } => {
+                let mut replies = Vec::with_capacity(senders.len());
+                for tx in senders.iter() {
+                    let (reply_tx, reply_rx) = mpsc::channel();
+                    let _ = tx.send(Work::Sync(reply_tx));
+                    replies.push(reply_rx);
+                }
+                let mut snapshots: Vec<SyncSnapshot> = replies
+                    .into_iter()
+                    .filter_map(|rx| rx.recv().ok())
+                    .flatten()
+                    .collect();
+                snapshots.sort_unstable_by_key(|s| s.conn_id);
+                snapshots
+            }
+            Runtime::Virtual { .. } => {
+                self.drain_virtual();
+                if let Runtime::Virtual { shards, .. } = &self.runtime {
+                    let mut snapshots: Vec<SyncSnapshot> =
+                        shards.iter().flat_map(|s| s.snapshots()).collect();
+                    snapshots.sort_unstable_by_key(|s| s.conn_id);
+                    snapshots
+                } else {
+                    unreachable!()
+                }
+            }
+        }
+    }
+
+    /// Current acknowledgment for every registered connection, sorted by
+    /// `C.ID`. A barrier, like [`sync`](Self::sync).
+    pub fn make_acks(&mut self) -> Vec<(u32, AckInfo)> {
+        self.sync()
+            .into_iter()
+            .map(|s| (s.conn_id, s.ack))
+            .collect()
+    }
+
+    /// Shuts the pipeline down and merges every worker's state into one
+    /// [`ParallelOutcome`]. Receivers (and their application buffers) are
+    /// moved, not copied; transcripts are folded; control events are sorted
+    /// back into global arrival order.
+    pub fn finish(mut self) -> ParallelOutcome {
+        let shards: Vec<Shard> = match self.runtime {
+            Runtime::Threads { senders, handles } => {
+                drop(senders); // closes the queues; workers drain and return
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            }
+            Runtime::Virtual { .. } => {
+                self.drain_virtual();
+                match self.runtime {
+                    Runtime::Virtual { shards, .. } => shards,
+                    Runtime::Threads { .. } => unreachable!(),
+                }
+            }
+        };
+
+        let merge_started = Instant::now();
+        let mut conns = BTreeMap::new();
+        let mut transcript = Wsc2Stream::new();
+        let mut worker_chunks = vec![0u64; self.workers];
+        let mut process_max_ns = 0u64;
+        let mut process_total_ns = 0u64;
+        for mut shard in shards {
+            transcript.fold(&shard.transcript);
+            worker_chunks[shard.index] = shard.chunks;
+            self.dispatch.decode_errors += shard.decode_errors;
+            process_max_ns = process_max_ns.max(shard.busy_ns);
+            process_total_ns += shard.busy_ns;
+            let ids: Vec<u32> = shard.receivers.keys().copied().collect();
+            for conn_id in ids {
+                let receiver = shard.receivers.remove(&conn_id).expect("present");
+                let events = shard.events.remove(&conn_id).unwrap_or_default();
+                conns.insert(
+                    conn_id,
+                    ConnReport {
+                        worker: shard.index,
+                        events,
+                        ack: receiver.make_ack(),
+                        receiver,
+                    },
+                );
+            }
+        }
+        let mut control = std::mem::take(&mut self.control);
+        control.sort_by_key(|e| e.stamp);
+        let merge_ns = merge_started.elapsed().as_nanos() as u64;
+        ParallelOutcome {
+            conns,
+            control,
+            transcript_digest: transcript.digest(),
+            dispatch: self.dispatch,
+            timings: StageTimings {
+                dispatch_ns: self.dispatch_ns,
+                process_max_ns,
+                process_total_ns,
+                merge_ns,
+            },
+            worker_chunks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sender::{Sender, SenderConfig};
+
+    fn params(conn_id: u32) -> ConnectionParams {
+        ConnectionParams {
+            conn_id,
+            elem_size: 1,
+            initial_csn: 0,
+            tpdu_elements: 8,
+        }
+    }
+
+    fn layout() -> InvariantLayout {
+        InvariantLayout::with_data_symbols(1024)
+    }
+
+    fn spec(conn_id: u32) -> ConnSpec {
+        ConnSpec {
+            params: params(conn_id),
+            layout: layout(),
+            mode: DeliveryMode::Immediate,
+            capacity_elements: 256,
+        }
+    }
+
+    fn sender(conn_id: u32) -> Sender {
+        Sender::new(SenderConfig {
+            params: params(conn_id),
+            layout: layout(),
+            mtu: 1500,
+            min_tpdu_elements: 2,
+            max_tpdu_elements: 64,
+        })
+    }
+
+    fn packets_for(conns: &[u32]) -> Vec<Packet> {
+        let mut packets = Vec::new();
+        for &id in conns {
+            let mut tx = sender(id);
+            let mut msg = vec![0u8; 24];
+            msg.iter_mut()
+                .enumerate()
+                .for_each(|(i, b)| *b = (id as u8).wrapping_add(i as u8));
+            tx.submit_simple(&msg, id, false);
+            packets.extend(tx.packets_for_pending().unwrap());
+        }
+        packets
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_balanced() {
+        for id in 0..1000u32 {
+            assert_eq!(shard_of(id, 4), shard_of(id, 4));
+            assert!(shard_of(id, 4) < 4);
+        }
+        let mut counts = [0usize; 4];
+        for id in 0..64u32 {
+            counts[shard_of(id, 4)] += 1;
+        }
+        for c in counts {
+            assert!(c >= 8, "sequential ids should spread: {counts:?}");
+        }
+    }
+
+    type ConnSnapshot = (u32, Vec<u8>, [u8; 8]);
+
+    #[test]
+    fn engines_and_worker_counts_agree() {
+        let conns = [1u32, 2, 3, 4, 5];
+        let packets = packets_for(&conns);
+        let mut reference: Option<Vec<ConnSnapshot>> = None;
+        for workers in [1usize, 2, 4] {
+            for engine in [Engine::Threads, Engine::Virtual(Schedule::Fair)] {
+                let mut pr = ParallelReceiver::new(
+                    workers,
+                    engine,
+                    conns.iter().map(|&id| spec(id)).collect(),
+                );
+                for (i, p) in packets.iter().enumerate() {
+                    pr.ingest(p, i as u64);
+                }
+                let out = pr.finish();
+                assert_eq!(out.dispatch.decode_errors, 0);
+                let got: Vec<ConnSnapshot> = out
+                    .conns
+                    .iter()
+                    .map(|(&id, r)| {
+                        (
+                            id,
+                            r.receiver.app_data()[..24].to_vec(),
+                            out.transcript_digest,
+                        )
+                    })
+                    .collect();
+                match &reference {
+                    None => reference = Some(got),
+                    Some(want) => assert_eq!(&got, want, "workers={workers}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_connection_surfaces_as_control_event() {
+        let packets = packets_for(&[9]);
+        let mut pr = ParallelReceiver::new(2, Engine::Virtual(Schedule::Fair), vec![spec(1)]);
+        for p in &packets {
+            pr.ingest(p, 0);
+        }
+        let out = pr.finish();
+        assert!(out
+            .control
+            .iter()
+            .any(|e| matches!(e.kind, ControlKind::UnknownConnection { conn_id: 9 })));
+    }
+
+    #[test]
+    fn malformed_packet_rejected_whole() {
+        let mut packets = packets_for(&[1]);
+        let frame = packets.remove(0);
+        let mut bytes = frame.bytes.to_vec();
+        bytes[0] = 0x7F; // bad TYPE on the first chunk
+        let bad = Packet {
+            bytes: Bytes::from(bytes),
+        };
+        let mut pr = ParallelReceiver::new(2, Engine::Virtual(Schedule::Fair), vec![spec(1)]);
+        pr.ingest(&bad, 0);
+        let out = pr.finish();
+        assert_eq!(out.dispatch.bad_packets, 1);
+        assert_eq!(out.dispatch.chunks_dispatched, 0);
+        assert!(out.conns[&1].events.is_empty());
+    }
+
+    #[test]
+    fn make_acks_is_a_barrier() {
+        let packets = packets_for(&[1, 2]);
+        for engine in [Engine::Threads, Engine::Virtual(Schedule::Reverse)] {
+            let mut pr = ParallelReceiver::new(2, engine, vec![spec(1), spec(2)]);
+            for p in &packets {
+                pr.ingest(p, 0);
+            }
+            let acks = pr.make_acks();
+            assert_eq!(acks.len(), 2);
+            for (_, ack) in &acks {
+                assert_eq!(ack.cumulative, 24, "all queued data acked at barrier");
+            }
+            pr.finish();
+        }
+    }
+}

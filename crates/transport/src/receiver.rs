@@ -94,7 +94,7 @@ pub enum RxEvent {
 
 /// Receiver statistics — the quantities the paper's performance argument
 /// turns on.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct RxStats {
     /// Bytes written anywhere (application space or staging buffers).
     pub data_touches: u64,
@@ -573,27 +573,44 @@ impl Receiver {
     pub fn reset_group(&mut self, start: u64) {
         if let Some(g) = self.groups.remove(&start) {
             // Release the claimed range so retransmitted data may land.
-            // IntervalSet has no removal; rebuild without this group's span.
-            let mut rebuilt = chunks_vreasm::IntervalSet::new();
-            let span = (start, start + g.elements.max(g.tracker.covered()));
-            for &(s, e) in self.claimed.ranges() {
-                // Subtract the group's span from each claimed range.
-                if e <= span.0 || s >= span.1 {
-                    rebuilt.insert(s, e);
-                } else {
-                    if s < span.0 {
-                        rebuilt.insert(s, span.0);
-                    }
-                    if e > span.1 {
-                        rebuilt.insert(span.1, e);
-                    }
-                }
-            }
+            self.claimed
+                .subtract(start, start + g.elements.max(g.tracker.covered()));
             for (chunk, _) in &g.held {
                 self.unstage(chunk.payload.len() as u64);
             }
-            self.claimed = rebuilt;
         }
+    }
+
+    /// The verified WSC-2 code of a delivered TPDU, or `None` if the group
+    /// at `start` was never delivered (missing, failed, or still pending).
+    ///
+    /// Delivered groups keep their invariant state, so the code a parallel
+    /// worker folds into its delivery transcript is exactly the one the ED
+    /// comparison accepted.
+    pub fn delivered_code(&self, start: u64) -> Option<chunks_wsc::Wsc2> {
+        self.groups
+            .get(&start)
+            .filter(|g| g.reported && g.failed.is_none())
+            .map(|g| g.inv.code())
+    }
+
+    /// `(start, digest)` for every delivered TPDU, sorted by start — the
+    /// per-connection verification transcript the differential harness
+    /// compares across pipelines.
+    pub fn delivered_digests(&self) -> Vec<(u64, [u8; 8])> {
+        let mut v: Vec<(u64, [u8; 8])> = self
+            .groups
+            .iter()
+            .filter(|(_, g)| g.reported && g.failed.is_none())
+            .map(|(&s, g)| (s, g.inv.digest()))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Starts of delivered TPDUs, in delivery order.
+    pub fn delivered_starts(&self) -> &[u64] {
+        &self.delivered
     }
 }
 

@@ -21,7 +21,7 @@ use crate::sender::{Sender, SenderConfig};
 use chunks_wsc::InvariantLayout;
 
 /// Counters kept by the session's reliability layer.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct ReliabilityStats {
     /// TPDUs retransmitted because their timer fired (no ack arrived).
     pub timer_retransmits: u64,

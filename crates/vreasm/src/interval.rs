@@ -53,6 +53,45 @@ impl IntervalSet {
         overlap
     }
 
+    /// Removes `[start, end)` from the set, splitting ranges that straddle
+    /// either boundary.
+    ///
+    /// Returns the number of covered positions removed (0 means nothing in
+    /// the range was present). This is the inverse a receiver needs when a
+    /// failed TPDU's claimed connection-space span is released for
+    /// retransmission.
+    ///
+    /// ```
+    /// use chunks_vreasm::IntervalSet;
+    /// let mut s = IntervalSet::new();
+    /// s.insert(0, 10);
+    /// assert_eq!(s.subtract(3, 6), 3);
+    /// assert_eq!(s.ranges(), &[(0, 3), (6, 10)]);
+    /// ```
+    pub fn subtract(&mut self, start: u64, end: u64) -> u64 {
+        assert!(start <= end, "inverted interval");
+        if start == end {
+            return 0;
+        }
+        let lo = self.ranges.partition_point(|&(_, e)| e <= start);
+        let mut hi = lo;
+        let mut removed = 0;
+        let mut keep: Vec<(u64, u64)> = Vec::new();
+        while hi < self.ranges.len() && self.ranges[hi].0 < end {
+            let (s, e) = self.ranges[hi];
+            removed += e.min(end) - s.max(start);
+            if s < start {
+                keep.push((s, start));
+            }
+            if e > end {
+                keep.push((end, e));
+            }
+            hi += 1;
+        }
+        self.ranges.splice(lo..hi, keep);
+        removed
+    }
+
     /// True when `[start, end)` is fully covered.
     pub fn contains(&self, start: u64, end: u64) -> bool {
         if start >= end {
@@ -237,5 +276,62 @@ mod tests {
     #[should_panic(expected = "inverted")]
     fn inverted_interval_panics() {
         IntervalSet::new().insert(5, 4);
+    }
+
+    #[test]
+    fn subtract_splits_and_reports_removed() {
+        let mut s = IntervalSet::new();
+        s.insert(0, 10);
+        assert_eq!(s.subtract(3, 6), 3);
+        assert_eq!(s.ranges(), &[(0, 3), (6, 10)]);
+        // Removing something absent is a no-op.
+        assert_eq!(s.subtract(3, 6), 0);
+        assert_eq!(s.subtract(20, 30), 0);
+        assert_eq!(s.ranges(), &[(0, 3), (6, 10)]);
+    }
+
+    #[test]
+    fn subtract_spans_multiple_ranges() {
+        let mut s = IntervalSet::new();
+        s.insert(0, 4);
+        s.insert(6, 10);
+        s.insert(12, 16);
+        assert_eq!(s.subtract(2, 14), 2 + 4 + 2);
+        assert_eq!(s.ranges(), &[(0, 2), (14, 16)]);
+    }
+
+    #[test]
+    fn subtract_exact_range_and_edges() {
+        let mut s = IntervalSet::new();
+        s.insert(5, 9);
+        assert_eq!(s.subtract(5, 9), 4);
+        assert!(s.ranges().is_empty());
+        s.insert(5, 9);
+        // Touching but not overlapping boundaries remove nothing.
+        assert_eq!(s.subtract(0, 5), 0);
+        assert_eq!(s.subtract(9, 12), 0);
+        assert_eq!(s.ranges(), &[(5, 9)]);
+        assert_eq!(s.subtract(7, 7), 0, "empty subtraction is a no-op");
+    }
+
+    #[test]
+    fn subtract_is_inverse_of_insert() {
+        // Randomised-ish sweep with a fixed pattern: insert then subtract
+        // the same span always restores the complement structure.
+        let mut s = IntervalSet::new();
+        for k in 0..8u64 {
+            s.insert(k * 10, k * 10 + 5);
+        }
+        let before = s.clone();
+        let added = 5 - s.insert(12, 17); // overlaps [10,15)
+        assert_eq!(added, 2);
+        assert_eq!(s.subtract(15, 17), 2);
+        assert_eq!(s, before, "subtracting the fresh part restores the set");
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_subtract_panics() {
+        IntervalSet::new().subtract(5, 4);
     }
 }

@@ -222,6 +222,47 @@ impl TpduInvariant {
         Ok(())
     }
 
+    /// Folds another partial invariant of the **same TPDU**, accumulated
+    /// over a disjoint set of chunks, into this one — the merge step that
+    /// makes the invariant computable by independent workers.
+    ///
+    /// WSC-2 parities are sums, so data, `C.ST` and `(X.ID, X.ST)` symbols
+    /// at disjoint positions add up exactly as a single accumulator would
+    /// have produced. The one wrinkle is `T.ID`/`C.ID`: every partial that
+    /// absorbed at least one chunk encoded them once, so folding two such
+    /// partials cancels the pair (characteristic 2); this method re-adds one
+    /// copy to restore the single encoding the one-shot pass produces.
+    ///
+    /// Partials that saw chunks disagreeing on `T.ID`/`C.ID` surface as
+    /// [`InvariantError::IdMismatch`], exactly as a serial accumulator would
+    /// have caught on the second chunk. Both partials must share the same
+    /// layout.
+    pub fn fold(&mut self, other: &TpduInvariant) -> Result<(), InvariantError> {
+        debug_assert_eq!(
+            self.layout, other.layout,
+            "folded partials must share a layout"
+        );
+        match (self.ids, other.ids) {
+            (Some(a), Some(b)) => {
+                if a != b {
+                    return Err(InvariantError::IdMismatch);
+                }
+                self.wsc.fold(&other.wsc);
+                // Both partials contributed the (T.ID, C.ID) pair; the two
+                // copies cancelled, so add a third to leave exactly one.
+                self.wsc.add_symbol(self.layout.tid_pos(), a.0);
+                self.wsc.add_symbol(self.layout.cid_pos(), a.1);
+            }
+            (None, Some(b)) => {
+                self.wsc.fold(&other.wsc);
+                self.ids = Some(b);
+            }
+            // `other` absorbed nothing: folding an empty accumulator.
+            (_, None) => self.wsc.fold(&other.wsc),
+        }
+        Ok(())
+    }
+
     /// The accumulated WSC-2 value.
     pub fn code(&self) -> Wsc2 {
         self.wsc.code()
@@ -483,6 +524,57 @@ mod tests {
         manual.add_symbol(layout.x_pair_pos(1), 3);
         manual.add_symbol(layout.x_pair_pos(1) + 1, 0);
         assert_eq!(dig, manual.digest());
+    }
+
+    #[test]
+    fn fold_of_partials_matches_one_shot() {
+        let whole = tpdu_chunk(true, true);
+        let base = digest_of(std::slice::from_ref(&whole));
+        let (a, rest) = split(&whole, 2).unwrap();
+        let (b, c) = split(&rest, 3).unwrap();
+        // Three independent accumulators, one chunk each, folded in every
+        // order — the shape a sharded receive pipeline produces.
+        let parts: Vec<TpduInvariant> = [&a, &b, &c]
+            .iter()
+            .map(|ch| {
+                let mut inv = TpduInvariant::with_default_layout();
+                inv.absorb_chunk(&ch.header, &ch.payload).unwrap();
+                inv
+            })
+            .collect();
+        for order in [[0, 1, 2], [2, 0, 1], [1, 2, 0], [2, 1, 0]] {
+            let mut acc = TpduInvariant::with_default_layout();
+            for &i in &order {
+                acc.fold(&parts[i]).unwrap();
+            }
+            assert_eq!(acc.digest(), base, "fold order {order:?}");
+            assert!(acc.matches(base));
+        }
+    }
+
+    #[test]
+    fn fold_with_empty_partial_is_identity() {
+        let whole = tpdu_chunk(true, false);
+        let mut inv = TpduInvariant::with_default_layout();
+        inv.absorb_chunk(&whole.header, &whole.payload).unwrap();
+        let before = inv.digest();
+        inv.fold(&TpduInvariant::with_default_layout()).unwrap();
+        assert_eq!(inv.digest(), before);
+        let mut empty = TpduInvariant::with_default_layout();
+        empty.fold(&inv).unwrap();
+        assert_eq!(empty.digest(), before);
+    }
+
+    #[test]
+    fn fold_detects_id_disagreement() {
+        let whole = tpdu_chunk(true, false);
+        let (a, mut b) = split(&whole, 3).unwrap();
+        b.header.conn.id ^= 0xF0;
+        let mut pa = TpduInvariant::with_default_layout();
+        pa.absorb_chunk(&a.header, &a.payload).unwrap();
+        let mut pb = TpduInvariant::with_default_layout();
+        pb.absorb_chunk(&b.header, &b.payload).unwrap();
+        assert_eq!(pa.fold(&pb), Err(InvariantError::IdMismatch));
     }
 
     #[test]

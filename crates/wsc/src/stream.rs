@@ -187,6 +187,14 @@ impl Wsc2Stream {
         self.acc.combine(&other.acc);
     }
 
+    /// Folds in a raw code value accumulated elsewhere over a disjoint set
+    /// of positions — the same sum as [`fold`](Self::fold) when only the
+    /// final [`Wsc2`] of the other accumulator is at hand (e.g. a verified
+    /// TPDU's code being folded into a per-worker delivery transcript).
+    pub fn fold_code(&mut self, code: &Wsc2) {
+        self.acc.combine(code);
+    }
+
     /// The position one past the last absorbed symbol — where contiguous
     /// input would continue for free.
     pub fn position(&self) -> u64 {

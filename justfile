@@ -3,8 +3,9 @@
 # Each recipe is a plain cargo command, so `just` itself is optional.
 
 # Full lint gate: formatting, clippy, rustdoc — all warnings denied —
-# plus the release-mode test suite and the reliability soak.
-lint: check test-release soak
+# plus the release-mode test suite, the parallel-equivalence gate, and the
+# reliability soak.
+lint: check test-release test-parallel soak
 
 # Static gate only: formatting, clippy, rustdoc.
 check: fmt clippy doc
@@ -34,6 +35,16 @@ test-release:
 # release mode, well under 60 s. Rewrites BENCH_soak.json at the repo root.
 soak:
     cargo run --release --bin experiments soak
+
+# Parallel-equivalence gate: the full 200-scenario differential sweep plus
+# the deterministic-schedule and closure-algebra suites, release mode.
+test-parallel:
+    PARALLEL_SCENARIOS=200 cargo test -q --release --test parallel_differential --test parallel_schedules --test chunk_closure_props
+
+# Regenerate the BENCH_parallel.json scaling sweep at the repo root (also
+# fingerprint-checks the pipeline against the serial demux per cell).
+bench-parallel:
+    cargo run --release --bin experiments parallel
 
 # Regenerate the BENCH_wsc.json fast-path snapshot at the repo root.
 bench-wsc:

@@ -10,7 +10,7 @@
 
 use chunks::experiments::{
     appendix_b, b1_receiver_modes, b2_frag_systems, b3_lockup, b4_codes, b5_compress, b6_demux,
-    b7_turner, b8_gap_budget, figures, soak, table1,
+    b7_turner, b8_gap_budget, figures, parallel, soak, table1,
 };
 
 const SEED: u64 = 0xC0451;
@@ -95,6 +95,14 @@ fn run_one(name: &str) -> bool {
             }
             deterministic && r1.passes() && r2.passes()
         }
+        "parallel" => {
+            let r = parallel::run(SEED);
+            println!("{r}");
+            if let Err(e) = std::fs::write("BENCH_parallel.json", parallel_json(&r)) {
+                eprintln!("could not write BENCH_parallel.json: {e}");
+            }
+            r.passes()
+        }
         other => {
             eprintln!("unknown experiment: {other}");
             false
@@ -138,6 +146,58 @@ fn soak_json(results: &[&soak::SoakResult]) -> String {
     out
 }
 
+/// Renders the parallel sweep as the BENCH_parallel.json scaling record.
+fn parallel_json(r: &parallel::ParallelResult) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"parallel-receive-pipeline-scaling\",\n");
+    out.push_str(
+        "  \"regenerate\": \"cargo run --release --bin experiments parallel (or: just bench-parallel)\",\n",
+    );
+    out.push_str(&format!(
+        "  \"workload\": \"{} connections x {} KiB, {} KiB TPDUs, mtu {}; arrival trace replayed per worker count\",\n",
+        parallel::CONNS,
+        parallel::MESSAGE_BYTES / 1024,
+        parallel::TPDU_ELEMENTS / 1024,
+        parallel::MTU,
+    ));
+    out.push_str(
+        "  \"method\": \"throughput is wire bytes over the modelled makespan dispatch + busiest-worker busy time + merge, from per-stage times measured on the deterministic virtual engine (medians of 3); threads_wall_ms is the real std::thread engine on this host; every cell is fingerprint-compared against the serial demux\",\n",
+    );
+    out.push_str(&format!(
+        "  \"reorder_speedup_at_4_workers\": {:.2},\n",
+        r.reorder_speedup_at_4()
+    ));
+    out.push_str("  \"results\": [\n");
+    let rows: Vec<String> = r
+        .sweeps
+        .iter()
+        .flat_map(|s| {
+            let serial_ms = s.serial_wall_ns as f64 / 1e6;
+            s.cells.iter().map(move |c| {
+                format!(
+                    "    {{\"profile\": \"{}\", \"workers\": {}, \"dispatch_ms\": {:.3}, \"process_total_ms\": {:.3}, \"process_max_ms\": {:.3}, \"merge_ms\": {:.3}, \"makespan_ms\": {:.3}, \"modeled_mib_s\": {:.1}, \"speedup_vs_1\": {:.2}, \"threads_wall_ms\": {:.3}, \"serial_wall_ms\": {:.3}, \"delivered_bytes\": {}, \"divergences\": {}}}",
+                    c.profile,
+                    c.workers,
+                    c.dispatch_ns as f64 / 1e6,
+                    c.process_total_ns as f64 / 1e6,
+                    c.process_max_ns as f64 / 1e6,
+                    c.merge_ns as f64 / 1e6,
+                    c.critical_path_ns as f64 / 1e6,
+                    c.modeled_mib_s,
+                    c.speedup_vs_1,
+                    c.threads_wall_ns as f64 / 1e6,
+                    serial_ms,
+                    c.delivered_bytes,
+                    c.divergences,
+                )
+            })
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
 fn print_fig(f: figures::FigureResult) -> bool {
     let ok = f.ok();
     println!("{f}");
@@ -165,6 +225,7 @@ fn main() {
         "b7",
         "b8",
         "soak",
+        "parallel",
     ];
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         all.to_vec()

@@ -16,5 +16,6 @@ pub mod b6_demux;
 pub mod b7_turner;
 pub mod b8_gap_budget;
 pub mod figures;
+pub mod parallel;
 pub mod soak;
 pub mod table1;
