@@ -35,6 +35,8 @@
 //! subset of chunks'); the full qualitative comparison is queryable data in
 //! [`comparison`].
 
+#![deny(missing_docs)]
+
 pub mod aal;
 pub mod aal4;
 pub mod comparison;

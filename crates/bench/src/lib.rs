@@ -5,6 +5,8 @@
 //! `invariant` (F5/F6), `receiver_modes` (B1), `frag_systems` (B2),
 //! `compress` (B5), `internetwork` (F4).
 
+#![deny(missing_docs)]
+
 use bytes::Bytes;
 use chunks_core::chunk::{Chunk, ChunkHeader};
 use chunks_core::label::FramingTuple;

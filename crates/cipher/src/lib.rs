@@ -28,6 +28,8 @@
 //! DES with the same 64-bit block geometry. **It is a protocol-processing
 //! model, not a vetted cipher; do not use it to protect real data.**
 
+#![deny(missing_docs)]
+
 pub mod feistel;
 pub mod tweak;
 

@@ -105,6 +105,27 @@ impl fmt::Display for CoreError {
     }
 }
 
+impl CoreError {
+    /// A short stable kebab-case tag for the error, suitable as the
+    /// `reason` of a [`chunks_obs::Event::ChunkRejected`] trace event.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CoreError::PayloadSizeMismatch { .. } => "payload-size-mismatch",
+            CoreError::ZeroSize => "zero-size",
+            CoreError::ZeroLen => "zero-len",
+            CoreError::ControlNotAtomic(_) => "control-not-atomic",
+            CoreError::SplitOutOfRange { .. } => "split-out-of-range",
+            CoreError::NotAdjacent => "not-adjacent",
+            CoreError::Truncated => "truncated",
+            CoreError::OversizedLen { .. } => "oversized-len",
+            CoreError::BadType(_) => "bad-type",
+            CoreError::ElementExceedsMtu { .. } => "element-exceeds-mtu",
+            CoreError::TrailingGarbage => "trailing-garbage",
+            CoreError::MissingContext(_) => "missing-context",
+        }
+    }
+}
+
 impl Error for CoreError {}
 
 #[cfg(test)]

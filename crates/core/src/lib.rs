@@ -30,6 +30,35 @@
 //!   chunks (§2, Figure 3);
 //! * [`compress`] — the invertible header-compression transforms of
 //!   Appendix A (implicit `T.ID`, `SIZE` elision, intra-packet deltas).
+//!
+//! A chunk survives a wire round trip unchanged — the self-description is
+//! entirely in the fixed 32-byte header:
+//!
+//! ```
+//! use bytes::Bytes;
+//! use chunks_core::chunk::{Chunk, ChunkHeader};
+//! use chunks_core::label::FramingTuple;
+//! use chunks_core::wire::{decode_chunk, encode_chunk};
+//!
+//! let chunk = Chunk::new(
+//!     ChunkHeader::data(
+//!         1,                                  // SIZE: 1-byte elements
+//!         4,                                  // LEN: 4 elements
+//!         FramingTuple::new(7, 100, false),   // C: connection
+//!         FramingTuple::new(7, 0, true),      // T: transport PDU
+//!         FramingTuple::new(9, 0, false),     // X: external PDU
+//!     ),
+//!     Bytes::from_static(b"data"),
+//! )
+//! .unwrap();
+//! let mut wire = Vec::new();
+//! encode_chunk(&chunk, &mut wire);
+//! let (back, read) = decode_chunk(&wire).unwrap();
+//! assert_eq!(read, wire.len());
+//! assert_eq!(back, chunk);
+//! ```
+
+#![deny(missing_docs)]
 
 pub mod chunk;
 pub mod compress;

@@ -8,11 +8,14 @@
 //! disordering, *how* chunks are placed in packets is irrelevant.
 
 use bytes::Bytes;
+use chunks_obs::ObsSink;
 
 use crate::chunk::Chunk;
 use crate::error::CoreError;
 use crate::frag::split;
-use crate::wire::{decode_chunk, encode_chunk, MAX_DECODE_PAYLOAD, WIRE_HEADER_LEN};
+use crate::wire::{
+    decode_chunk, decode_chunk_observed, encode_chunk, MAX_DECODE_PAYLOAD, WIRE_HEADER_LEN,
+};
 
 /// A packet: the atomic physical unit exchanged between protocol processors.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -166,6 +169,37 @@ pub fn unpack(packet: &Packet) -> Result<Vec<Chunk>, CoreError> {
             break;
         }
         let (chunk, used) = decode_chunk(rest)?;
+        chunks.push(chunk);
+        rest = &rest[used..];
+    }
+    Ok(chunks)
+}
+
+/// [`unpack`] with per-chunk decode instrumentation (see
+/// [`decode_chunk_observed`]): identical accept/reject behaviour, plus one
+/// `ChunkDecoded`/`ChunkRejected` event and wire counter per chunk.
+pub fn unpack_observed(
+    packet: &Packet,
+    now: u64,
+    sink: &dyn ObsSink,
+) -> Result<Vec<Chunk>, CoreError> {
+    let mut chunks = Vec::new();
+    let mut rest: &[u8] = &packet.bytes;
+    while !rest.is_empty() {
+        if rest.len() < WIRE_HEADER_LEN {
+            if rest.iter().all(|&b| b == 0) {
+                break;
+            }
+            return Err(CoreError::Truncated);
+        }
+        let header = crate::wire::decode_header(rest)?;
+        if header.len == 0 {
+            if rest[WIRE_HEADER_LEN..].iter().any(|&b| b != 0) {
+                return Err(CoreError::TrailingGarbage);
+            }
+            break;
+        }
+        let (chunk, used) = decode_chunk_observed(rest, now, sink)?;
         chunks.push(chunk);
         rest = &rest[used..];
     }

@@ -18,6 +18,7 @@
 //! [`crate::compress`].
 
 use bytes::Bytes;
+use chunks_obs::{Event, Labels, ObsSink};
 
 use crate::chunk::{Chunk, ChunkHeader};
 use crate::error::CoreError;
@@ -118,6 +119,54 @@ pub fn decode_chunk(buf: &[u8]) -> Result<(Chunk, usize), CoreError> {
     }
     let payload = Bytes::copy_from_slice(&buf[WIRE_HEADER_LEN..total]);
     Ok((Chunk { header, payload }, total))
+}
+
+/// The observability label triple `(C.ID, T.SN, X.SN)` of a header.
+pub fn labels_of(h: &ChunkHeader) -> Labels {
+    Labels::new(h.conn.id, h.tpdu.sn, h.ext.sn)
+}
+
+/// [`decode_chunk`] with accept/reject instrumentation: an accepted chunk
+/// records a `core.wire.chunks_decoded` count and a
+/// [`Event::ChunkDecoded`] trace event; a refusal records
+/// `core.wire.decode_rejects` and [`Event::ChunkRejected`] (with whatever
+/// label context a best-effort header decode could recover).
+///
+/// Callers gate on a cached `sink.enabled()` and use plain [`decode_chunk`]
+/// when observability is off, so the hot path never pays the virtual calls.
+pub fn decode_chunk_observed(
+    buf: &[u8],
+    now: u64,
+    sink: &dyn ObsSink,
+) -> Result<(Chunk, usize), CoreError> {
+    match decode_chunk(buf) {
+        Ok((chunk, used)) => {
+            sink.counter("core.wire.chunks_decoded", 1);
+            sink.event(
+                now,
+                Event::ChunkDecoded {
+                    labels: labels_of(&chunk.header),
+                    ty: chunk.header.ty.to_u8(),
+                    bytes: chunk.payload.len() as u32,
+                },
+            );
+            Ok((chunk, used))
+        }
+        Err(e) => {
+            sink.counter("core.wire.decode_rejects", 1);
+            let labels = decode_header(buf)
+                .map(|h| labels_of(&h))
+                .unwrap_or_default();
+            sink.event(
+                now,
+                Event::ChunkRejected {
+                    labels,
+                    reason: e.kind(),
+                },
+            );
+            Err(e)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -23,6 +23,8 @@
 //! duplication and on-the-wire label flips — lives in [`byzantine`]; the
 //! reliability soak harness (`experiments soak`) is built on it.
 
+#![deny(missing_docs)]
+
 pub mod byzantine;
 pub mod link;
 pub mod path;

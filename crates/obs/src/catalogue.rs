@@ -1,0 +1,260 @@
+//! The static metrics catalogue: every counter and histogram the pipeline
+//! exports, with its unit and the code path that increments it.
+//!
+//! The catalogue is the single source of truth three ways at once: it sizes
+//! and names the slots of a [`crate::metrics::Metrics`] registry, it is the
+//! list `docs/OBSERVABILITY.md` documents (a test asserts the document names
+//! every entry), and it bounds the instrumentation surface — a layer cannot
+//! invent a metric name at runtime, it can only increment one declared here.
+
+/// Whether a metric is a monotonic counter or a fixed-bucket histogram.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Kind {
+    /// Monotonically increasing sum of deltas.
+    Counter,
+    /// Power-of-two-bucket distribution plus total count and sum.
+    Histogram,
+}
+
+/// One catalogue entry: a metric's name, kind, unit and provenance.
+#[derive(Clone, Copy, Debug)]
+pub struct Spec {
+    /// Dot-separated metric name, `layer.component.what`.
+    pub name: &'static str,
+    /// Counter or histogram.
+    pub kind: Kind,
+    /// Unit of the increment (counters) or observed value (histograms).
+    pub unit: &'static str,
+    /// Which code path increments or observes it.
+    pub help: &'static str,
+}
+
+const fn counter(name: &'static str, unit: &'static str, help: &'static str) -> Spec {
+    Spec {
+        name,
+        kind: Kind::Counter,
+        unit,
+        help,
+    }
+}
+
+const fn histogram(name: &'static str, unit: &'static str, help: &'static str) -> Spec {
+    Spec {
+        name,
+        kind: Kind::Histogram,
+        unit,
+        help,
+    }
+}
+
+/// Every metric the receive path exports, sorted by name.
+///
+/// Sortedness is load-bearing (slot lookup binary-searches the catalogue)
+/// and enforced by a unit test.
+pub const CATALOGUE: &[Spec] = &[
+    counter(
+        "core.wire.chunks_decoded",
+        "chunks",
+        "core::wire::decode_chunk_observed accepted a chunk off the wire",
+    ),
+    counter(
+        "core.wire.decode_rejects",
+        "chunks",
+        "core::wire::decode_chunk_observed refused a malformed chunk",
+    ),
+    counter(
+        "transport.parallel.bad_packets",
+        "packets",
+        "ParallelReceiver::ingest refused a packet the span scan rejected",
+    ),
+    counter(
+        "transport.parallel.chunks_dispatched",
+        "chunks",
+        "ParallelReceiver::ingest routed a chunk span to a worker shard",
+    ),
+    counter(
+        "transport.parallel.merge_folds",
+        "folds",
+        "ParallelReceiver::finish folded one worker WSC-2 transcript into the merged stream",
+    ),
+    counter(
+        "transport.parallel.packets",
+        "packets",
+        "ParallelReceiver::ingest accepted a packet for dispatch",
+    ),
+    histogram(
+        "transport.parallel.queue_depth",
+        "work items",
+        "virtual-engine shard queue length after each dispatched chunk",
+    ),
+    counter(
+        "transport.parallel.unknown_connection",
+        "chunks",
+        "ParallelReceiver::ingest dropped a chunk whose C.ID no shard owns",
+    ),
+    histogram(
+        "transport.parallel.worker_chunks",
+        "chunks",
+        "per-worker chunk totals at merge time (dispatch imbalance)",
+    ),
+    histogram(
+        "transport.rto.backoff_rto_ns",
+        "ns",
+        "backed-off RTO re-armed for an entry after its timer fired",
+    ),
+    histogram(
+        "transport.rto.base_rto_ns",
+        "ns",
+        "smoothed base RTO observed at each Session::pump",
+    ),
+    counter(
+        "transport.rto.rtt_samples",
+        "samples",
+        "Session::handle_packet took a Karn-admissible RTT sample from an ack",
+    ),
+    counter(
+        "transport.rto.shed_tpdus",
+        "tpdus",
+        "Session::emit abandoned a TPDU after retry exhaustion under DegradePolicy::Shed",
+    ),
+    counter(
+        "transport.rto.timer_fires",
+        "fires",
+        "RetransmitTimer::poll found an expired entry (retransmit or exhausted)",
+    ),
+    counter(
+        "transport.rto.timer_retransmits",
+        "tpdus",
+        "Session::emit repaired a TPDU because its retransmission timer fired",
+    ),
+    counter(
+        "transport.rx.bad_packets",
+        "packets",
+        "Receiver::handle_packet refused a packet the wire parser rejected",
+    ),
+    histogram(
+        "transport.rx.buffered_bytes",
+        "bytes",
+        "bytes staged in the reorder queue after each arrival that buffered",
+    ),
+    counter(
+        "transport.rx.chunks_accepted",
+        "chunks",
+        "Receiver::handle_chunk admitted a fresh data chunk into its group",
+    ),
+    counter(
+        "transport.rx.data_touches",
+        "bytes",
+        "payload bytes the receiver touched (placement plus any buffering)",
+    ),
+    counter(
+        "transport.rx.duplicate_chunks",
+        "chunks",
+        "Receiver::handle_chunk discarded an already-covered data chunk",
+    ),
+    counter(
+        "transport.rx.holding_delay_ns",
+        "ns",
+        "virtual time chunks spent staged before in-order release (reorder mode)",
+    ),
+    counter(
+        "transport.rx.tpdus_delivered",
+        "tpdus",
+        "Receiver::try_complete delivered a TPDU whose WSC-2 invariant verified",
+    ),
+    counter(
+        "transport.rx.tpdus_failed",
+        "tpdus",
+        "Receiver::group_failure condemned a TPDU (ED mismatch, inconsistency, bad chunk)",
+    ),
+    counter(
+        "transport.session.burst_deferrals",
+        "tpdus",
+        "Session::emit deferred a repair TPDU to respect the per-pump burst cap",
+    ),
+    counter(
+        "transport.session.dead_verdicts",
+        "verdicts",
+        "Session::emit reached the sticky PeerUnreachable verdict under DegradePolicy::Abort",
+    ),
+    counter(
+        "transport.session.packets_emitted",
+        "packets",
+        "packets Session::emit handed to the network this pump",
+    ),
+    counter(
+        "transport.session.pumps",
+        "calls",
+        "Session::pump invocations (one per virtual-clock tick)",
+    ),
+    counter(
+        "vreasm.tracker.accepts",
+        "fragments",
+        "PduTracker::offer admitted a consistent, novel fragment",
+    ),
+    histogram(
+        "vreasm.tracker.fragments",
+        "runs",
+        "disjoint runs in the interval tracker after each accepted fragment (occupancy)",
+    ),
+    histogram(
+        "wsc.runs_per_tpdu",
+        "runs",
+        "disordered WSC-2 runs absorbed per delivered TPDU",
+    ),
+    counter(
+        "wsc.verify_fail",
+        "tpdus",
+        "a completed group's WSC-2 digest did not match its ED chunk",
+    ),
+    counter(
+        "wsc.verify_pass",
+        "tpdus",
+        "a completed group's WSC-2 digest matched its ED chunk",
+    ),
+];
+
+/// Returns the catalogue slot index of `name`, if declared.
+pub fn lookup(name: &str) -> Option<usize> {
+    CATALOGUE.binary_search_by(|s| s.name.cmp(name)).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_sorted_and_unique() {
+        for w in CATALOGUE.windows(2) {
+            assert!(
+                w[0].name < w[1].name,
+                "catalogue out of order at {} / {}",
+                w[0].name,
+                w[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_finds_every_entry() {
+        for (i, s) in CATALOGUE.iter().enumerate() {
+            assert_eq!(lookup(s.name), Some(i));
+        }
+        assert_eq!(lookup("no.such.metric"), None);
+    }
+
+    #[test]
+    fn names_are_lowercase_dotted() {
+        for s in CATALOGUE {
+            assert!(s.name.contains('.'), "{} has no layer prefix", s.name);
+            assert!(
+                s.name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+                "{} is not lowercase dotted",
+                s.name
+            );
+            assert!(!s.unit.is_empty() && !s.help.is_empty());
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Structured trace events with chunk label context.
+//!
+//! Every event that refers to a specific chunk carries its framing labels
+//! `(C.ID, T.SN, X.SN)` — connection identity, TPDU-relative position, and
+//! the transmission sequence number — which is exactly the tuple a reader
+//! needs to follow one chunk from wire arrival through verification. Events
+//! are plain data with `'static` strings only, so a trace is cheap to record
+//! and renders identically on every run of a deterministic workload.
+
+/// Label context of the chunk an event refers to: `(C.ID, T.SN, X.SN)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Labels {
+    /// Connection identifier `C.ID`.
+    pub conn_id: u32,
+    /// TPDU sequence number `T.SN` (byte offset within the connection).
+    pub t_sn: u32,
+    /// Transmission sequence number `X.SN`.
+    pub x_sn: u32,
+}
+
+impl Labels {
+    /// Builds a label triple.
+    pub fn new(conn_id: u32, t_sn: u32, x_sn: u32) -> Self {
+        Labels {
+            conn_id,
+            t_sn,
+            x_sn,
+        }
+    }
+}
+
+/// One structured trace event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Event {
+    /// The wire codec accepted a chunk.
+    ChunkDecoded {
+        /// Labels of the decoded chunk.
+        labels: Labels,
+        /// `TYPE` byte of the chunk.
+        ty: u8,
+        /// Payload length in bytes.
+        bytes: u32,
+    },
+    /// The wire codec or receiver refused a chunk (or a whole group).
+    ChunkRejected {
+        /// Labels of the offending chunk (zeroed when the header itself was
+        /// unreadable).
+        labels: Labels,
+        /// Static reason string, e.g. `"truncated"` or `"ed-mismatch"`.
+        reason: &'static str,
+    },
+    /// A receiver delivered a complete, verified TPDU group.
+    GroupDelivered {
+        /// Connection the group belongs to.
+        conn_id: u32,
+        /// `T.SN` of the group's first byte.
+        start: u32,
+        /// Delivered length in bytes.
+        bytes: u32,
+    },
+    /// A retransmission timer expired and the sender repaired the TPDU.
+    RetransmitFired {
+        /// Connection being repaired.
+        conn_id: u32,
+        /// `T.SN` of the repaired TPDU.
+        start: u32,
+        /// How many timer retransmissions this TPDU has now consumed.
+        retries: u32,
+    },
+    /// Exponential backoff re-armed a timer entry after a fire.
+    BackoffApplied {
+        /// Connection whose timer backed off.
+        conn_id: u32,
+        /// `T.SN` of the timer entry.
+        start: u32,
+        /// The new (backed-off) RTO in nanoseconds.
+        rto_ns: u64,
+    },
+    /// The parallel dispatcher routed a chunk to a worker shard.
+    ShardDispatched {
+        /// Labels of the routed chunk.
+        labels: Labels,
+        /// Destination worker index.
+        worker: u32,
+    },
+    /// The merge stage folded one worker's WSC-2 transcript.
+    MergeFolded {
+        /// Worker whose transcript was folded.
+        worker: u32,
+        /// Chunks that worker had processed.
+        chunks: u64,
+    },
+    /// A session reached a terminal reliability verdict for a TPDU.
+    VerdictReached {
+        /// Connection the verdict applies to.
+        conn_id: u32,
+        /// `"shed"` or `"peer-unreachable"`.
+        verdict: &'static str,
+        /// `T.SN` of the TPDU that exhausted its budget.
+        start: u32,
+    },
+}
+
+impl Event {
+    /// The event's stable name, as used in exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::ChunkDecoded { .. } => "ChunkDecoded",
+            Event::ChunkRejected { .. } => "ChunkRejected",
+            Event::GroupDelivered { .. } => "GroupDelivered",
+            Event::RetransmitFired { .. } => "RetransmitFired",
+            Event::BackoffApplied { .. } => "BackoffApplied",
+            Event::ShardDispatched { .. } => "ShardDispatched",
+            Event::MergeFolded { .. } => "MergeFolded",
+            Event::VerdictReached { .. } => "VerdictReached",
+        }
+    }
+
+    /// Appends the event's JSON fields (no braces, no timestamp) to `out`.
+    pub(crate) fn json_fields(&self, out: &mut String) {
+        use std::fmt::Write;
+        let labels = |out: &mut String, l: &Labels| {
+            let _ = write!(
+                out,
+                "\"cid\": {}, \"tsn\": {}, \"xsn\": {}",
+                l.conn_id, l.t_sn, l.x_sn
+            );
+        };
+        let _ = write!(out, "\"ev\": \"{}\", ", self.name());
+        match self {
+            Event::ChunkDecoded {
+                labels: l,
+                ty,
+                bytes,
+            } => {
+                labels(out, l);
+                let _ = write!(out, ", \"ty\": {ty}, \"bytes\": {bytes}");
+            }
+            Event::ChunkRejected { labels: l, reason } => {
+                labels(out, l);
+                let _ = write!(out, ", \"reason\": \"{reason}\"");
+            }
+            Event::GroupDelivered {
+                conn_id,
+                start,
+                bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"cid\": {conn_id}, \"start\": {start}, \"bytes\": {bytes}"
+                );
+            }
+            Event::RetransmitFired {
+                conn_id,
+                start,
+                retries,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"cid\": {conn_id}, \"start\": {start}, \"retries\": {retries}"
+                );
+            }
+            Event::BackoffApplied {
+                conn_id,
+                start,
+                rto_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"cid\": {conn_id}, \"start\": {start}, \"rto_ns\": {rto_ns}"
+                );
+            }
+            Event::ShardDispatched { labels: l, worker } => {
+                labels(out, l);
+                let _ = write!(out, ", \"worker\": {worker}");
+            }
+            Event::MergeFolded { worker, chunks } => {
+                let _ = write!(out, "\"worker\": {worker}, \"chunks\": {chunks}");
+            }
+            Event::VerdictReached {
+                conn_id,
+                verdict,
+                start,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"cid\": {conn_id}, \"verdict\": \"{verdict}\", \"start\": {start}"
+                );
+            }
+        }
+    }
+
+    /// Renders the event as one compact human-readable line (no timestamp).
+    pub fn render_text(&self) -> String {
+        match self {
+            Event::ChunkDecoded { labels, ty, bytes } => format!(
+                "decode  ok   C.ID {} T.SN {} X.SN {} ty {} ({} B)",
+                labels.conn_id, labels.t_sn, labels.x_sn, ty, bytes
+            ),
+            Event::ChunkRejected { labels, reason } => format!(
+                "reject       C.ID {} T.SN {} X.SN {} ({})",
+                labels.conn_id, labels.t_sn, labels.x_sn, reason
+            ),
+            Event::GroupDelivered {
+                conn_id,
+                start,
+                bytes,
+            } => format!("deliver      C.ID {conn_id} T.SN {start} ({bytes} B, verified)"),
+            Event::RetransmitFired {
+                conn_id,
+                start,
+                retries,
+            } => format!("rto fire     C.ID {conn_id} T.SN {start} (retry #{retries})"),
+            Event::BackoffApplied {
+                conn_id,
+                start,
+                rto_ns,
+            } => format!("rto backoff  C.ID {conn_id} T.SN {start} (rto {rto_ns} ns)"),
+            Event::ShardDispatched { labels, worker } => format!(
+                "dispatch     C.ID {} T.SN {} X.SN {} -> worker {}",
+                labels.conn_id, labels.t_sn, labels.x_sn, worker
+            ),
+            Event::MergeFolded { worker, chunks } => {
+                format!("merge fold   worker {worker} ({chunks} chunks)")
+            }
+            Event::VerdictReached {
+                conn_id,
+                verdict,
+                start,
+            } => format!("verdict      C.ID {conn_id} T.SN {start}: {verdict}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        let e = Event::GroupDelivered {
+            conn_id: 1,
+            start: 0,
+            bytes: 512,
+        };
+        assert_eq!(e.name(), "GroupDelivered");
+        assert!(e.render_text().contains("512 B"));
+    }
+
+    #[test]
+    fn json_fields_carry_label_context() {
+        let e = Event::ChunkDecoded {
+            labels: Labels::new(7, 1024, 3),
+            ty: 1,
+            bytes: 256,
+        };
+        let mut s = String::new();
+        e.json_fields(&mut s);
+        assert_eq!(
+            s,
+            "\"ev\": \"ChunkDecoded\", \"cid\": 7, \"tsn\": 1024, \"xsn\": 3, \"ty\": 1, \"bytes\": 256"
+        );
+    }
+}

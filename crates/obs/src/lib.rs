@@ -1,0 +1,55 @@
+//! Zero-dependency observability for the chunk receive path: monotonic
+//! counters, fixed-bucket histograms, and a structured event trace — all
+//! deterministic under a virtual clock.
+//!
+//! The crate is the substrate the rest of the workspace reports through.
+//! Three properties shape the design:
+//!
+//! * **Zero dependencies, no I/O, no clocks.** Timestamps come from the
+//!   caller's virtual clock, storage is flat arrays sized from a static
+//!   catalogue, and export is plain `String`s. Two runs of the same seeded
+//!   scenario therefore export byte-identical traces, which turns the
+//!   observability layer itself into a determinism test.
+//! * **One branch when disabled.** Instrumented layers hold an
+//!   [`Arc<dyn ObsSink>`](ObsSink) and cache [`ObsSink::enabled`] once; with
+//!   the default [`NullSink`] every instrumentation site reduces to a
+//!   single `if` on a local bool, so byte-identical differential tests of
+//!   the uninstrumented pipeline stay green.
+//! * **A closed metric surface.** Every counter and histogram is declared
+//!   in [`catalogue::CATALOGUE`] with its unit and incrementing code path;
+//!   `docs/OBSERVABILITY.md` documents exactly that list and a test keeps
+//!   the two in sync.
+//!
+//! # Example
+//!
+//! ```
+//! use chunks_obs::{Event, Labels, ObsSink, RecordingSink};
+//!
+//! let sink = RecordingSink::shared();
+//! // A layer records against the trait object...
+//! sink.counter("transport.rx.chunks_accepted", 1);
+//! sink.observe("vreasm.tracker.fragments", 3);
+//! sink.event(1_000, Event::GroupDelivered { conn_id: 7, start: 0, bytes: 512 });
+//!
+//! // ...and the harness reads everything back.
+//! let snap = sink.snapshot();
+//! assert_eq!(snap.counter("transport.rx.chunks_accepted"), 1);
+//! assert_eq!(
+//!     sink.trace_json_lines(),
+//!     "{\"t\": 1000, \"ev\": \"GroupDelivered\", \"cid\": 7, \"start\": 0, \"bytes\": 512}\n"
+//! );
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod catalogue;
+pub mod event;
+pub mod metrics;
+pub mod sink;
+pub mod trace;
+
+pub use catalogue::{Kind, Spec, CATALOGUE};
+pub use event::{Event, Labels};
+pub use metrics::{AtomicMetrics, HistogramSnapshot, LocalMetrics, Metrics, Snapshot};
+pub use sink::{null, NullSink, ObsSink, RecordingSink};
+pub use trace::{TimedEvent, TraceRing, DEFAULT_TRACE_CAPACITY};

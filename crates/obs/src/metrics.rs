@@ -1,0 +1,346 @@
+//! The metrics registry: counters and fixed-bucket histograms over a flat
+//! cell array, with an atomic backend for cross-thread recording and a
+//! `Cell`-based backend for single-threaded use.
+//!
+//! Layout is fixed at construction from the [`crate::catalogue::CATALOGUE`]:
+//! a counter owns one cell; a histogram owns [`BUCKETS`] bucket cells plus a
+//! count cell and a sum cell. All updates are relaxed atomic adds (or plain
+//! adds on the local backend) — there is no locking, no allocation after
+//! construction, and no clock access, so a registry driven by a
+//! deterministic workload snapshots identically on every run.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::catalogue::{self, Kind, Spec, CATALOGUE};
+
+/// Bucket count of every histogram: value `v` falls into bucket
+/// `min(63 - leading_zeros(max(v, 1)), BUCKETS - 1)`, i.e. power-of-two
+/// buckets `[2^i, 2^(i+1))` with the final bucket absorbing the tail.
+pub const BUCKETS: usize = 32;
+
+/// Storage backend for a [`Metrics`] registry: a fixed array of u64 cells.
+pub trait Cells {
+    /// Allocates `len` zeroed cells.
+    fn alloc(len: usize) -> Self;
+    /// Adds `delta` to cell `slot`.
+    fn add(&self, slot: usize, delta: u64);
+    /// Reads cell `slot`.
+    fn get(&self, slot: usize) -> u64;
+}
+
+/// Lock-free backend: relaxed atomic adds, shareable across threads.
+#[derive(Debug)]
+pub struct AtomicCells(Box<[AtomicU64]>);
+
+impl Cells for AtomicCells {
+    fn alloc(len: usize) -> Self {
+        AtomicCells((0..len).map(|_| AtomicU64::new(0)).collect())
+    }
+
+    fn add(&self, slot: usize, delta: u64) {
+        self.0[slot].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn get(&self, slot: usize) -> u64 {
+        self.0[slot].load(Ordering::Relaxed)
+    }
+}
+
+/// Single-threaded backend: plain `Cell` adds, `!Sync` by construction.
+#[derive(Debug)]
+pub struct LocalCells(Box<[Cell<u64>]>);
+
+impl Cells for LocalCells {
+    fn alloc(len: usize) -> Self {
+        LocalCells((0..len).map(|_| Cell::new(0)).collect())
+    }
+
+    fn add(&self, slot: usize, delta: u64) {
+        let c = &self.0[slot];
+        c.set(c.get().wrapping_add(delta));
+    }
+
+    fn get(&self, slot: usize) -> u64 {
+        self.0[slot].get()
+    }
+}
+
+/// A registry of every catalogued metric over backend `C`.
+#[derive(Debug)]
+pub struct Metrics<C: Cells> {
+    specs: &'static [Spec],
+    /// Cell offset of each spec, parallel to `specs`.
+    base: Vec<usize>,
+    cells: C,
+}
+
+/// The cross-thread registry used by the recording sink.
+pub type AtomicMetrics = Metrics<AtomicCells>;
+
+/// The single-threaded registry.
+pub type LocalMetrics = Metrics<LocalCells>;
+
+fn bucket_of(value: u64) -> usize {
+    let b = 63 - value.max(1).leading_zeros() as usize;
+    b.min(BUCKETS - 1)
+}
+
+impl<C: Cells> Metrics<C> {
+    /// Creates a registry over the full [`CATALOGUE`].
+    pub fn new() -> Self {
+        Self::with_specs(CATALOGUE)
+    }
+
+    /// Creates a registry over an explicit (sorted) spec list.
+    pub fn with_specs(specs: &'static [Spec]) -> Self {
+        let mut base = Vec::with_capacity(specs.len());
+        let mut at = 0;
+        for s in specs {
+            base.push(at);
+            at += match s.kind {
+                Kind::Counter => 1,
+                Kind::Histogram => BUCKETS + 2, // buckets, count, sum
+            };
+        }
+        Metrics {
+            specs,
+            base,
+            cells: C::alloc(at),
+        }
+    }
+
+    fn slot(&self, name: &str) -> Option<usize> {
+        if std::ptr::eq(self.specs, CATALOGUE) {
+            catalogue::lookup(name)
+        } else {
+            self.specs.binary_search_by(|s| s.name.cmp(name)).ok()
+        }
+    }
+
+    /// Adds `delta` to the counter `name`. Unknown names are ignored (the
+    /// catalogue is the contract; a typo shows up in the doc-sync test, not
+    /// as a panic on the hot path).
+    pub fn add(&self, name: &str, delta: u64) {
+        if let Some(i) = self.slot(name) {
+            if self.specs[i].kind == Kind::Counter {
+                self.cells.add(self.base[i], delta);
+            }
+        }
+    }
+
+    /// Records `value` into the histogram `name`. Unknown names are ignored.
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(i) = self.slot(name) {
+            if self.specs[i].kind == Kind::Histogram {
+                let b = self.base[i];
+                self.cells.add(b + bucket_of(value), 1);
+                self.cells.add(b + BUCKETS, 1); // count
+                self.cells.add(b + BUCKETS + 1, value); // sum
+            }
+        }
+    }
+
+    /// Reads a counter's current value (0 for unknown or histogram names).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.slot(name) {
+            Some(i) if self.specs[i].kind == Kind::Counter => self.cells.get(self.base[i]),
+            _ => 0,
+        }
+    }
+
+    /// Snapshots every metric. The snapshot is plain data: comparable,
+    /// renderable, and detached from the live cells.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut counters = Vec::new();
+        let mut histograms = Vec::new();
+        for (i, s) in self.specs.iter().enumerate() {
+            let b = self.base[i];
+            match s.kind {
+                Kind::Counter => counters.push((s.name.to_string(), self.cells.get(b))),
+                Kind::Histogram => {
+                    let buckets: Vec<u64> = (0..BUCKETS).map(|k| self.cells.get(b + k)).collect();
+                    histograms.push(HistogramSnapshot {
+                        name: s.name.to_string(),
+                        count: self.cells.get(b + BUCKETS),
+                        sum: self.cells.get(b + BUCKETS + 1),
+                        buckets,
+                    });
+                }
+            }
+        }
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+impl<C: Cells> Default for Metrics<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HistogramSnapshot {
+    /// Catalogue name.
+    pub name: String,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Per-bucket observation counts; bucket `i` covers `[2^i, 2^(i+1))`
+    /// (bucket 0 also holds zero, the last bucket absorbs the tail).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Snapshot {
+    /// `(name, value)` for every catalogued counter, in catalogue order.
+    pub counters: Vec<(String, u64)>,
+    /// Every catalogued histogram, in catalogue order.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The counters that actually fired, preserving catalogue order.
+    pub fn nonzero_counters(&self) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .filter(|(_, v)| *v != 0)
+            .cloned()
+            .collect()
+    }
+
+    /// Looks up one counter by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Looks up one histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Renders the nonzero part of the snapshot as a compact JSON object:
+    /// counters as `"name": n`, histograms as
+    /// `"name": {"count": c, "sum": s, "mean": m}`.
+    pub fn to_json(&self) -> String {
+        let mut parts = Vec::new();
+        for (n, v) in self.nonzero_counters() {
+            parts.push(format!("\"{n}\": {v}"));
+        }
+        for h in self.histograms.iter().filter(|h| h.count != 0) {
+            parts.push(format!(
+                "\"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {:.1}}}",
+                h.name,
+                h.count,
+                h.sum,
+                h.mean()
+            ));
+        }
+        format!("{{{}}}", parts.join(", "))
+    }
+
+    /// Renders the nonzero part of the snapshot as aligned text lines.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (n, v) in self.nonzero_counters() {
+            out.push_str(&format!("  {n:<40} {v}\n"));
+        }
+        for h in self.histograms.iter().filter(|h| h.count != 0) {
+            out.push_str(&format!(
+                "  {:<40} count {} sum {} mean {:.1}\n",
+                h.name,
+                h.count,
+                h.sum,
+                h.mean()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_power_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn atomic_and_local_backends_agree() {
+        let a = AtomicMetrics::new();
+        let l = LocalMetrics::new();
+        for (name, v) in [
+            ("transport.rx.chunks_accepted", 3),
+            ("transport.rx.data_touches", 4096),
+            ("wsc.verify_pass", 1),
+        ] {
+            a.add(name, v);
+            l.add(name, v);
+        }
+        for (name, v) in [("vreasm.tracker.fragments", 5), ("wsc.runs_per_tpdu", 130)] {
+            a.observe(name, v);
+            l.observe(name, v);
+        }
+        assert_eq!(a.snapshot(), l.snapshot());
+        assert_eq!(a.counter("transport.rx.chunks_accepted"), 3);
+    }
+
+    #[test]
+    fn unknown_and_miskinded_names_are_ignored() {
+        let m = LocalMetrics::new();
+        m.add("no.such.metric", 7);
+        m.add("wsc.runs_per_tpdu", 7); // histogram via counter API
+        m.observe("wsc.verify_pass", 7); // counter via histogram API
+        let s = m.snapshot();
+        assert!(s.nonzero_counters().is_empty());
+        assert!(s.histograms.iter().all(|h| h.count == 0));
+    }
+
+    #[test]
+    fn snapshot_json_and_text_render_nonzero_only() {
+        let m = LocalMetrics::new();
+        m.add("core.wire.chunks_decoded", 2);
+        m.observe("transport.rx.buffered_bytes", 100);
+        m.observe("transport.rx.buffered_bytes", 300);
+        let s = m.snapshot();
+        let json = s.to_json();
+        assert_eq!(
+            json,
+            "{\"core.wire.chunks_decoded\": 2, \
+             \"transport.rx.buffered_bytes\": {\"count\": 2, \"sum\": 400, \"mean\": 200.0}}"
+        );
+        let text = s.render_text();
+        assert!(text.contains("core.wire.chunks_decoded"));
+        assert!(!text.contains("wsc.verify_pass"));
+        assert_eq!(s.histogram("transport.rx.buffered_bytes").unwrap().count, 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! The `ObsSink` trait the instrumented layers talk to, its no-op default,
+//! and the recording implementation.
+//!
+//! Layers hold an `Arc<dyn ObsSink>` and cache `enabled()` once at
+//! construction, so the disabled hot path is a single branch on a local
+//! bool — no virtual call, no atomic, no allocation. The [`NullSink`]
+//! default keeps every existing byte-identical differential test green; a
+//! [`RecordingSink`] swaps in a full [`AtomicMetrics`] registry plus a
+//! mutex-guarded [`TraceRing`] without the instrumented code changing.
+
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+use crate::metrics::{AtomicMetrics, Snapshot};
+use crate::trace::{TimedEvent, TraceRing, DEFAULT_TRACE_CAPACITY};
+
+/// Where instrumented layers send counters, histogram observations and
+/// trace events. All methods take `&self`; implementations must be
+/// shareable across threads (the parallel receiver clones one sink into
+/// every worker shard).
+pub trait ObsSink: Send + Sync + std::fmt::Debug {
+    /// True when this sink actually records. Callers cache the answer and
+    /// skip instrumentation entirely when false.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Adds `delta` to the catalogued counter `name`.
+    fn counter(&self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Records `value` into the catalogued histogram `name`.
+    fn observe(&self, name: &'static str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Records a structured event at virtual time `at_ns`.
+    fn event(&self, at_ns: u64, event: Event) {
+        let _ = (at_ns, event);
+    }
+}
+
+/// The default sink: records nothing, reports `enabled() == false`.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NullSink;
+
+impl ObsSink for NullSink {}
+
+/// A shared handle to the default no-op sink.
+pub fn null() -> Arc<dyn ObsSink> {
+    Arc::new(NullSink)
+}
+
+/// A sink that records everything: counters and histograms in a lock-free
+/// [`AtomicMetrics`] registry, events in a mutex-guarded [`TraceRing`].
+///
+/// Hold the concrete `Arc<RecordingSink>` to read the data back after the
+/// run; hand clones (coerced to `Arc<dyn ObsSink>`) to the layers.
+#[derive(Debug)]
+pub struct RecordingSink {
+    metrics: AtomicMetrics,
+    trace: Mutex<TraceRing>,
+}
+
+impl RecordingSink {
+    /// Creates a shared recording sink with the default trace capacity.
+    pub fn shared() -> Arc<Self> {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Creates a shared recording sink holding at most `cap` trace events.
+    pub fn with_capacity(cap: usize) -> Arc<Self> {
+        Arc::new(RecordingSink {
+            metrics: AtomicMetrics::new(),
+            trace: Mutex::new(TraceRing::new(cap)),
+        })
+    }
+
+    /// Snapshots the metrics registry.
+    pub fn snapshot(&self) -> Snapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Copies the recorded events out, oldest first.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.trace.lock().expect("trace lock").events()
+    }
+
+    /// Exports the recorded trace as JSON lines (see
+    /// [`TraceRing::to_json_lines`]).
+    pub fn trace_json_lines(&self) -> String {
+        self.trace.lock().expect("trace lock").to_json_lines()
+    }
+
+    /// Renders the recorded trace as human-readable lines.
+    pub fn trace_text(&self) -> String {
+        self.trace.lock().expect("trace lock").render_text()
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.lock().expect("trace lock").dropped()
+    }
+}
+
+impl ObsSink for RecordingSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.metrics.add(name, delta);
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        self.metrics.observe(name, value);
+    }
+
+    fn event(&self, at_ns: u64, event: Event) {
+        self.trace.lock().expect("trace lock").push(at_ns, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Labels;
+
+    #[test]
+    fn null_sink_is_disabled_and_inert() {
+        let s = null();
+        assert!(!s.enabled());
+        s.counter("transport.rx.chunks_accepted", 1);
+        s.event(
+            0,
+            Event::ChunkRejected {
+                labels: Labels::default(),
+                reason: "x",
+            },
+        );
+    }
+
+    #[test]
+    fn recording_sink_round_trips() {
+        let s = RecordingSink::with_capacity(8);
+        assert!(s.enabled());
+        let dyn_sink: Arc<dyn ObsSink> = s.clone();
+        dyn_sink.counter("wsc.verify_pass", 2);
+        dyn_sink.observe("wsc.runs_per_tpdu", 4);
+        dyn_sink.event(
+            77,
+            Event::MergeFolded {
+                worker: 1,
+                chunks: 10,
+            },
+        );
+        let snap = s.snapshot();
+        assert_eq!(snap.counter("wsc.verify_pass"), 2);
+        assert_eq!(snap.histogram("wsc.runs_per_tpdu").unwrap().sum, 4);
+        assert_eq!(s.events().len(), 1);
+        assert!(s.trace_json_lines().starts_with("{\"t\": 77, "));
+        assert_eq!(s.trace_dropped(), 0);
+    }
+}

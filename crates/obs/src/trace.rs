@@ -1,0 +1,178 @@
+//! Bounded event-trace ring buffer with JSON-lines export and a compact
+//! text renderer.
+//!
+//! Timestamps are whatever virtual clock the caller passes in — the ring
+//! never reads a wall clock, which is what makes two runs of the same seeded
+//! scenario export byte-identical traces.
+
+use std::collections::VecDeque;
+
+use crate::event::Event;
+
+/// Default event capacity of a [`TraceRing`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// An event stamped with the caller's virtual-clock time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimedEvent {
+    /// Virtual-clock nanoseconds at which the event was recorded.
+    pub at_ns: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// A bounded ring of [`TimedEvent`]s: pushing past capacity drops the oldest
+/// event and counts the loss, so a long run keeps its tail (where verdicts
+/// live) and reports exactly how much head it shed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceRing {
+    cap: usize,
+    events: VecDeque<TimedEvent>,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        TraceRing {
+            cap: cap.max(1),
+            // Pre-allocate at most the default capacity; larger rings grow
+            // on demand rather than reserving their full bound up front.
+            events: VecDeque::with_capacity(cap.clamp(1, DEFAULT_TRACE_CAPACITY)),
+            dropped: 0,
+        }
+    }
+
+    /// Records `event` at virtual time `at_ns`.
+    pub fn push(&mut self, at_ns: u64, event: Event) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TimedEvent { at_ns, event });
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no event has been recorded (and none dropped).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.dropped == 0
+    }
+
+    /// Events evicted to make room (0 until the ring wraps).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates the held events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TimedEvent> {
+        self.events.iter()
+    }
+
+    /// Copies the held events out, oldest first.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.events.iter().copied().collect()
+    }
+
+    /// Exports the trace as JSON lines: one `{"t": ns, "ev": ..., ...}`
+    /// object per line, oldest first. Deterministic workloads export
+    /// byte-identical strings across runs.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for te in &self.events {
+            out.push_str(&format!("{{\"t\": {}, ", te.at_ns));
+            te.event.json_fields(&mut out);
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Renders the trace as aligned human-readable lines, one event each,
+    /// with millisecond virtual timestamps.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "  ... {} earlier events dropped (ring capacity {})\n",
+                self.dropped, self.cap
+            ));
+        }
+        for te in &self.events {
+            out.push_str(&format!(
+                "  {:>10.3} ms  {}\n",
+                te.at_ns as f64 / 1e6,
+                te.event.render_text()
+            ));
+        }
+        out
+    }
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        Self::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Labels;
+
+    fn ev(n: u32) -> Event {
+        Event::GroupDelivered {
+            conn_id: 1,
+            start: n,
+            bytes: 8,
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut r = TraceRing::new(2);
+        r.push(10, ev(0));
+        r.push(20, ev(1));
+        r.push(30, ev(2));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 1);
+        let held: Vec<u64> = r.iter().map(|t| t.at_ns).collect();
+        assert_eq!(held, vec![20, 30]);
+        assert!(r.render_text().contains("1 earlier events dropped"));
+    }
+
+    #[test]
+    fn json_lines_are_one_object_per_event() {
+        let mut r = TraceRing::default();
+        r.push(5, ev(0));
+        r.push(
+            7,
+            Event::ChunkRejected {
+                labels: Labels::new(3, 0, 9),
+                reason: "truncated",
+            },
+        );
+        let exported = r.to_json_lines();
+        let lines: Vec<&str> = exported.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"t\": 5, \"ev\": \"GroupDelivered\", \"cid\": 1, \"start\": 0, \"bytes\": 8}"
+        );
+        assert!(lines[1].contains("\"reason\": \"truncated\""));
+    }
+
+    #[test]
+    fn identical_pushes_export_identically() {
+        let mut a = TraceRing::default();
+        let mut b = TraceRing::default();
+        for t in 0..100u64 {
+            a.push(t, ev(t as u32));
+            b.push(t, ev(t as u32));
+        }
+        assert_eq!(a.to_json_lines(), b.to_json_lines());
+        assert_eq!(a, b);
+    }
+}

@@ -28,6 +28,37 @@
 //!   chunks fan out to shard-per-worker receivers by connection label, with
 //!   a merge stage that folds per-worker verification transcripts; provably
 //!   equivalent to the serial path (`tests/parallel_differential.rs`).
+//!
+//! The shortest closed loop — one sender's initial transmission processed
+//! on arrival by one receiver:
+//!
+//! ```
+//! use chunks_transport::{ConnectionParams, DeliveryMode, Receiver, Sender, SenderConfig};
+//! use chunks_wsc::InvariantLayout;
+//!
+//! let params = ConnectionParams {
+//!     conn_id: 1,
+//!     elem_size: 1,
+//!     initial_csn: 0,
+//!     tpdu_elements: 32,
+//! };
+//! let layout = InvariantLayout::with_data_symbols(1024);
+//! let mut tx = Sender::new(SenderConfig {
+//!     params,
+//!     layout,
+//!     mtu: 256,
+//!     min_tpdu_elements: 4,
+//!     max_tpdu_elements: 64,
+//! });
+//! let mut rx = Receiver::new(DeliveryMode::Immediate, params, layout, 1024);
+//! tx.submit_simple(b"chunks process on arrival", 0xA, false);
+//! for packet in tx.packets_for_pending().unwrap() {
+//!     rx.handle_packet(&packet, 0);
+//! }
+//! assert_eq!(&rx.app_data()[..25], b"chunks process on arrival");
+//! ```
+
+#![deny(missing_docs)]
 
 pub mod ack;
 pub mod conn;

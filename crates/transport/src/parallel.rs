@@ -39,13 +39,15 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use bytes::Bytes;
 use chunks_core::label::ChunkType;
 use chunks_core::packet::{chunk_spans, Packet};
-use chunks_core::wire::decode_chunk;
+use chunks_core::wire::{decode_chunk, decode_chunk_observed, labels_of};
+use chunks_obs::{Event, ObsSink};
 use chunks_wsc::{InvariantLayout, Wsc2Stream};
 
 use crate::ack::AckInfo;
@@ -144,6 +146,10 @@ pub enum ControlKind {
 }
 
 /// Dispatch-stage counters.
+///
+/// Like [`ReliabilityStats`](crate::session::ReliabilityStats), the field
+/// names track the `chunks-obs` metrics catalogue (`transport.parallel.*`);
+/// [`Self::as_metrics`] yields the catalogued pairs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct DispatchStats {
     /// Packets ingested.
@@ -159,6 +165,23 @@ pub struct DispatchStats {
     /// Worker-side decode failures (spans are pre-validated, so this stays
     /// zero unless memory is corrupted between stages).
     pub decode_errors: u64,
+}
+
+impl DispatchStats {
+    /// The counters as `(catalogue name, value)` pairs, named exactly as
+    /// the `chunks-obs` registry exports them. `routed` and `decode_errors`
+    /// have no registry twin (the former is a per-TYPE array, the latter is
+    /// a cannot-happen guard).
+    pub fn as_metrics(&self) -> [(&'static str, u64); 3] {
+        [
+            ("transport.parallel.packets", self.packets),
+            ("transport.parallel.bad_packets", self.bad_packets),
+            (
+                "transport.parallel.chunks_dispatched",
+                self.chunks_dispatched,
+            ),
+        ]
+    }
 }
 
 /// Wall-clock spent in each pipeline stage.
@@ -246,10 +269,15 @@ struct Shard {
     chunks: u64,
     decode_errors: u64,
     busy_ns: u64,
+    /// Observability sink (no-op by default).
+    obs: Arc<dyn ObsSink>,
+    /// Cached `obs.enabled()` so the disabled path costs one branch.
+    obs_on: bool,
 }
 
 impl Shard {
-    fn new(index: usize) -> Self {
+    fn new(index: usize, obs: Arc<dyn ObsSink>) -> Self {
+        let obs_on = obs.enabled();
         Shard {
             index,
             receivers: HashMap::new(),
@@ -258,6 +286,8 @@ impl Shard {
             chunks: 0,
             decode_errors: 0,
             busy_ns: 0,
+            obs,
+            obs_on,
         }
     }
 
@@ -267,7 +297,12 @@ impl Shard {
         let started = Instant::now();
         match work {
             Work::Chunk { raw, now } => {
-                let chunk = match decode_chunk(&raw) {
+                let decoded = if self.obs_on {
+                    decode_chunk_observed(&raw, now, &*self.obs)
+                } else {
+                    decode_chunk(&raw)
+                };
+                let chunk = match decoded {
                     Ok((c, _)) => c,
                     Err(_) => {
                         self.decode_errors += 1;
@@ -431,6 +466,13 @@ pub struct ParallelReceiver {
     stamp: u64,
     control: Vec<ControlEvent>,
     registered: Vec<u32>,
+    /// Observability sink (no-op by default).
+    obs: Arc<dyn ObsSink>,
+    /// Cached `obs.enabled()` so the disabled path costs one branch.
+    obs_on: bool,
+    /// Last `now` seen by [`Self::ingest`], used to stamp merge-stage events
+    /// (the merge has no clock of its own).
+    last_now: u64,
 }
 
 impl std::fmt::Debug for ParallelReceiver {
@@ -446,16 +488,31 @@ impl ParallelReceiver {
     /// Builds the pipeline with `workers` workers and registers every
     /// connection in `conns`, each on the worker [`shard_of`] names.
     pub fn new(workers: usize, engine: Engine, conns: Vec<ConnSpec>) -> Self {
+        Self::new_with_obs(workers, engine, conns, chunks_obs::null())
+    }
+
+    /// Like [`Self::new`], with an observability sink shared by the
+    /// dispatcher, every worker, and every per-connection receiver. The sink
+    /// must be chosen at construction time because the threads engine spawns
+    /// its workers here.
+    pub fn new_with_obs(
+        workers: usize,
+        engine: Engine,
+        conns: Vec<ConnSpec>,
+        sink: Arc<dyn ObsSink>,
+    ) -> Self {
         assert!(workers > 0, "at least one worker");
-        let mut shards: Vec<Shard> = (0..workers).map(Shard::new).collect();
+        let obs_on = sink.enabled();
+        let mut shards: Vec<Shard> = (0..workers).map(|i| Shard::new(i, sink.clone())).collect();
         let mut registered = Vec::with_capacity(conns.len());
         for spec in conns {
             let conn_id = spec.params.conn_id;
             registered.push(conn_id);
-            shards[shard_of(conn_id, workers)].receivers.insert(
-                conn_id,
-                Receiver::new(spec.mode, spec.params, spec.layout, spec.capacity_elements),
-            );
+            let mut rx = Receiver::new(spec.mode, spec.params, spec.layout, spec.capacity_elements);
+            rx.set_obs(sink.clone());
+            shards[shard_of(conn_id, workers)]
+                .receivers
+                .insert(conn_id, rx);
         }
         let runtime = match engine {
             Engine::Threads => {
@@ -487,6 +544,9 @@ impl ParallelReceiver {
             stamp: 0,
             control: Vec::new(),
             registered,
+            obs: sink,
+            obs_on,
+            last_now: 0,
         }
     }
 
@@ -505,11 +565,18 @@ impl ParallelReceiver {
     /// rejects the whole packet), then routes each span.
     pub fn ingest(&mut self, packet: &Packet, now: u64) {
         let started = Instant::now();
+        self.last_now = now;
         self.dispatch.packets += 1;
+        if self.obs_on {
+            self.obs.counter("transport.parallel.packets", 1);
+        }
         let spans = match chunk_spans(packet) {
             Ok(s) => s,
             Err(_) => {
                 self.dispatch.bad_packets += 1;
+                if self.obs_on {
+                    self.obs.counter("transport.parallel.bad_packets", 1);
+                }
                 self.dispatch_ns += started.elapsed().as_nanos() as u64;
                 return;
             }
@@ -551,8 +618,22 @@ impl ParallelReceiver {
                     let conn_id = header.conn.id;
                     if self.registered.contains(&conn_id) {
                         self.dispatch.chunks_dispatched += 1;
-                        self.send(shard_of(conn_id, self.workers), Work::Chunk { raw, now });
+                        let worker = shard_of(conn_id, self.workers);
+                        if self.obs_on {
+                            self.obs.counter("transport.parallel.chunks_dispatched", 1);
+                            self.obs.event(
+                                now,
+                                Event::ShardDispatched {
+                                    labels: labels_of(&header),
+                                    worker: worker as u32,
+                                },
+                            );
+                        }
+                        self.send(worker, Work::Chunk { raw, now });
                     } else {
+                        if self.obs_on {
+                            self.obs.counter("transport.parallel.unknown_connection", 1);
+                        }
                         self.control.push(ControlEvent {
                             stamp,
                             kind: ControlKind::UnknownConnection { conn_id },
@@ -582,7 +663,17 @@ impl ParallelReceiver {
                 // at join time, not here.
                 let _ = senders[worker].send(work);
             }
-            Runtime::Virtual { queues, .. } => queues[worker].push_back(work),
+            Runtime::Virtual { queues, .. } => {
+                queues[worker].push_back(work);
+                if self.obs_on {
+                    // Queue depth is only observable on the virtual engine:
+                    // the threads engine's SPSC queues hide their length.
+                    self.obs.observe(
+                        "transport.parallel.queue_depth",
+                        queues[worker].len() as u64,
+                    );
+                }
+            }
         }
     }
 
@@ -675,6 +766,17 @@ impl ParallelReceiver {
         for mut shard in shards {
             transcript.fold(&shard.transcript);
             worker_chunks[shard.index] = shard.chunks;
+            if self.obs_on {
+                self.obs
+                    .observe("transport.parallel.worker_chunks", shard.chunks);
+                self.obs.event(
+                    self.last_now,
+                    Event::MergeFolded {
+                        worker: shard.index as u32,
+                        chunks: shard.chunks,
+                    },
+                );
+            }
             self.dispatch.decode_errors += shard.decode_errors;
             process_max_ns = process_max_ns.max(shard.busy_ns);
             process_total_ns += shard.busy_ns;
@@ -692,6 +794,13 @@ impl ParallelReceiver {
                     },
                 );
             }
+        }
+        if self.obs_on {
+            // One fold per worker transcript absorbed, plus any folds the
+            // workers themselves performed (`Wsc2Stream::fold_code` per
+            // delivered TPDU counts inside the per-worker tallies).
+            self.obs
+                .counter("transport.parallel.merge_folds", transcript.folds());
         }
         let mut control = std::mem::take(&mut self.control);
         control.sort_by_key(|e| e.stamp);

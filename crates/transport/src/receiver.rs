@@ -24,10 +24,12 @@
 //! element (see docs/ARCHITECTURE.md, "The hot path").
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use chunks_core::chunk::Chunk;
 use chunks_core::label::ChunkType;
-use chunks_core::packet::{unpack, Packet};
+use chunks_core::packet::{unpack, unpack_observed, Packet};
+use chunks_obs::{Event, Labels, ObsSink};
 use chunks_vreasm::{PduTracker, TrackEvent};
 use chunks_wsc::{InvariantLayout, TpduInvariant};
 
@@ -64,6 +66,19 @@ pub enum FailureReason {
     /// The chunk itself was malformed (wire decode failed, wrong element
     /// size for the connection).
     BadChunk,
+}
+
+impl FailureReason {
+    /// A short stable kebab-case tag, used as the `reason` of a
+    /// [`Event::ChunkRejected`] trace event.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FailureReason::EdMismatch => "ed-mismatch",
+            FailureReason::Consistency => "consistency",
+            FailureReason::ReassemblyError => "reassembly-error",
+            FailureReason::BadChunk => "bad-chunk",
+        }
+    }
 }
 
 /// Events surfaced to the caller.
@@ -154,6 +169,14 @@ pub struct Receiver {
     closed: bool,
     /// Accumulated statistics.
     pub stats: RxStats,
+    /// Observability sink; [`chunks_obs::NullSink`] unless
+    /// [`with_obs`](Self::with_obs) installed a recording one.
+    obs: Arc<dyn ObsSink>,
+    /// Cached `obs.enabled()`: the disabled hot path is this one branch.
+    obs_on: bool,
+    /// Last virtual-clock time seen by `handle_chunk`/`handle_packet`;
+    /// stamps trace events emitted from call paths without a `now`.
+    last_now: u64,
 }
 
 impl Receiver {
@@ -177,7 +200,24 @@ impl Receiver {
             delivered: Vec::new(),
             closed: false,
             stats: RxStats::default(),
+            obs: chunks_obs::null(),
+            obs_on: false,
+            last_now: 0,
         }
+    }
+
+    /// Installs an observability sink (builder form). With the default
+    /// [`chunks_obs::NullSink`] every instrumentation site reduces to one
+    /// branch on a cached bool.
+    pub fn with_obs(mut self, sink: Arc<dyn ObsSink>) -> Self {
+        self.set_obs(sink);
+        self
+    }
+
+    /// Installs an observability sink in place.
+    pub fn set_obs(&mut self, sink: Arc<dyn ObsSink>) {
+        self.obs_on = sink.enabled();
+        self.obs = sink;
     }
 
     /// The delivery mode.
@@ -223,10 +263,19 @@ impl Receiver {
 
     /// Handles one arriving packet at time `now`.
     pub fn handle_packet(&mut self, packet: &Packet, now: u64) -> Vec<RxEvent> {
-        let chunks = match unpack(packet) {
+        self.last_now = now;
+        let parsed = if self.obs_on {
+            unpack_observed(packet, now, &*self.obs)
+        } else {
+            unpack(packet)
+        };
+        let chunks = match parsed {
             Ok(c) => c,
             Err(_) => {
                 self.stats.bad_packets += 1;
+                if self.obs_on {
+                    self.obs.counter("transport.rx.bad_packets", 1);
+                }
                 return Vec::new();
             }
         };
@@ -239,6 +288,7 @@ impl Receiver {
 
     /// Handles one chunk at time `now`.
     pub fn handle_chunk(&mut self, chunk: Chunk, now: u64) -> Vec<RxEvent> {
+        self.last_now = now;
         match chunk.header.ty {
             ChunkType::Data => self.handle_data(chunk, now),
             ChunkType::ErrorDetection => self.handle_ed(chunk, now),
@@ -246,6 +296,9 @@ impl Receiver {
                 Ok(s) => vec![RxEvent::Signalled(s)],
                 Err(_) => {
                     self.stats.bad_packets += 1;
+                    if self.obs_on {
+                        self.obs.counter("transport.rx.bad_packets", 1);
+                    }
                     Vec::new()
                 }
             },
@@ -253,6 +306,9 @@ impl Receiver {
                 Ok(a) => vec![RxEvent::Acked(a)],
                 Err(_) => {
                     self.stats.bad_packets += 1;
+                    if self.obs_on {
+                        self.obs.counter("transport.rx.bad_packets", 1);
+                    }
                     Vec::new()
                 }
             },
@@ -298,10 +354,16 @@ impl Receiver {
         let uncovered = group.tracker.uncovered(h.tpdu.sn as u64, len);
         if uncovered.is_empty() {
             self.stats.duplicate_chunks += 1;
+            if self.obs_on {
+                self.obs.counter("transport.rx.duplicate_chunks", 1);
+            }
             return Vec::new();
         }
         if uncovered != [(h.tpdu.sn as u64, h.tpdu.sn as u64 + len)] {
             self.stats.duplicate_chunks += 1; // partially duplicate
+            if self.obs_on {
+                self.obs.counter("transport.rx.duplicate_chunks", 1);
+            }
             let mut events = Vec::new();
             for (lo, hi) in uncovered {
                 let offset = (lo - h.tpdu.sn as u64) as u32;
@@ -316,6 +378,9 @@ impl Receiver {
         match group.tracker.offer(h.tpdu.sn as u64, len, h.tpdu.st) {
             TrackEvent::Duplicate => {
                 self.stats.duplicate_chunks += 1;
+                if self.obs_on {
+                    self.obs.counter("transport.rx.duplicate_chunks", 1);
+                }
                 return Vec::new();
             }
             TrackEvent::Inconsistent => {
@@ -355,6 +420,12 @@ impl Receiver {
         }
         group.elements += len;
         self.stats.chunks_accepted += 1;
+        if self.obs_on {
+            self.obs.counter("transport.rx.chunks_accepted", 1);
+            self.obs.counter("vreasm.tracker.accepts", 1);
+            self.obs
+                .observe("vreasm.tracker.fragments", group.tracker.fragments() as u64);
+        }
         if h.conn.st {
             self.closed = true;
         }
@@ -389,6 +460,9 @@ impl Receiver {
     fn handle_ed(&mut self, chunk: Chunk, now: u64) -> Vec<RxEvent> {
         if chunk.payload.len() != 8 {
             self.stats.bad_packets += 1;
+            if self.obs_on {
+                self.obs.counter("transport.rx.bad_packets", 1);
+            }
             return Vec::new();
         }
         let start = self.unwrap_csn(chunk.header.conn.sn);
@@ -415,6 +489,10 @@ impl Receiver {
         let at = first_element as usize * esize;
         self.app[at..at + payload.len()].copy_from_slice(payload);
         self.stats.data_touches += payload.len() as u64;
+        if self.obs_on {
+            self.obs
+                .counter("transport.rx.data_touches", payload.len() as u64);
+        }
     }
 
     fn stage(&mut self, bytes: u64) {
@@ -423,6 +501,13 @@ impl Receiver {
             .stats
             .peak_buffered_bytes
             .max(self.stats.buffered_bytes);
+        if self.obs_on {
+            self.obs
+                .observe("transport.rx.buffered_bytes", self.stats.buffered_bytes);
+            // Staged bytes are a touch too (they reach a buffer before the
+            // application); mirror the stat the callers accumulate.
+            self.obs.counter("transport.rx.data_touches", bytes);
+        }
     }
 
     fn unstage(&mut self, bytes: u64) {
@@ -433,7 +518,11 @@ impl Receiver {
         while let Some((chunk, arrived)) = self.reorder_q.remove(&self.in_order) {
             let len = chunk.header.len as u64;
             self.unstage(chunk.payload.len() as u64);
-            self.stats.holding_delay += now.saturating_sub(arrived);
+            let waited = now.saturating_sub(arrived);
+            self.stats.holding_delay += waited;
+            if self.obs_on {
+                self.obs.counter("transport.rx.holding_delay_ns", waited);
+            }
             self.place(self.in_order, &chunk.payload);
             self.in_order += len;
         }
@@ -457,6 +546,16 @@ impl Receiver {
         group.failed = Some(reason);
         group.reported = true;
         self.stats.tpdus_failed += 1;
+        if self.obs_on {
+            self.obs.counter("transport.rx.tpdus_failed", 1);
+            self.obs.event(
+                self.last_now,
+                Event::ChunkRejected {
+                    labels: Labels::new(self.params.conn_id, start as u32, 0),
+                    reason: reason.as_str(),
+                },
+            );
+        }
         vec![RxEvent::TpduFailed { start, reason }]
     }
 
@@ -474,16 +573,36 @@ impl Receiver {
         let elements = group.elements;
         if group.inv.matches(digest) {
             group.reported = true;
+            if self.obs_on {
+                self.obs.counter("wsc.verify_pass", 1);
+                self.obs
+                    .observe("wsc.runs_per_tpdu", group.inv.absorbed_runs());
+            }
             // Reassemble mode releases the staged chunks to the app now.
             let held = std::mem::take(&mut group.held);
             for (chunk, arrived) in held {
                 let first = self.unwrap_csn(chunk.header.conn.sn);
                 self.unstage(chunk.payload.len() as u64);
-                self.stats.holding_delay += now.saturating_sub(arrived);
+                let waited = now.saturating_sub(arrived);
+                self.stats.holding_delay += waited;
+                if self.obs_on {
+                    self.obs.counter("transport.rx.holding_delay_ns", waited);
+                }
                 self.place(first, &chunk.payload);
             }
             self.delivered.push(start);
             self.stats.tpdus_delivered += 1;
+            if self.obs_on {
+                self.obs.counter("transport.rx.tpdus_delivered", 1);
+                self.obs.event(
+                    now,
+                    Event::GroupDelivered {
+                        conn_id: self.params.conn_id,
+                        start: start as u32,
+                        bytes: (elements * self.params.elem_size as u64) as u32,
+                    },
+                );
+            }
             let mut events = vec![RxEvent::TpduDelivered { start, elements }];
             if self.closed {
                 events.push(RxEvent::ConnectionClosed);
@@ -494,6 +613,9 @@ impl Receiver {
             let held = std::mem::take(&mut group.held);
             for (chunk, _) in held {
                 self.unstage(chunk.payload.len() as u64);
+            }
+            if self.obs_on {
+                self.obs.counter("wsc.verify_fail", 1);
             }
             self.group_failure(start, FailureReason::EdMismatch)
         }

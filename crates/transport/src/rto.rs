@@ -257,6 +257,11 @@ impl RetransmitTimer {
         }
     }
 
+    /// Timer-driven retransmissions a given armed TPDU has absorbed so far.
+    pub fn retries_for(&self, start: u64) -> Option<u32> {
+        self.entries.get(&start).map(|e| e.retries)
+    }
+
     /// TPDU starts currently armed.
     pub fn armed(&self) -> Vec<u64> {
         self.entries.keys().copied().collect()

@@ -8,9 +8,11 @@
 //! outbound data packets — Appendix A's free piggybacking.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use chunks_core::error::CoreError;
 use chunks_core::packet::{unpack, Packet};
+use chunks_obs::{Event, ObsSink};
 
 use crate::ack::AckInfo;
 use crate::conn::ConnectionParams;
@@ -21,18 +23,44 @@ use crate::sender::{Sender, SenderConfig};
 use chunks_wsc::InvariantLayout;
 
 /// Counters kept by the session's reliability layer.
+///
+/// Field names follow the `chunks-obs` metrics catalogue (one style:
+/// `*_retransmits`, never `*_retransmissions`): each field is the ad-hoc
+/// twin of a registry metric, and [`Self::as_metrics`] yields the pairs
+/// under their catalogued names. The fields stay public under these exact
+/// names — tests and the soak harness read them directly.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct ReliabilityStats {
     /// TPDUs retransmitted because their timer fired (no ack arrived).
+    /// Registry twin: `transport.rto.timer_retransmits`.
     pub timer_retransmits: u64,
     /// TPDUs shed after their retry budget emptied (graceful degradation).
+    /// Registry twin: `transport.rto.shed_tpdus`.
     pub shed_tpdus: u64,
     /// RTT samples absorbed by the estimator.
+    /// Registry twin: `transport.rto.rtt_samples`.
     pub rtt_samples: u64,
     /// The current base RTO in virtual nanoseconds.
+    /// Registry twin: the `transport.rto.base_rto_ns` histogram (the
+    /// registry records one observation per pump; this field is the latest).
     pub base_rto_ns: u64,
     /// Packets deferred to a later pump by the burst cap.
+    /// Registry twin: `transport.session.burst_deferrals`.
     pub burst_deferrals: u64,
+}
+
+impl ReliabilityStats {
+    /// The counters as `(catalogue name, value)` pairs, named exactly as
+    /// the `chunks-obs` registry exports them (see `docs/OBSERVABILITY.md`).
+    pub fn as_metrics(&self) -> [(&'static str, u64); 5] {
+        [
+            ("transport.rto.timer_retransmits", self.timer_retransmits),
+            ("transport.rto.shed_tpdus", self.shed_tpdus),
+            ("transport.rto.rtt_samples", self.rtt_samples),
+            ("transport.rto.base_rto_ns", self.base_rto_ns),
+            ("transport.session.burst_deferrals", self.burst_deferrals),
+        ]
+    }
 }
 
 /// One endpoint of a bidirectional chunk conversation.
@@ -61,6 +89,10 @@ pub struct Session {
     dead: Option<TransportError>,
     /// Timer/shedding counters.
     stats: ReliabilityStats,
+    /// Observability sink (no-op by default).
+    obs: Arc<dyn ObsSink>,
+    /// Cached `obs.enabled()` so the disabled path costs one branch.
+    obs_on: bool,
 }
 
 impl Session {
@@ -87,7 +119,18 @@ impl Session {
             repair_limit_tpdus: 64,
             dead: None,
             stats: ReliabilityStats::default(),
+            obs: chunks_obs::null(),
+            obs_on: false,
         }
+    }
+
+    /// Attaches an observability sink to the session and its receiver.
+    /// Metrics and events flow only while `sink.enabled()` is true.
+    pub fn with_obs(mut self, sink: Arc<dyn ObsSink>) -> Self {
+        self.rx.set_obs(sink.clone());
+        self.obs_on = sink.enabled();
+        self.obs = sink;
+        self
     }
 
     /// Replaces the retransmission-timer configuration (call before the
@@ -176,6 +219,11 @@ impl Session {
             return Err(err.clone());
         }
         self.clock = self.clock.max(now);
+        if self.obs_on {
+            self.obs.counter("transport.session.pumps", 1);
+            self.obs
+                .observe("transport.rto.base_rto_ns", self.rto.base_rto_ns());
+        }
         self.emit(true)
     }
 
@@ -208,7 +256,13 @@ impl Session {
         }
 
         if timers {
-            for verdict in self.rto.poll(now) {
+            let fires_before = self.rto.fires;
+            let verdicts = self.rto.poll(now);
+            if self.obs_on {
+                self.obs
+                    .counter("transport.rto.timer_fires", self.rto.fires - fires_before);
+            }
+            for verdict in verdicts {
                 match verdict {
                     TimerVerdict::Retransmit(start) => {
                         if !self.tx.is_pending(start) {
@@ -220,6 +274,30 @@ impl Session {
                             mux.enqueue_chunks(unpack(&p)?);
                         }
                         self.stats.timer_retransmits += 1;
+                        if self.obs_on {
+                            self.obs.counter("transport.rto.timer_retransmits", 1);
+                            self.obs.event(
+                                now,
+                                Event::RetransmitFired {
+                                    conn_id: self.local_conn,
+                                    start: start as u32,
+                                    retries: self.rto.retries_for(start).unwrap_or(0),
+                                },
+                            );
+                            // `poll` already backed the timer off; record the
+                            // RTO the re-armed entry is now running under.
+                            if let Some(rto_ns) = self.rto.rto_for(start) {
+                                self.obs.observe("transport.rto.backoff_rto_ns", rto_ns);
+                                self.obs.event(
+                                    now,
+                                    Event::BackoffApplied {
+                                        conn_id: self.local_conn,
+                                        start: start as u32,
+                                        rto_ns,
+                                    },
+                                );
+                            }
+                        }
                         // `poll` already backed the timer off and re-armed.
                     }
                     TimerVerdict::Exhausted {
@@ -230,6 +308,17 @@ impl Session {
                         DegradePolicy::Shed => {
                             if self.tx.abandon(start) {
                                 self.stats.shed_tpdus += 1;
+                                if self.obs_on {
+                                    self.obs.counter("transport.rto.shed_tpdus", 1);
+                                    self.obs.event(
+                                        now,
+                                        Event::VerdictReached {
+                                            conn_id: self.local_conn,
+                                            verdict: "shed",
+                                            start: start as u32,
+                                        },
+                                    );
+                                }
                             }
                         }
                         DegradePolicy::Abort => {
@@ -240,6 +329,17 @@ impl Session {
                                 elapsed_ns,
                             };
                             self.dead = Some(err.clone());
+                            if self.obs_on {
+                                self.obs.counter("transport.session.dead_verdicts", 1);
+                                self.obs.event(
+                                    now,
+                                    Event::VerdictReached {
+                                        conn_id: self.local_conn,
+                                        verdict: "peer-unreachable",
+                                        start: start as u32,
+                                    },
+                                );
+                            }
                             return Err(err);
                         }
                     },
@@ -266,6 +366,14 @@ impl Session {
         let take = self.backlog.len().min(self.max_burst_packets);
         let out: Vec<Packet> = self.backlog.drain(..take).collect();
         self.stats.burst_deferrals += self.backlog.len() as u64;
+        if self.obs_on {
+            self.obs
+                .counter("transport.session.packets_emitted", out.len() as u64);
+            self.obs.counter(
+                "transport.session.burst_deferrals",
+                self.backlog.len() as u64,
+            );
+        }
         Ok(out)
     }
 
@@ -278,8 +386,15 @@ impl Session {
         for event in self.rx.handle_packet(packet, now) {
             match event {
                 RxEvent::Acked(ack) => {
+                    let samples_before = self.rto.samples;
                     for start in self.tx.handle_ack(&ack) {
                         self.rto.on_ack(start, self.clock);
+                    }
+                    if self.obs_on {
+                        self.obs.counter(
+                            "transport.rto.rtt_samples",
+                            self.rto.samples - samples_before,
+                        );
                     }
                     // Remember it for the next repair pass too.
                     self.inbound_ack = Some(ack);

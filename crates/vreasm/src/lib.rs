@@ -17,6 +17,22 @@
 //!   **lock-up** phenomenon chunks eliminate (§3.3, citing Kent–Mogul);
 //! * [`bounded::BoundedTracker`] — a VLSI-shaped tracker with a fixed gap
 //!   budget, modelling the hardware units of STER 92 / MCAU 93b.
+//!
+//! Completion falls out of coverage plus the stop bit — fragments may
+//! arrive in any order:
+//!
+//! ```
+//! use chunks_vreasm::PduTracker;
+//!
+//! let mut t = PduTracker::new();
+//! t.offer(64, 32, true); // the tail arrives first (ST set: PDU ends at 96)
+//! assert!(!t.is_complete());
+//! t.offer(0, 64, false); // the head closes the single gap
+//! assert!(t.is_complete());
+//! assert_eq!(t.covered(), 96);
+//! ```
+
+#![deny(missing_docs)]
 
 pub mod bounded;
 pub mod buffer;

@@ -263,6 +263,13 @@ impl TpduInvariant {
         Ok(())
     }
 
+    /// Non-empty WSC-2 runs absorbed so far (see [`Wsc2Stream::runs`]) —
+    /// the disorder tally a receiver reports as the `wsc.runs_per_tpdu`
+    /// histogram when a group completes.
+    pub fn absorbed_runs(&self) -> u64 {
+        self.wsc.runs()
+    }
+
     /// The accumulated WSC-2 value.
     pub fn code(&self) -> Wsc2 {
         self.wsc.code()

@@ -46,6 +46,10 @@ pub struct Wsc2Stream {
     cursor: u64,
     /// Cached `alpha^cursor`.
     weight: Gf32,
+    /// Non-empty runs absorbed so far (observability; not part of the code).
+    runs: u64,
+    /// Streams or raw codes folded in so far (observability).
+    folds: u64,
 }
 
 impl Default for Wsc2Stream {
@@ -65,6 +69,8 @@ impl Wsc2Stream {
             acc: Wsc2::new(),
             cursor: 0,
             weight: Gf32::ONE,
+            runs: 0,
+            folds: 0,
         }
     }
 
@@ -108,6 +114,7 @@ impl Wsc2Stream {
     #[inline]
     pub fn add_symbol(&mut self, i: u64, d: u32) {
         debug_assert!(i < MAX_SYMBOLS, "symbol position {i} outside code space");
+        self.runs += 1;
         let w = self.seek(i);
         let d = Gf32::new(d);
         self.acc.p0 += d;
@@ -122,6 +129,7 @@ impl Wsc2Stream {
         if data.is_empty() {
             return;
         }
+        self.runs += 1;
         debug_assert!(start + data.len() as u64 <= MAX_SYMBOLS);
         let mut p0 = Gf32::ZERO;
         let mut horner = Gf32::ZERO;
@@ -143,6 +151,7 @@ impl Wsc2Stream {
         if bytes.is_empty() {
             return;
         }
+        self.runs += 1;
         let n = Wsc2::symbols_for_bytes(bytes.len());
         debug_assert!(start + n <= MAX_SYMBOLS);
         let mut p0 = Gf32::ZERO;
@@ -185,6 +194,8 @@ impl Wsc2Stream {
     /// ```
     pub fn fold(&mut self, other: &Wsc2Stream) {
         self.acc.combine(&other.acc);
+        self.runs += other.runs;
+        self.folds += 1 + other.folds;
     }
 
     /// Folds in a raw code value accumulated elsewhere over a disjoint set
@@ -193,12 +204,26 @@ impl Wsc2Stream {
     /// TPDU's code being folded into a per-worker delivery transcript).
     pub fn fold_code(&mut self, code: &Wsc2) {
         self.acc.combine(code);
+        self.folds += 1;
     }
 
     /// The position one past the last absorbed symbol — where contiguous
     /// input would continue for free.
     pub fn position(&self) -> u64 {
         self.cursor
+    }
+
+    /// Non-empty runs absorbed so far, including runs carried in by
+    /// [`fold`](Self::fold) — an observability tally of how disordered the
+    /// input was, with no effect on the code value.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Streams or raw codes folded in so far (transitively), the merge-work
+    /// tally a parallel receiver reports as `transport.parallel.merge_folds`.
+    pub fn folds(&self) -> u64 {
+        self.folds
     }
 
     /// The accumulated code value.
@@ -303,5 +328,22 @@ mod tests {
         stream.add_symbols(10, &[]);
         assert!(stream.code().is_zero());
         assert_eq!(stream.position(), 0);
+        assert_eq!(stream.runs(), 0);
+    }
+
+    #[test]
+    fn run_and_fold_tallies_count_work_not_value() {
+        let mut a = Wsc2Stream::new();
+        a.add_bytes(0, b"abcd");
+        a.add_symbol(9, 7);
+        assert_eq!(a.runs(), 2);
+        assert_eq!(a.folds(), 0);
+
+        let mut b = Wsc2Stream::new();
+        b.add_bytes(20, b"efgh");
+        a.fold(&b);
+        a.fold_code(&Wsc2::new());
+        assert_eq!(a.runs(), 3, "fold carries the other stream's runs");
+        assert_eq!(a.folds(), 2);
     }
 }

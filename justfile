@@ -3,9 +3,9 @@
 # Each recipe is a plain cargo command, so `just` itself is optional.
 
 # Full lint gate: formatting, clippy, rustdoc — all warnings denied —
-# plus the release-mode test suite, the parallel-equivalence gate, and the
-# reliability soak.
-lint: check test-release test-parallel soak
+# plus the release-mode test suite, the parallel-equivalence gate, the
+# reliability soak, and the deterministic-trace replay.
+lint: check test-release test-parallel soak trace
 
 # Static gate only: formatting, clippy, rustdoc.
 check: fmt clippy doc
@@ -18,7 +18,7 @@ fmt:
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
 
-# Rustdoc with warnings denied (deny(missing_docs) holds on gf and wsc).
+# Rustdoc with warnings denied (deny(missing_docs) holds on every crate).
 doc:
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
@@ -49,3 +49,8 @@ bench-parallel:
 # Regenerate the BENCH_wsc.json fast-path snapshot at the repo root.
 bench-wsc:
     cargo bench -p chunks-bench --bench invariant
+
+# Replay the label-flips soak cell twice with a recording sink, prove the
+# two traces byte-identical, and print the metrics + event timeline.
+trace:
+    cargo run --release --bin experiments trace

@@ -10,7 +10,7 @@
 
 use chunks::experiments::{
     appendix_b, b1_receiver_modes, b2_frag_systems, b3_lockup, b4_codes, b5_compress, b6_demux,
-    b7_turner, b8_gap_budget, figures, parallel, soak, table1,
+    b7_turner, b8_gap_budget, figures, parallel, soak, table1, trace,
 };
 
 const SEED: u64 = 0xC0451;
@@ -103,11 +103,25 @@ fn run_one(name: &str) -> bool {
             }
             r.passes()
         }
+        "trace" => {
+            let r = trace::run(SEED);
+            println!("{r}");
+            r.passes()
+        }
         other => {
             eprintln!("unknown experiment: {other}");
             false
         }
     }
+}
+
+/// Renders a row's nonzero-counter snapshot as one compact JSON object.
+fn metrics_json(metrics: &[(String, u64)]) -> String {
+    let parts: Vec<String> = metrics
+        .iter()
+        .map(|(n, v)| format!("\"{n}\": {v}"))
+        .collect();
+    format!("{{{}}}", parts.join(", "))
 }
 
 /// Renders the soak sweeps as the BENCH_soak.json goodput-under-loss record.
@@ -128,7 +142,7 @@ fn soak_json(results: &[&soak::SoakResult]) -> String {
         .flat_map(|r| r.rows.iter())
         .map(|row| {
             format!(
-                "    {{\"scenario\": \"{}\", \"seed\": \"{:#x}\", \"outcome\": \"{}\", \"delivered_frac\": {:.3}, \"virtual_ms\": {:.1}, \"timer_retransmits\": {}, \"shed_tpdus\": {}, \"acks_dropped\": {}, \"goodput_mib_s\": {:.2}}}",
+                "    {{\"scenario\": \"{}\", \"seed\": \"{:#x}\", \"outcome\": \"{}\", \"delivered_frac\": {:.3}, \"virtual_ms\": {:.1}, \"timer_retransmits\": {}, \"shed_tpdus\": {}, \"acks_dropped\": {}, \"goodput_mib_s\": {:.2}, \"metrics\": {}}}",
                 row.scenario,
                 row.seed,
                 row.outcome,
@@ -138,6 +152,7 @@ fn soak_json(results: &[&soak::SoakResult]) -> String {
                 row.shed_tpdus,
                 row.acks_dropped,
                 row.goodput_mibps,
+                metrics_json(&row.metrics),
             )
         })
         .collect();
@@ -175,7 +190,7 @@ fn parallel_json(r: &parallel::ParallelResult) -> String {
             let serial_ms = s.serial_wall_ns as f64 / 1e6;
             s.cells.iter().map(move |c| {
                 format!(
-                    "    {{\"profile\": \"{}\", \"workers\": {}, \"dispatch_ms\": {:.3}, \"process_total_ms\": {:.3}, \"process_max_ms\": {:.3}, \"merge_ms\": {:.3}, \"makespan_ms\": {:.3}, \"modeled_mib_s\": {:.1}, \"speedup_vs_1\": {:.2}, \"threads_wall_ms\": {:.3}, \"serial_wall_ms\": {:.3}, \"delivered_bytes\": {}, \"divergences\": {}}}",
+                    "    {{\"profile\": \"{}\", \"workers\": {}, \"dispatch_ms\": {:.3}, \"process_total_ms\": {:.3}, \"process_max_ms\": {:.3}, \"merge_ms\": {:.3}, \"makespan_ms\": {:.3}, \"modeled_mib_s\": {:.1}, \"speedup_vs_1\": {:.2}, \"threads_wall_ms\": {:.3}, \"serial_wall_ms\": {:.3}, \"delivered_bytes\": {}, \"divergences\": {}, \"metrics\": {}}}",
                     c.profile,
                     c.workers,
                     c.dispatch_ns as f64 / 1e6,
@@ -189,6 +204,7 @@ fn parallel_json(r: &parallel::ParallelResult) -> String {
                     serial_ms,
                     c.delivered_bytes,
                     c.divergences,
+                    metrics_json(&c.metrics),
                 )
             })
         })
@@ -226,6 +242,7 @@ fn main() {
         "b8",
         "soak",
         "parallel",
+        "trace",
     ];
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         all.to_vec()

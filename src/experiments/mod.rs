@@ -19,3 +19,4 @@ pub mod figures;
 pub mod parallel;
 pub mod soak;
 pub mod table1;
+pub mod trace;

@@ -28,10 +28,12 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use chunks_core::packet::Packet;
 use chunks_netsim::Profile;
+use chunks_obs::{ObsSink, RecordingSink};
 use chunks_transport::{
     shard_of, ConnSpec, ConnectionDemux, ConnectionParams, DeliveryMode, Engine, ParallelReceiver,
     Receiver, Schedule, Sender, SenderConfig, StageTimings,
@@ -222,7 +224,16 @@ fn run_parallel(
     workers: usize,
     engine: Engine,
 ) -> (Fingerprint, StageTimings, u64) {
-    let mut pr = ParallelReceiver::new(workers, engine, specs());
+    run_parallel_observed(trace, workers, engine, chunks_obs::null())
+}
+
+fn run_parallel_observed(
+    trace: &[(u64, Packet)],
+    workers: usize,
+    engine: Engine,
+    sink: Arc<dyn ObsSink>,
+) -> (Fingerprint, StageTimings, u64) {
+    let mut pr = ParallelReceiver::new_with_obs(workers, engine, specs(), sink);
     let begin = Instant::now();
     for (now, packet) in trace {
         pr.ingest(packet, *now);
@@ -273,6 +284,12 @@ pub struct ParallelCell {
     pub delivered_bytes: u64,
     /// Fingerprint mismatches against the serial path — must be zero.
     pub divergences: u32,
+    /// Nonzero observability counters from one extra *untimed* virtual
+    /// replay with a recording sink attached (the timed repetitions keep the
+    /// no-op sink, so the makespan numbers are unperturbed). The observed
+    /// replay's fingerprint is compared against the serial path too — a
+    /// divergence here counts like any other.
+    pub metrics: Vec<(String, u64)>,
 }
 
 /// One profile's sweep over [`WORKER_COUNTS`].
@@ -406,6 +423,21 @@ pub fn run(seed: u64) -> ParallelResult {
                 divergences += 1;
             }
 
+            // One extra untimed replay with a recording sink: the metric
+            // snapshot for the BENCH row, plus a differential guard that
+            // observing the pipeline does not change what it delivers.
+            let obs_sink = RecordingSink::shared();
+            let (observed_print, _, _) = run_parallel_observed(
+                &trace,
+                workers,
+                Engine::Virtual(Schedule::Fair),
+                obs_sink.clone(),
+            );
+            if observed_print != serial_print {
+                divergences += 1;
+            }
+            let metrics = obs_sink.snapshot().nonzero_counters();
+
             let dispatch_ns = median(timings.iter().map(|t| t.dispatch_ns).collect());
             let process_total_ns = median(timings.iter().map(|t| t.process_total_ns).collect());
             let process_max_ns = median(timings.iter().map(|t| t.process_max_ns).collect());
@@ -426,6 +458,7 @@ pub fn run(seed: u64) -> ParallelResult {
                 threads_wall_ns,
                 delivered_bytes,
                 divergences,
+                metrics,
             });
         }
         let base = cells[0].critical_path_ns.max(1) as f64;

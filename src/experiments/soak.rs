@@ -18,9 +18,11 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use chunks_core::packet::Packet;
 use chunks_netsim::{ByzantineConfig, ByzantineRouter, LinkConfig, MultipathLink, PacketTransform};
+use chunks_obs::{ObsSink, RecordingSink};
 use chunks_transport::{
     ConnectionParams, DegradePolicy, DeliveryMode, RtoConfig, SenderConfig, Session,
 };
@@ -167,6 +169,11 @@ pub struct SoakRow {
     pub label_flips: u64,
     /// Goodput over the run, MiB per virtual second.
     pub goodput_mibps: f64,
+    /// Nonzero observability counters recorded during the run (sorted by
+    /// name — the registry snapshot order). Empty when the run was not
+    /// observed. Deterministic: the virtual clock drives everything, so the
+    /// same seed reproduces the same counters bit-for-bit.
+    pub metrics: Vec<(String, u64)>,
 }
 
 impl SoakRow {
@@ -291,6 +298,13 @@ fn carries_payload(p: &Packet) -> bool {
 
 /// Runs one scenario under one seed.
 pub fn run_scenario(sc: &SoakScenario, seed: u64) -> SoakRow {
+    run_scenario_observed(sc, seed, chunks_obs::null())
+}
+
+/// Runs one scenario under one seed with an observability sink attached to
+/// both endpoints. The sink sees every counter and event the transfer
+/// produces; pass [`chunks_obs::null()`] for the unobserved baseline.
+pub fn run_scenario_observed(sc: &SoakScenario, seed: u64, sink: Arc<dyn ObsSink>) -> SoakRow {
     // Mix the scenario name into the seed so rows of one sweep do not all
     // draw the same fault stream (a shared first draw would make every
     // `p <= x` row succeed or fail together).
@@ -298,8 +312,8 @@ pub fn run_scenario(sc: &SoakScenario, seed: u64) -> SoakRow {
         h.wrapping_mul(0x100000001B3).wrapping_add(b as u64)
     });
     let payload: Vec<u8> = (0..PAYLOAD_BYTES).map(|i| (i * 7 + 3) as u8).collect();
-    let mut a = endpoint(1, 2, sc.policy);
-    let mut b = endpoint(2, 1, sc.policy);
+    let mut a = endpoint(1, 2, sc.policy).with_obs(sink.clone());
+    let mut b = endpoint(2, 1, sc.policy).with_obs(sink);
     a.send(&payload, 0xA, false);
 
     // Forward: Byzantine middlebox, then a 4-stripe multipath bundle.
@@ -384,16 +398,25 @@ pub fn run_scenario(sc: &SoakScenario, seed: u64) -> SoakRow {
         acks_dropped: byz_rev.stats.acks_dropped,
         label_flips: byz_fwd.stats.tsn_flips + byz_fwd.stats.cid_flips + byz_fwd.stats.len_flips,
         goodput_mibps: delivered as f64 / (1024.0 * 1024.0) / secs,
+        metrics: Vec::new(),
     }
 }
 
-/// Runs the full fault matrix under one seed.
+/// Runs the full fault matrix under one seed. Each cell runs with its own
+/// recording sink, and the row carries the nonzero counters — everything
+/// stays on the virtual clock, so the rows (metrics included) are
+/// reproducible bit-for-bit from the seed.
 pub fn run(seed: u64) -> SoakResult {
     SoakResult {
         seed,
         rows: fault_matrix()
             .iter()
-            .map(|sc| run_scenario(sc, seed))
+            .map(|sc| {
+                let sink = RecordingSink::shared();
+                let mut row = run_scenario_observed(sc, seed, sink.clone());
+                row.metrics = sink.snapshot().nonzero_counters();
+                row
+            })
             .collect(),
     }
 }

@@ -58,6 +58,8 @@
 //! assert_eq!(&rx.app_data()[..message.len()], message);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod experiments;
 
 /// GF(2^32) finite-field arithmetic (substrate for WSC-2).
