@@ -117,12 +117,17 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Writes `BENCH_wsc.json` at the workspace root from the measured results.
+/// The source revision in the meta block comes from the `CHUNKS_DESCRIBE`
+/// environment variable (the justfile passes `git describe`); the bench
+/// itself never shells out.
 fn write_snapshot(results: &[BenchResult]) -> std::io::Result<PathBuf> {
+    let describe = std::env::var("CHUNKS_DESCRIBE").unwrap_or_else(|_| "unknown".into());
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"bench\": \"wsc-tpdu-invariant\",\n");
-    out.push_str(
-        "  \"regenerate\": \"cargo bench -p chunks-bench --bench invariant (see EXPERIMENTS.md)\",\n",
+    let _ = writeln!(
+        out,
+        "  \"meta\": {{\"bench\": \"wsc-tpdu-invariant\", \"regenerate\": \"cargo bench -p chunks-bench --bench invariant (or: just bench-wsc)\", \"describe\": \"{}\"}},",
+        json_escape(&describe)
     );
     out.push_str(
         "  \"workload\": \"8192-byte TPDU of 1-byte elements, absorbed as N fragments\",\n",

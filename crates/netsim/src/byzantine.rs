@@ -18,11 +18,14 @@
 //! All decisions come from a seeded [`StdRng`], so a soak run is exactly
 //! reproducible from its seed.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use chunks_core::label::ChunkType;
 use chunks_core::packet::{pack, unpack, Packet};
+use chunks_obs::{Event, Labels, ObsSink, SpanId, Stage};
 
 use crate::link::MIN_REPACK_MTU;
 use crate::router::PacketTransform;
@@ -83,12 +86,17 @@ pub struct ByzantineRouter {
     rng: StdRng,
     /// Accumulated mutation counters.
     pub stats: ByzantineStats,
+    obs: Arc<dyn ObsSink>,
+    obs_on: bool,
+    /// Virtual time of the frame being mutated (set by `ingest_at`).
+    now: u64,
 }
 
 // Wire offsets inside a 32-byte chunk header (see `chunks_core::wire`).
 const OFF_LEN: usize = 4;
 const OFF_C_ID: usize = 8;
 const OFF_T_SN: usize = 20;
+const OFF_X_SN: usize = 28;
 const HDR: usize = chunks_core::wire::WIRE_HEADER_LEN;
 
 impl ByzantineRouter {
@@ -98,7 +106,30 @@ impl ByzantineRouter {
             cfg,
             rng: StdRng::seed_from_u64(seed),
             stats: ByzantineStats::default(),
+            obs: chunks_obs::null(),
+            obs_on: false,
+            now: 0,
         }
+    }
+
+    /// Records a label flip against the sink, reading the chunk's labels
+    /// *before* the mutation lands so the event names the identity the
+    /// sender gave the chunk. Never touches the fault RNG — attaching a
+    /// sink cannot change which faults fire.
+    fn note_mutation(&mut self, frame: &[u8], h: usize, field: &'static str) {
+        if !self.obs_on {
+            return;
+        }
+        let be32 = |at: usize| {
+            u32::from_be_bytes([frame[at], frame[at + 1], frame[at + 2], frame[at + 3]])
+        };
+        let labels = Labels::new(be32(h + OFF_C_ID), be32(h + OFF_T_SN), be32(h + OFF_X_SN));
+        self.obs
+            .event(self.now, Event::ChunkMutated { labels, field });
+        self.obs.counter("netsim.byzantine.mutations", 1);
+        let id = SpanId::new(labels, Stage::Mutate);
+        self.obs.span_open(self.now, id);
+        self.obs.span_close(self.now, id);
     }
 
     /// Flips one random bit in the 4-byte field at `at` of `frame`.
@@ -134,14 +165,17 @@ impl ByzantineRouter {
         }
         for h in data_headers {
             if self.rng.random::<f64>() < self.cfg.flip_tsn {
+                self.note_mutation(frame, h, "tsn");
                 self.flip_field(frame, h + OFF_T_SN);
                 self.stats.tsn_flips += 1;
             }
             if self.rng.random::<f64>() < self.cfg.flip_cid {
+                self.note_mutation(frame, h, "cid");
                 self.flip_field(frame, h + OFF_C_ID);
                 self.stats.cid_flips += 1;
             }
             if self.rng.random::<f64>() < self.cfg.flip_len {
+                self.note_mutation(frame, h, "len");
                 self.flip_field(frame, h + OFF_LEN);
                 self.stats.len_flips += 1;
             }
@@ -189,6 +223,16 @@ impl PacketTransform for ByzantineRouter {
                 f
             })
             .collect()
+    }
+
+    fn ingest_at(&mut self, now: u64, frame: Vec<u8>) -> Vec<Vec<u8>> {
+        self.now = now;
+        self.ingest(frame)
+    }
+
+    fn set_obs(&mut self, sink: Arc<dyn ObsSink>) {
+        self.obs_on = sink.enabled();
+        self.obs = sink;
     }
 }
 

@@ -27,6 +27,7 @@
 
 pub mod byzantine;
 pub mod link;
+pub mod obs;
 pub mod path;
 pub mod profiles;
 pub mod router;
@@ -34,6 +35,7 @@ pub mod router;
 pub use byzantine::{ByzantineConfig, ByzantineRouter, ByzantineStats};
 pub use link::MIN_REPACK_MTU;
 pub use link::{Link, LinkConfig, LinkStats, MultipathLink, RouteChangeLink};
+pub use obs::{frame_chunks, frame_labels, FrameChunk};
 pub use path::{Hop, Path, PathBuilder};
 pub use profiles::Profile;
 pub use router::{ChunkRouter, PacketTransform, Passthrough, RefragPolicy, TurnerDropper};

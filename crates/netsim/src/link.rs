@@ -1,7 +1,12 @@
 //! Point-to-point links with faults, and multipath bundles that reorder.
 
+use std::sync::Arc;
+
+use chunks_obs::{Event, ObsSink, SpanId, Stage};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use crate::obs::frame_labels;
 
 /// Smallest egress packet a transform will repack into (headroom for a
 /// header plus one element when the ingress frame was tiny).
@@ -103,6 +108,8 @@ pub struct Link {
     next_free_ns: u64,
     /// Accumulated counters.
     pub stats: LinkStats,
+    obs: Arc<dyn ObsSink>,
+    obs_on: bool,
 }
 
 impl Link {
@@ -113,15 +120,34 @@ impl Link {
             rng: StdRng::seed_from_u64(seed),
             next_free_ns: 0,
             stats: LinkStats::default(),
+            obs: chunks_obs::null(),
+            obs_on: false,
         }
+    }
+
+    /// Attaches an observability sink. When the sink records, every data
+    /// chunk carried by this link gets a `hop` span: opened when the frame
+    /// is offered, closed at arrival — and left open (a visible drop) when
+    /// the link loses the frame. Fault decisions never consult the sink.
+    pub fn set_obs(&mut self, sink: Arc<dyn ObsSink>) {
+        self.obs_on = sink.enabled();
+        self.obs = sink;
     }
 
     /// Offers a frame at time `now`; returns zero or more `(arrival, frame)`
     /// deliveries at the far end.
     pub fn transmit(&mut self, now: u64, frame: Vec<u8>) -> Vec<(u64, Vec<u8>)> {
         self.stats.offered += 1;
+        let labels = if self.obs_on {
+            frame_labels(&frame)
+        } else {
+            Vec::new()
+        };
         if frame.len() > self.cfg.mtu {
             self.stats.oversize += 1;
+            for l in &labels {
+                self.obs.span_open(now, SpanId::new(*l, Stage::Hop));
+            }
             return Vec::new();
         }
         // Serialization: the transmitter is busy until the frame is on the
@@ -132,6 +158,9 @@ impl Link {
 
         if self.rng.random::<f64>() < self.cfg.loss {
             self.stats.lost += 1;
+            for l in &labels {
+                self.obs.span_open(now, SpanId::new(*l, Stage::Hop));
+            }
             return Vec::new();
         }
 
@@ -159,6 +188,11 @@ impl Link {
             let arrival = start + ser + self.cfg.latency_ns + jitter;
             self.stats.delivered += 1;
             self.stats.bytes += f.len() as u64;
+            for l in &labels {
+                let id = SpanId::new(*l, Stage::Hop);
+                self.obs.span_open(now, id);
+                self.obs.span_close(arrival, id);
+            }
             deliveries.push((arrival, f));
         }
         deliveries
@@ -175,6 +209,8 @@ pub struct MultipathLink {
     /// Per-path stall windows `(from_ns, until_ns)`: frames striped onto a
     /// stalled path inside the window queue until the stall clears.
     stalls: Vec<Option<(u64, u64)>>,
+    obs: Arc<dyn ObsSink>,
+    obs_on: bool,
 }
 
 impl MultipathLink {
@@ -190,7 +226,21 @@ impl MultipathLink {
             paths,
             next: 0,
             stalls,
+            obs: chunks_obs::null(),
+            obs_on: false,
         }
+    }
+
+    /// Attaches an observability sink to the bundle and every sub-link.
+    /// The bundle itself records which path each frame was striped onto
+    /// (`PathChosen` events, `path_choice` marker spans); the sub-links
+    /// record their own `hop` spans.
+    pub fn set_obs(&mut self, sink: Arc<dyn ObsSink>) {
+        for p in &mut self.paths {
+            p.set_obs(Arc::clone(&sink));
+        }
+        self.obs_on = sink.enabled();
+        self.obs = sink;
     }
 
     /// Stalls one path of the bundle for `[from_ns, until_ns)`: frames the
@@ -227,6 +277,21 @@ impl MultipathLink {
             Some((from, until)) if now >= from && now < until => until,
             _ => now,
         };
+        if self.obs_on {
+            self.obs.counter("netsim.multipath.path_choices", 1);
+            for l in frame_labels(&frame) {
+                self.obs.event(
+                    now,
+                    Event::PathChosen {
+                        labels: l,
+                        path: i as u32,
+                    },
+                );
+                let id = SpanId::new(l, Stage::PathChoice);
+                self.obs.span_open(now, id);
+                self.obs.span_close(now, id);
+            }
+        }
         self.paths[i].transmit(offered, frame)
     }
 
@@ -404,6 +469,12 @@ impl RouteChangeLink {
             new: Link::new(new, seed.wrapping_add(0x5EED)),
             switch_at_ns,
         }
+    }
+
+    /// Attaches an observability sink to both routes.
+    pub fn set_obs(&mut self, sink: Arc<dyn ObsSink>) {
+        self.old.set_obs(Arc::clone(&sink));
+        self.new.set_obs(sink);
     }
 
     /// Offers a frame; routing depends on the send time.

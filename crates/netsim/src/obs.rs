@@ -1,0 +1,162 @@
+//! Label parsing for in-network observability.
+//!
+//! The simulator's links and routers operate on packed wire frames, not
+//! decoded chunks — yet the paper's labels are *self-describing on the
+//! wire* (fixed 32-byte headers at computable offsets), so a hop can read
+//! the `(C.ID, T.SN, X.SN)` tuple of every chunk it carries without
+//! decoding payloads, exactly the way a P4-style in-network telemetry
+//! pipeline would. This module is that reader: a header walk shared by the
+//! link hop spans, the multipath path-choice events, and the router
+//! fragmentation links. It is only invoked when a recording sink is
+//! attached (`obs_on`), so the `NullSink` path never walks a frame.
+
+use chunks_core::label::ChunkType;
+use chunks_core::wire::WIRE_HEADER_LEN;
+use chunks_obs::Labels;
+
+// Wire offsets inside the fixed chunk header (see `chunks_core::wire`).
+const OFF_SIZE: usize = 2;
+const OFF_LEN: usize = 4;
+const OFF_C_ID: usize = 8;
+const OFF_T_SN: usize = 20;
+const OFF_X_SN: usize = 28;
+
+fn be32(frame: &[u8], at: usize) -> u32 {
+    u32::from_be_bytes([frame[at], frame[at + 1], frame[at + 2], frame[at + 3]])
+}
+
+/// Header summary of one chunk found in a packed frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FrameChunk {
+    /// The chunk's `(C.ID, T.SN, X.SN)` labels.
+    pub labels: Labels,
+    /// Raw `TYPE` byte.
+    pub ty: u8,
+    /// `LEN` field — the chunk's extent in elements, so a split child's
+    /// `X.SN` falls inside `[x_sn, x_sn + len)` of its parent.
+    pub len: u32,
+}
+
+impl FrameChunk {
+    /// True for payload-bearing data chunks (the lifecycles spans track).
+    pub fn is_data(&self) -> bool {
+        self.ty == ChunkType::Data.to_u8()
+    }
+
+    /// True when `other` could be a split piece of `self`: same connection
+    /// and an `X.SN` inside this chunk's element extent.
+    pub fn covers(&self, other: &FrameChunk) -> bool {
+        self.labels.conn_id == other.labels.conn_id
+            && other.labels.x_sn >= self.labels.x_sn
+            && other.labels.x_sn < self.labels.x_sn.wrapping_add(self.len)
+    }
+
+    /// True when the two chunks' `X.SN` element extents intersect on the
+    /// same connection — the relation that ties a router's output chunks
+    /// back to the input chunks they were split or merged from.
+    pub fn overlaps(&self, other: &FrameChunk) -> bool {
+        let (a0, a1) = (
+            self.labels.x_sn as u64,
+            self.labels.x_sn as u64 + self.len as u64,
+        );
+        let (b0, b1) = (
+            other.labels.x_sn as u64,
+            other.labels.x_sn as u64 + other.len as u64,
+        );
+        self.labels.conn_id == other.labels.conn_id && a0 < b1 && b0 < a1
+    }
+}
+
+/// Walks the fixed chunk headers of a packed frame and returns one
+/// [`FrameChunk`] per chunk, payload bytes untouched. A malformed tail (or
+/// the zero-`LEN` end-of-packet marker) ends the walk — the walker never
+/// panics on mangled frames, it just reports what it could read.
+pub fn frame_chunks(frame: &[u8]) -> Vec<FrameChunk> {
+    let mut out = Vec::new();
+    let mut off = 0;
+    while off + WIRE_HEADER_LEN <= frame.len() {
+        let ty = frame[off];
+        let size = u16::from_be_bytes([frame[off + OFF_SIZE], frame[off + OFF_SIZE + 1]]) as usize;
+        let len = be32(frame, off + OFF_LEN);
+        if len == 0 {
+            break; // end-of-packet marker
+        }
+        out.push(FrameChunk {
+            labels: Labels::new(
+                be32(frame, off + OFF_C_ID),
+                be32(frame, off + OFF_T_SN),
+                be32(frame, off + OFF_X_SN),
+            ),
+            ty,
+            len,
+        });
+        off += WIRE_HEADER_LEN + size * len as usize;
+    }
+    out
+}
+
+/// The data-chunk labels of a packed frame, in wire order.
+pub fn frame_labels(frame: &[u8]) -> Vec<Labels> {
+    frame_chunks(frame)
+        .into_iter()
+        .filter(FrameChunk::is_data)
+        .map(|c| c.labels)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chunks_core::chunk::byte_chunk;
+    use chunks_core::label::FramingTuple;
+    use chunks_core::packet::pack;
+
+    #[test]
+    fn walker_reads_every_data_label_without_decoding() {
+        let chunks: Vec<_> = (0..3u32)
+            .map(|i| {
+                byte_chunk(
+                    FramingTuple::new(7, i * 8, false),
+                    FramingTuple::new(2, i * 8, false),
+                    FramingTuple::new(3, i * 8 + 1, false),
+                    &[i as u8; 8],
+                )
+            })
+            .collect();
+        let packets = pack(chunks, 4096).unwrap();
+        let labels = frame_labels(&packets[0].bytes);
+        assert_eq!(labels.len(), 3);
+        assert_eq!(labels[1], Labels::new(7, 8, 9));
+    }
+
+    #[test]
+    fn walker_survives_junk() {
+        assert!(frame_chunks(&[0xEE; 48])
+            .iter()
+            .all(|c| !c.is_data() || c.len > 0));
+        assert!(frame_chunks(&[0u8; 10]).is_empty());
+    }
+
+    #[test]
+    fn covers_matches_split_extents() {
+        let parent = FrameChunk {
+            labels: Labels::new(1, 0, 16),
+            ty: ChunkType::Data.to_u8(),
+            len: 8,
+        };
+        let child = FrameChunk {
+            labels: Labels::new(1, 4, 20),
+            ty: ChunkType::Data.to_u8(),
+            len: 4,
+        };
+        let stranger = FrameChunk {
+            labels: Labels::new(1, 40, 40),
+            ty: ChunkType::Data.to_u8(),
+            len: 4,
+        };
+        assert!(parent.covers(&child));
+        assert!(!parent.covers(&stranger));
+        assert!(parent.overlaps(&child) && child.overlaps(&parent));
+        assert!(!parent.overlaps(&stranger));
+    }
+}

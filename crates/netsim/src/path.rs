@@ -7,6 +7,9 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use chunks_obs::ObsSink;
 
 use crate::link::{Link, LinkConfig, LinkStats, MultipathLink, RouteChangeLink};
 use crate::router::PacketTransform;
@@ -49,6 +52,15 @@ impl AnyLink {
             AnyLink::Single(l) => l.stats,
             AnyLink::Multi(m) => m.stats(),
             AnyLink::RouteChange(r) => r.stats(),
+        }
+    }
+
+    /// Attaches an observability sink to whichever link this is.
+    pub fn set_obs(&mut self, sink: Arc<dyn ObsSink>) {
+        match self {
+            AnyLink::Single(l) => l.set_obs(sink),
+            AnyLink::Multi(m) => m.set_obs(sink),
+            AnyLink::RouteChange(r) => r.set_obs(sink),
         }
     }
 }
@@ -163,6 +175,83 @@ impl Path {
         &self.hops
     }
 
+    /// Attaches an observability sink to every hop of the path — links
+    /// record `hop` transit spans, routers record fragmentation span links.
+    /// With the default [`chunks_obs::NullSink`] this is a no-op.
+    pub fn set_obs(&mut self, sink: Arc<dyn ObsSink>) {
+        for hop in &mut self.hops {
+            if let Some(r) = &mut hop.router {
+                r.set_obs(Arc::clone(&sink));
+            }
+            hop.link.set_obs(Arc::clone(&sink));
+        }
+    }
+
+    /// Drives every queued event through the remaining hops; deliveries at
+    /// the far end land in `out` in arrival-time order (the heap pops
+    /// nondecreasing times).
+    fn pump(&mut self, heap: &mut EventHeap, seq: &mut u64, out: &mut Vec<Delivery>) {
+        while let Some(Reverse((now, _, hop_idx, frame))) = heap.pop() {
+            if hop_idx == self.hops.len() {
+                out.push(Delivery { time: now, frame });
+                continue;
+            }
+            let hop = &mut self.hops[hop_idx];
+            let frames = match &mut hop.router {
+                Some(r) => r.ingest_at(now, frame),
+                None => vec![frame],
+            };
+            for f in frames {
+                for (arrival, delivered) in hop.link.transmit(now, f) {
+                    heap.push(Reverse((arrival, *seq, hop_idx + 1, delivered)));
+                    *seq += 1;
+                }
+            }
+        }
+    }
+
+    /// Transmits one frame injected at `now` through every hop, returning
+    /// the far-end deliveries. Unlike [`run`](Self::run) this is
+    /// incremental: callers interleave injections with their own clock (a
+    /// closed-loop transfer with acks and retransmissions). Frames a router
+    /// holds back for batching stay queued until [`flush`](Self::flush).
+    pub fn transmit(&mut self, now: u64, frame: Vec<u8>) -> Vec<Delivery> {
+        let mut heap: EventHeap = BinaryHeap::new();
+        let mut seq = 0u64;
+        heap.push(Reverse((now, seq, 0, frame)));
+        seq += 1;
+        let mut out = Vec::new();
+        self.pump(&mut heap, &mut seq, &mut out);
+        out
+    }
+
+    /// Drains router batching windows hop by hop at virtual time `now`;
+    /// flushed frames traverse the remaining hops. Returns any resulting
+    /// far-end deliveries sorted by arrival time.
+    pub fn flush(&mut self, now: u64) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        let mut seq = 0u64;
+        for i in 0..self.hops.len() {
+            let flushed = match &mut self.hops[i].router {
+                Some(r) => r.flush_at(now),
+                None => Vec::new(),
+            };
+            if flushed.is_empty() {
+                continue;
+            }
+            let mut heap: EventHeap = BinaryHeap::new();
+            for f in flushed {
+                for (arrival, delivered) in self.hops[i].link.transmit(now, f) {
+                    heap.push(Reverse((arrival, seq, i + 1, delivered)));
+                    seq += 1;
+                }
+            }
+            self.pump(&mut heap, &mut seq, &mut out);
+        }
+        out.sort_by_key(|d| d.time);
+        out
+    }
+
     /// Runs frames through the path; `inputs` are `(inject_time, frame)`
     /// pairs. Returns deliveries at the far end sorted by arrival time.
     pub fn run(&mut self, inputs: Vec<(u64, Vec<u8>)>) -> Vec<Delivery> {
@@ -174,59 +263,11 @@ impl Path {
             seq += 1;
         }
         let mut out = Vec::new();
-        while let Some(Reverse((now, _, hop_idx, frame))) = heap.pop() {
-            if hop_idx == self.hops.len() {
-                out.push(Delivery { time: now, frame });
-                continue;
-            }
-            let hop = &mut self.hops[hop_idx];
-            let frames = match &mut hop.router {
-                Some(r) => r.ingest(frame),
-                None => vec![frame],
-            };
-            for f in frames {
-                for (arrival, delivered) in hop.link.transmit(now, f) {
-                    heap.push(Reverse((arrival, seq, hop_idx + 1, delivered)));
-                    seq += 1;
-                }
-            }
-        }
+        self.pump(&mut heap, &mut seq, &mut out);
         // Drain router windows (reassembly policies) hop by hop: flushed
         // frames traverse the remaining hops at the max observed time.
         let flush_time = out.last().map(|d| d.time).unwrap_or(0);
-        for i in 0..self.hops.len() {
-            let flushed = match &mut self.hops[i].router {
-                Some(r) => r.flush(),
-                None => Vec::new(),
-            };
-            if flushed.is_empty() {
-                continue;
-            }
-            let mut heap: EventHeap = BinaryHeap::new();
-            for f in flushed {
-                for (arrival, delivered) in self.hops[i].link.transmit(flush_time, f) {
-                    heap.push(Reverse((arrival, seq, i + 1, delivered)));
-                    seq += 1;
-                }
-            }
-            while let Some(Reverse((now, _, hop_idx, frame))) = heap.pop() {
-                if hop_idx == self.hops.len() {
-                    out.push(Delivery { time: now, frame });
-                    continue;
-                }
-                let hop = &mut self.hops[hop_idx];
-                let frames = match &mut hop.router {
-                    Some(r) => r.ingest(frame),
-                    None => vec![frame],
-                };
-                for f in frames {
-                    for (arrival, delivered) in hop.link.transmit(now, f) {
-                        heap.push(Reverse((arrival, seq, hop_idx + 1, delivered)));
-                        seq += 1;
-                    }
-                }
-            }
-        }
+        out.extend(self.flush(flush_time));
         out.sort_by_key(|d| d.time);
         out
     }

@@ -105,6 +105,21 @@ impl Profile {
             Profile::Corrupt => PathBuilder::new(seed).link(base.with_corrupt(0.15)).build(),
         }
     }
+
+    /// [`build`](Self::build) with an observability sink attached to every
+    /// hop, so the path records `hop` transit spans, path-choice events and
+    /// fragmentation span links as it runs. Attaching a sink never changes
+    /// the fault stream: the path delivers byte-identical frames either way.
+    pub fn build_observed(
+        self,
+        mtu: usize,
+        seed: u64,
+        sink: std::sync::Arc<dyn chunks_obs::ObsSink>,
+    ) -> Path {
+        let mut path = self.build(mtu, seed);
+        path.set_obs(sink);
+        path
+    }
 }
 
 #[cfg(test)]

@@ -8,9 +8,14 @@
 //! here; the baseline (IP-style) routers implement the same
 //! [`PacketTransform`] trait in `chunks-baseline`.
 
+use std::sync::Arc;
+
 use chunks_core::frag::{merge, split_to_fit};
 use chunks_core::packet::{pack, unpack, Packet, PacketBuilder};
 use chunks_core::Chunk;
+use chunks_obs::{ObsSink, SpanId, Stage};
+
+use crate::obs::{frame_chunks, FrameChunk};
 
 /// A stateful frame transformer placed between two links of a path.
 pub trait PacketTransform {
@@ -21,6 +26,26 @@ pub trait PacketTransform {
     /// window) at the end of a run.
     fn flush(&mut self) -> Vec<Vec<u8>> {
         Vec::new()
+    }
+
+    /// Clocked variant of [`ingest`](Self::ingest): transforms that record
+    /// observability (span links, mutation events) override this to learn
+    /// the virtual time of the conversion. The default ignores the clock.
+    fn ingest_at(&mut self, now: u64, frame: Vec<u8>) -> Vec<Vec<u8>> {
+        let _ = now;
+        self.ingest(frame)
+    }
+
+    /// Clocked variant of [`flush`](Self::flush).
+    fn flush_at(&mut self, now: u64) -> Vec<Vec<u8>> {
+        let _ = now;
+        self.flush()
+    }
+
+    /// Attaches an observability sink. The default discards it — only
+    /// transforms that instrument their conversions store the sink.
+    fn set_obs(&mut self, sink: Arc<dyn ObsSink>) {
+        let _ = sink;
     }
 }
 
@@ -75,6 +100,11 @@ pub struct ChunkRouter {
     pub merges: u64,
     /// Packets dropped (DropOversize policy or malformed).
     pub drops: u64,
+    obs: Arc<dyn ObsSink>,
+    obs_on: bool,
+    /// Data-chunk headers still awaiting egress (Repack/Reassemble windows
+    /// batch inputs across frames). Populated only when `obs_on`.
+    pending: Vec<FrameChunk>,
 }
 
 impl ChunkRouter {
@@ -88,6 +118,49 @@ impl ChunkRouter {
             splits: 0,
             merges: 0,
             drops: 0,
+            obs: chunks_obs::null(),
+            obs_on: false,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Ties this conversion's output chunks back to the inputs they came
+    /// from: any output whose `X.SN` extent overlaps an input it does not
+    /// exactly equal was split or merged in-network, so the router records
+    /// a parent→child span link (the Appendix C/D label closure made
+    /// visible) plus a `fragment` marker span on the child.
+    fn note_outputs(&mut self, now: u64, outs: &[Vec<u8>], splits0: u64, merges0: u64) {
+        if self.splits > splits0 {
+            self.obs
+                .counter("netsim.router.splits", self.splits - splits0);
+        }
+        if self.merges > merges0 {
+            self.obs
+                .counter("netsim.router.repacks", self.merges - merges0);
+        }
+        if outs.is_empty() {
+            return; // still batching — inputs stay pending
+        }
+        let inputs = std::mem::take(&mut self.pending);
+        for f in outs {
+            for oc in frame_chunks(f).into_iter().filter(FrameChunk::is_data) {
+                let untouched = inputs
+                    .iter()
+                    .any(|ic| ic.labels == oc.labels && ic.len == oc.len);
+                if untouched {
+                    continue;
+                }
+                let mut relabelled = false;
+                for ic in inputs.iter().filter(|ic| ic.overlaps(&oc)) {
+                    self.obs.span_link(now, ic.labels, oc.labels);
+                    relabelled = true;
+                }
+                if relabelled {
+                    let id = SpanId::new(oc.labels, Stage::Fragment);
+                    self.obs.span_open(now, id);
+                    self.obs.span_close(now, id);
+                }
+            }
         }
     }
 
@@ -200,6 +273,33 @@ impl PacketTransform for ChunkRouter {
             let batch = std::mem::take(&mut self.window);
             self.emit(batch)
         }
+    }
+
+    fn ingest_at(&mut self, now: u64, frame: Vec<u8>) -> Vec<Vec<u8>> {
+        if !self.obs_on {
+            return self.ingest(frame);
+        }
+        self.pending
+            .extend(frame_chunks(&frame).into_iter().filter(FrameChunk::is_data));
+        let (splits0, merges0) = (self.splits, self.merges);
+        let outs = self.ingest(frame);
+        self.note_outputs(now, &outs, splits0, merges0);
+        outs
+    }
+
+    fn flush_at(&mut self, now: u64) -> Vec<Vec<u8>> {
+        if !self.obs_on {
+            return self.flush();
+        }
+        let (splits0, merges0) = (self.splits, self.merges);
+        let outs = self.flush();
+        self.note_outputs(now, &outs, splits0, merges0);
+        outs
+    }
+
+    fn set_obs(&mut self, sink: Arc<dyn ObsSink>) {
+        self.obs_on = sink.enabled();
+        self.obs = sink;
     }
 }
 

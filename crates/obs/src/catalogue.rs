@@ -63,6 +63,66 @@ pub const CATALOGUE: &[Spec] = &[
         "core::wire::decode_chunk_observed refused a malformed chunk",
     ),
     counter(
+        "netsim.byzantine.mutations",
+        "chunks",
+        "ByzantineRouter flipped a label field (T.SN, C.ID or LEN) on the wire",
+    ),
+    counter(
+        "netsim.multipath.path_choices",
+        "frames",
+        "MultipathLink striped a frame onto one of its parallel paths",
+    ),
+    counter(
+        "netsim.router.repacks",
+        "chunks",
+        "ChunkRouter merged chunks while repacking for its egress MTU",
+    ),
+    counter(
+        "netsim.router.splits",
+        "chunks",
+        "ChunkRouter split a chunk to fit its egress MTU (extra pieces made)",
+    ),
+    counter(
+        "obs.span.links",
+        "links",
+        "a router recorded one parent-to-child fragmentation span link",
+    ),
+    counter(
+        "obs.span.opened",
+        "spans",
+        "a lifecycle span was opened against the recording sink",
+    ),
+    counter(
+        "obs.span.orphan_closes",
+        "closes",
+        "a span close matched no open span (double close or unopened stage)",
+    ),
+    histogram(
+        "span.delay.holding_ns",
+        "ns",
+        "closed hold spans: virtual time a chunk sat staged at the receiver",
+    ),
+    histogram(
+        "span.delay.merge_queue_ns",
+        "ns",
+        "closed merge-queue spans: dispatch-to-merge wait in the parallel pipeline",
+    ),
+    histogram(
+        "span.delay.network_ns",
+        "ns",
+        "closed hop spans: per-link virtual transit time of a chunk",
+    ),
+    histogram(
+        "span.delay.repair_ns",
+        "ns",
+        "closed repair spans: RTO fire to the acknowledgment that repaired the TPDU",
+    ),
+    histogram(
+        "span.delay.verify_ns",
+        "ns",
+        "closed verify spans: group first-arrival to its WSC-2 verdict",
+    ),
+    counter(
         "transport.parallel.bad_packets",
         "packets",
         "ParallelReceiver::ingest refused a packet the span scan rejected",

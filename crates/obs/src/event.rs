@@ -90,6 +90,21 @@ pub enum Event {
         /// Chunks that worker had processed.
         chunks: u64,
     },
+    /// A Byzantine router mutated a chunk's labels on the wire.
+    ChunkMutated {
+        /// Labels of the chunk *before* the mutation — the identity the
+        /// sender gave it.
+        labels: Labels,
+        /// Which field was flipped: `"tsn"`, `"cid"` or `"len"`.
+        field: &'static str,
+    },
+    /// A multipath link striped a frame onto one of its parallel paths.
+    PathChosen {
+        /// Labels of the frame's first chunk.
+        labels: Labels,
+        /// Index of the chosen path.
+        path: u32,
+    },
     /// A session reached a terminal reliability verdict for a TPDU.
     VerdictReached {
         /// Connection the verdict applies to.
@@ -112,6 +127,8 @@ impl Event {
             Event::BackoffApplied { .. } => "BackoffApplied",
             Event::ShardDispatched { .. } => "ShardDispatched",
             Event::MergeFolded { .. } => "MergeFolded",
+            Event::ChunkMutated { .. } => "ChunkMutated",
+            Event::PathChosen { .. } => "PathChosen",
             Event::VerdictReached { .. } => "VerdictReached",
         }
     }
@@ -177,6 +194,14 @@ impl Event {
             Event::MergeFolded { worker, chunks } => {
                 let _ = write!(out, "\"worker\": {worker}, \"chunks\": {chunks}");
             }
+            Event::ChunkMutated { labels: l, field } => {
+                labels(out, l);
+                let _ = write!(out, ", \"field\": \"{field}\"");
+            }
+            Event::PathChosen { labels: l, path } => {
+                labels(out, l);
+                let _ = write!(out, ", \"path\": {path}");
+            }
             Event::VerdictReached {
                 conn_id,
                 verdict,
@@ -223,6 +248,14 @@ impl Event {
             Event::MergeFolded { worker, chunks } => {
                 format!("merge fold   worker {worker} ({chunks} chunks)")
             }
+            Event::ChunkMutated { labels, field } => format!(
+                "mutate       C.ID {} T.SN {} X.SN {} (flip {})",
+                labels.conn_id, labels.t_sn, labels.x_sn, field
+            ),
+            Event::PathChosen { labels, path } => format!(
+                "path pick    C.ID {} T.SN {} X.SN {} -> path {}",
+                labels.conn_id, labels.t_sn, labels.x_sn, path
+            ),
             Event::VerdictReached {
                 conn_id,
                 verdict,

@@ -44,12 +44,16 @@
 
 pub mod catalogue;
 pub mod event;
+pub mod lineage;
 pub mod metrics;
 pub mod sink;
+pub mod span;
 pub mod trace;
 
 pub use catalogue::{Kind, Spec, CATALOGUE};
 pub use event::{Event, Labels};
+pub use lineage::{ChunkLineage, Lineage, StageEntry};
 pub use metrics::{AtomicMetrics, HistogramSnapshot, LocalMetrics, Metrics, Snapshot};
 pub use sink::{null, NullSink, ObsSink, RecordingSink};
+pub use span::{SpanId, SpanLink, SpanRecord, SpanStore, Stage};
 pub use trace::{TimedEvent, TraceRing, DEFAULT_TRACE_CAPACITY};

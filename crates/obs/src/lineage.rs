@@ -1,0 +1,270 @@
+//! Per-chunk lifecycle timelines ("lineage") assembled from recorded spans.
+//!
+//! A [`Lineage`] regroups a [`SpanStore`]'s flat record list by the paper's
+//! `(C.ID, T.SN, X.SN)` label tuple: one [`ChunkLineage`] per chunk, its
+//! stage entries in open order, plus the children a router split it into
+//! (the Appendix C/D closure, as recorded parent→child links). On top of
+//! the timeline it computes the **delay budget**: total virtual time spent
+//! in each duration-bearing stage — the latency-attribution breakdown
+//! `experiments lineage` exports to `BENCH_lineage.json`.
+//!
+//! Both exports are byte-stable: chunks sort by label tuple, entries keep
+//! open order, and every number is an integer nanosecond count.
+
+use std::fmt::Write;
+
+use crate::event::Labels;
+use crate::span::{SpanStore, Stage};
+
+/// One stage entry on a chunk's timeline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StageEntry {
+    /// The lifecycle stage.
+    pub stage: Stage,
+    /// Virtual-clock open time.
+    pub open_ns: u64,
+    /// Virtual-clock close time; `None` for a span that never closed
+    /// (e.g. a chunk dropped mid-hop).
+    pub close_ns: Option<u64>,
+}
+
+/// The full recorded lifecycle of one chunk.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChunkLineage {
+    /// The chunk's label tuple — the lineage key.
+    pub labels: Labels,
+    /// Stage entries, in span-open order.
+    pub entries: Vec<StageEntry>,
+    /// Labels of the chunks a router split this one into, in link order.
+    pub children: Vec<Labels>,
+}
+
+/// Per-chunk timelines for a whole run, sorted by label tuple.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Lineage {
+    /// One entry per distinct label tuple that opened at least one span.
+    pub chunks: Vec<ChunkLineage>,
+}
+
+fn label_key(l: &Labels) -> (u32, u32, u32) {
+    (l.conn_id, l.t_sn, l.x_sn)
+}
+
+impl Lineage {
+    /// Assembles the lineage view from a span store.
+    pub fn from_store(store: &SpanStore) -> Self {
+        let mut chunks: Vec<ChunkLineage> = Vec::new();
+        let mut at = std::collections::HashMap::new();
+        for r in store.records() {
+            let k = label_key(&r.id.labels);
+            let idx = *at.entry(k).or_insert_with(|| {
+                chunks.push(ChunkLineage {
+                    labels: r.id.labels,
+                    entries: Vec::new(),
+                    children: Vec::new(),
+                });
+                chunks.len() - 1
+            });
+            chunks[idx].entries.push(StageEntry {
+                stage: r.id.stage,
+                open_ns: r.open_ns,
+                close_ns: r.close_ns,
+            });
+        }
+        for l in store.links() {
+            let k = label_key(&l.parent);
+            let idx = *at.entry(k).or_insert_with(|| {
+                chunks.push(ChunkLineage {
+                    labels: l.parent,
+                    entries: Vec::new(),
+                    children: Vec::new(),
+                });
+                chunks.len() - 1
+            });
+            chunks[idx].children.push(l.child);
+        }
+        chunks.sort_by_key(|c| label_key(&c.labels));
+        Lineage { chunks }
+    }
+
+    /// Total closed-span virtual time per duration-bearing stage, as
+    /// `(delay metric name, total ns, closed span count)` triples in
+    /// lifecycle order. This is the run's delay budget.
+    pub fn delay_budget(&self) -> Vec<(&'static str, u64, u64)> {
+        let mut out = Vec::new();
+        for stage in Stage::ALL {
+            let Some(metric) = stage.delay_metric() else {
+                continue;
+            };
+            let (mut total, mut count) = (0u64, 0u64);
+            for c in &self.chunks {
+                for e in &c.entries {
+                    if e.stage == stage {
+                        if let Some(close) = e.close_ns {
+                            total += close.saturating_sub(e.open_ns);
+                            count += 1;
+                        }
+                    }
+                }
+            }
+            out.push((metric, total, count));
+        }
+        out
+    }
+
+    /// Exports the lineage as one JSON object, keys in fixed order, no
+    /// floats — byte-stable across replays of a deterministic run.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"chunks\": [\n");
+        for (i, c) in self.chunks.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"cid\": {}, \"tsn\": {}, \"xsn\": {}, \"stages\": [",
+                c.labels.conn_id, c.labels.t_sn, c.labels.x_sn
+            );
+            for (j, e) in c.entries.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{{\"stage\": \"{}\", \"open\": {}, \"close\": ",
+                    e.stage.name(),
+                    e.open_ns
+                );
+                match e.close_ns {
+                    Some(cl) => {
+                        let _ = write!(out, "{cl}");
+                    }
+                    None => out.push_str("null"),
+                }
+                out.push('}');
+                if j + 1 < c.entries.len() {
+                    out.push_str(", ");
+                }
+            }
+            out.push_str("], \"children\": [");
+            for (j, ch) in c.children.iter().enumerate() {
+                let _ = write!(out, "[{}, {}, {}]", ch.conn_id, ch.t_sn, ch.x_sn);
+                if j + 1 < c.children.len() {
+                    out.push_str(", ");
+                }
+            }
+            out.push_str("]}");
+            if i + 1 < self.chunks.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n  \"budget\": {");
+        for (i, (metric, total, count)) in self.delay_budget().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    \"{metric}\": {{\"total_ns\": {total}, \"spans\": {count}}}"
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Renders the lineage as a human-readable span tree: one block per
+    /// chunk, stage lines in open order with millisecond timestamps and
+    /// durations, split children indented beneath their parent.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.chunks {
+            let _ = writeln!(
+                out,
+                "chunk C.ID {} T.SN {} X.SN {}",
+                c.labels.conn_id, c.labels.t_sn, c.labels.x_sn
+            );
+            for e in &c.entries {
+                match e.close_ns {
+                    Some(cl) => {
+                        let _ = writeln!(
+                            out,
+                            "  {:>10.3} ms  {:<12} ({} ns)",
+                            e.open_ns as f64 / 1e6,
+                            e.stage.name(),
+                            cl.saturating_sub(e.open_ns)
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "  {:>10.3} ms  {:<12} (unclosed: dropped in flight)",
+                            e.open_ns as f64 / 1e6,
+                            e.stage.name()
+                        );
+                    }
+                }
+            }
+            for ch in &c.children {
+                let _ = writeln!(
+                    out,
+                    "    -> split child C.ID {} T.SN {} X.SN {}",
+                    ch.conn_id, ch.t_sn, ch.x_sn
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanId;
+
+    fn store() -> SpanStore {
+        let mut s = SpanStore::new();
+        let a = Labels::new(1, 0, 0);
+        let b = Labels::new(1, 0, 4);
+        s.open(0, SpanId::new(a, Stage::Emit));
+        s.close(0, SpanId::new(a, Stage::Emit));
+        s.open(10, SpanId::new(a, Stage::Hop));
+        s.close(60, SpanId::new(a, Stage::Hop));
+        s.link(60, a, b);
+        s.open(60, SpanId::new(b, Stage::Hop));
+        s.close(110, SpanId::new(b, Stage::Hop));
+        s.open(110, SpanId::new(b, Stage::Hold));
+        s
+    }
+
+    #[test]
+    fn chunks_sort_by_label_tuple_and_keep_entry_order() {
+        let l = Lineage::from_store(&store());
+        assert_eq!(l.chunks.len(), 2);
+        assert_eq!(l.chunks[0].labels, Labels::new(1, 0, 0));
+        assert_eq!(l.chunks[0].entries[0].stage, Stage::Emit);
+        assert_eq!(l.chunks[0].entries[1].stage, Stage::Hop);
+        assert_eq!(l.chunks[0].children, vec![Labels::new(1, 0, 4)]);
+    }
+
+    #[test]
+    fn delay_budget_sums_closed_duration_spans_only() {
+        let l = Lineage::from_store(&store());
+        let budget = l.delay_budget();
+        let network = budget
+            .iter()
+            .find(|(m, _, _)| *m == "span.delay.network_ns")
+            .unwrap();
+        assert_eq!((network.1, network.2), (100, 2));
+        let holding = budget
+            .iter()
+            .find(|(m, _, _)| *m == "span.delay.holding_ns")
+            .unwrap();
+        // The hold span never closed, so it attributes nothing.
+        assert_eq!((holding.1, holding.2), (0, 0));
+    }
+
+    #[test]
+    fn exports_are_byte_stable() {
+        let (a, b) = (Lineage::from_store(&store()), Lineage::from_store(&store()));
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.render_text(), b.render_text());
+        assert!(a.to_json().contains("\"close\": null"));
+        assert!(a.render_text().contains("dropped in flight"));
+        assert!(a.render_text().contains("split child"));
+    }
+}

@@ -205,6 +205,49 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the **inclusive upper bound of the
+    /// bucket** holding the rank-`ceil(q·count)` observation — an integer,
+    /// so quantile reports are byte-stable. Bucket `i` reports `2^(i+1)-1`;
+    /// the tail bucket reports `u64::MAX`. 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-indexed: ceil(q * count).
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                // The final bucket absorbs the tail and has no finite bound.
+                return if i + 1 >= self.buckets.len() || i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+            }
+        }
+        // count > 0 guarantees some bucket is nonzero; unreachable in
+        // practice, but a truncated bucket vector lands here.
+        u64::MAX
+    }
+
+    /// Median upper bound (see [`Self::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile upper bound (see [`Self::quantile`]).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile upper bound (see [`Self::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
 }
 
 /// A point-in-time copy of the whole registry.
@@ -292,6 +335,67 @@ mod tests {
         assert_eq!(bucket_of(1023), 9);
         assert_eq!(bucket_of(1024), 10);
         assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let m = LocalMetrics::new();
+        // 100 observations: 50 land in bucket 6 ([64,128)), 40 in bucket 9
+        // ([512,1024)), 10 in bucket 13 ([8192,16384)).
+        for _ in 0..50 {
+            m.observe("span.delay.network_ns", 100);
+        }
+        for _ in 0..40 {
+            m.observe("span.delay.network_ns", 600);
+        }
+        for _ in 0..10 {
+            m.observe("span.delay.network_ns", 9000);
+        }
+        let s = m.snapshot();
+        let h = s.histogram("span.delay.network_ns").unwrap();
+        assert_eq!(h.count, 100);
+        // rank 50 is the last observation of bucket 6 -> bound 127.
+        assert_eq!(h.p50(), 127);
+        // rank 90 is the last observation of bucket 9 -> bound 1023.
+        assert_eq!(h.p90(), 1023);
+        // rank 99 lands in bucket 13 -> bound 16383.
+        assert_eq!(h.p99(), 16383);
+        assert_eq!(h.quantile(1.0), 16383);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = HistogramSnapshot {
+            name: "x".into(),
+            count: 0,
+            sum: 0,
+            buckets: vec![0; BUCKETS],
+        };
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p99(), 0);
+
+        // A single observation answers every quantile.
+        let m = LocalMetrics::new();
+        m.observe("span.delay.verify_ns", 5);
+        let s = m.snapshot();
+        let h = s.histogram("span.delay.verify_ns").unwrap();
+        assert_eq!((h.p50(), h.p90(), h.p99()), (7, 7, 7)); // bucket 2 = [4,8)
+
+        // Bucket-boundary values: 1 is bucket 0 (bound 1), 2 is bucket 1
+        // (bound 3).
+        let m = LocalMetrics::new();
+        m.observe("span.delay.holding_ns", 1);
+        m.observe("span.delay.holding_ns", 2);
+        let s = m.snapshot();
+        let h = s.histogram("span.delay.holding_ns").unwrap();
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.p99(), 3);
+
+        // The tail bucket is unbounded.
+        let m = LocalMetrics::new();
+        m.observe("span.delay.repair_ns", u64::MAX);
+        let s = m.snapshot();
+        assert_eq!(s.histogram("span.delay.repair_ns").unwrap().p50(), u64::MAX);
     }
 
     #[test]

@@ -10,8 +10,10 @@
 
 use std::sync::{Arc, Mutex};
 
-use crate::event::Event;
+use crate::event::{Event, Labels};
+use crate::lineage::Lineage;
 use crate::metrics::{AtomicMetrics, Snapshot};
+use crate::span::{SpanId, SpanLink, SpanRecord, SpanStore};
 use crate::trace::{TimedEvent, TraceRing, DEFAULT_TRACE_CAPACITY};
 
 /// Where instrumented layers send counters, histogram observations and
@@ -39,6 +41,25 @@ pub trait ObsSink: Send + Sync + std::fmt::Debug {
     fn event(&self, at_ns: u64, event: Event) {
         let _ = (at_ns, event);
     }
+
+    /// Opens a label-keyed lifecycle span at virtual time `at_ns`.
+    fn span_open(&self, at_ns: u64, id: SpanId) {
+        let _ = (at_ns, id);
+    }
+
+    /// Closes the newest open span with `id`'s identity at `at_ns`. A
+    /// recording implementation also feeds the closed duration into the
+    /// stage's `span.delay.*` histogram (see
+    /// [`Stage::delay_metric`](crate::span::Stage::delay_metric)).
+    fn span_close(&self, at_ns: u64, id: SpanId) {
+        let _ = (at_ns, id);
+    }
+
+    /// Records a parent→child fragmentation link at virtual time `at_ns`
+    /// (a router split `parent` and `child` is one resulting piece).
+    fn span_link(&self, at_ns: u64, parent: Labels, child: Labels) {
+        let _ = (at_ns, parent, child);
+    }
 }
 
 /// The default sink: records nothing, reports `enabled() == false`.
@@ -61,6 +82,7 @@ pub fn null() -> Arc<dyn ObsSink> {
 pub struct RecordingSink {
     metrics: AtomicMetrics,
     trace: Mutex<TraceRing>,
+    spans: Mutex<SpanStore>,
 }
 
 impl RecordingSink {
@@ -74,6 +96,7 @@ impl RecordingSink {
         Arc::new(RecordingSink {
             metrics: AtomicMetrics::new(),
             trace: Mutex::new(TraceRing::new(cap)),
+            spans: Mutex::new(SpanStore::new()),
         })
     }
 
@@ -102,6 +125,32 @@ impl RecordingSink {
     pub fn trace_dropped(&self) -> u64 {
         self.trace.lock().expect("trace lock").dropped()
     }
+
+    /// Copies the recorded spans out, in open order.
+    pub fn span_records(&self) -> Vec<SpanRecord> {
+        self.spans.lock().expect("span lock").records().to_vec()
+    }
+
+    /// Copies the recorded parent→child fragmentation links out.
+    pub fn span_links(&self) -> Vec<SpanLink> {
+        self.spans.lock().expect("span lock").links().to_vec()
+    }
+
+    /// Span closes that matched no open span.
+    pub fn span_orphan_closes(&self) -> u64 {
+        self.spans.lock().expect("span lock").orphan_closes()
+    }
+
+    /// Exports the span store as JSON lines (see
+    /// [`SpanStore::to_json_lines`]).
+    pub fn span_json_lines(&self) -> String {
+        self.spans.lock().expect("span lock").to_json_lines()
+    }
+
+    /// Assembles the per-chunk lineage view from the recorded spans.
+    pub fn lineage(&self) -> Lineage {
+        Lineage::from_store(&self.spans.lock().expect("span lock"))
+    }
 }
 
 impl ObsSink for RecordingSink {
@@ -119,6 +168,31 @@ impl ObsSink for RecordingSink {
 
     fn event(&self, at_ns: u64, event: Event) {
         self.trace.lock().expect("trace lock").push(at_ns, event);
+    }
+
+    fn span_open(&self, at_ns: u64, id: SpanId) {
+        self.metrics.add("obs.span.opened", 1);
+        self.spans.lock().expect("span lock").open(at_ns, id);
+    }
+
+    fn span_close(&self, at_ns: u64, id: SpanId) {
+        let closed = self.spans.lock().expect("span lock").close(at_ns, id);
+        match closed {
+            Some(duration) => {
+                if let Some(metric) = id.stage.delay_metric() {
+                    self.metrics.observe(metric, duration);
+                }
+            }
+            None => self.metrics.add("obs.span.orphan_closes", 1),
+        }
+    }
+
+    fn span_link(&self, at_ns: u64, parent: Labels, child: Labels) {
+        self.metrics.add("obs.span.links", 1);
+        self.spans
+            .lock()
+            .expect("span lock")
+            .link(at_ns, parent, child);
     }
 }
 
@@ -161,5 +235,28 @@ mod tests {
         assert_eq!(s.events().len(), 1);
         assert!(s.trace_json_lines().starts_with("{\"t\": 77, "));
         assert_eq!(s.trace_dropped(), 0);
+    }
+
+    #[test]
+    fn recording_sink_records_spans_and_attributes_delay() {
+        use crate::span::{SpanId, Stage};
+        let s = RecordingSink::with_capacity(8);
+        let dyn_sink: Arc<dyn ObsSink> = s.clone();
+        let id = SpanId::new(Labels::new(1, 0, 0), Stage::Hop);
+        dyn_sink.span_open(100, id);
+        dyn_sink.span_close(160, id);
+        dyn_sink.span_link(160, Labels::new(1, 0, 0), Labels::new(1, 0, 4));
+        dyn_sink.span_close(200, id); // no open span left: orphan
+        let snap = s.snapshot();
+        assert_eq!(snap.counter("obs.span.opened"), 1);
+        assert_eq!(snap.counter("obs.span.links"), 1);
+        assert_eq!(snap.counter("obs.span.orphan_closes"), 1);
+        let h = snap.histogram("span.delay.network_ns").unwrap();
+        assert_eq!((h.count, h.sum), (1, 60));
+        assert_eq!(s.span_records().len(), 1);
+        assert_eq!(s.span_links().len(), 1);
+        assert_eq!(s.span_orphan_closes(), 1);
+        assert_eq!(s.lineage().chunks.len(), 1);
+        assert!(s.span_json_lines().contains("\"span\": \"hop\""));
     }
 }

@@ -47,7 +47,7 @@ use bytes::Bytes;
 use chunks_core::label::ChunkType;
 use chunks_core::packet::{chunk_spans, Packet};
 use chunks_core::wire::{decode_chunk, decode_chunk_observed, labels_of};
-use chunks_obs::{Event, ObsSink};
+use chunks_obs::{Event, Labels, ObsSink, SpanId, Stage};
 use chunks_wsc::{InvariantLayout, Wsc2Stream};
 
 use crate::ack::AckInfo;
@@ -473,6 +473,9 @@ pub struct ParallelReceiver {
     /// Last `now` seen by [`Self::ingest`], used to stamp merge-stage events
     /// (the merge has no clock of its own).
     last_now: u64,
+    /// Labels of data/ED chunks with an open `merge-queue` span (dispatched
+    /// but not yet folded). Populated only when `obs_on`.
+    merge_open: Vec<Labels>,
 }
 
 impl std::fmt::Debug for ParallelReceiver {
@@ -547,6 +550,7 @@ impl ParallelReceiver {
             obs: sink,
             obs_on,
             last_now: 0,
+            merge_open: Vec::new(),
         }
     }
 
@@ -621,13 +625,19 @@ impl ParallelReceiver {
                         let worker = shard_of(conn_id, self.workers);
                         if self.obs_on {
                             self.obs.counter("transport.parallel.chunks_dispatched", 1);
+                            let labels = labels_of(&header);
                             self.obs.event(
                                 now,
                                 Event::ShardDispatched {
-                                    labels: labels_of(&header),
+                                    labels,
                                     worker: worker as u32,
                                 },
                             );
+                            // The chunk now sits between dispatch and merge:
+                            // open its merge-queue span, closed at `finish`.
+                            self.obs
+                                .span_open(now, SpanId::new(labels, Stage::MergeQueue));
+                            self.merge_open.push(labels);
                         }
                         self.send(worker, Work::Chunk { raw, now });
                     } else {
@@ -801,6 +811,14 @@ impl ParallelReceiver {
             // delivered TPDU counts inside the per-worker tallies).
             self.obs
                 .counter("transport.parallel.merge_folds", transcript.folds());
+            // Every dispatched chunk has now been folded into the single
+            // merged outcome: close its merge-queue span. Dispatch order is
+            // the open order, so closing in reverse satisfies the span
+            // store's LIFO discipline per label.
+            for labels in std::mem::take(&mut self.merge_open).into_iter().rev() {
+                self.obs
+                    .span_close(self.last_now, SpanId::new(labels, Stage::MergeQueue));
+            }
         }
         let mut control = std::mem::take(&mut self.control);
         control.sort_by_key(|e| e.stamp);

@@ -29,7 +29,7 @@ use std::sync::Arc;
 use chunks_core::chunk::Chunk;
 use chunks_core::label::ChunkType;
 use chunks_core::packet::{unpack, unpack_observed, Packet};
-use chunks_obs::{Event, Labels, ObsSink};
+use chunks_obs::{Event, Labels, ObsSink, SpanId, Stage};
 use chunks_vreasm::{PduTracker, TrackEvent};
 use chunks_wsc::{InvariantLayout, TpduInvariant};
 
@@ -261,6 +261,42 @@ impl Receiver {
         c_sn.wrapping_sub(self.params.initial_csn) as u64
     }
 
+    /// Group-level span labels: the TPDU is identified by its start, so the
+    /// `verify` and `deliver` spans key on `(C.ID, start, 0)`.
+    fn group_labels(&self, start: u64) -> Labels {
+        Labels::new(self.params.conn_id, start as u32, 0)
+    }
+
+    /// Chunk-level span labels, straight off the header.
+    fn chunk_labels(chunk: &Chunk) -> Labels {
+        Labels::new(
+            chunk.header.conn.id,
+            chunk.header.tpdu.sn,
+            chunk.header.ext.sn,
+        )
+    }
+
+    /// Fetches or creates the group at `start`. A group's first arrival —
+    /// data, ED, or the failure that condemns it — opens its `verify` span;
+    /// the span closes at the WSC-2 verdict (delivery or failure).
+    fn group_entry(&mut self, start: u64, now: u64) -> &mut Group {
+        if self.obs_on && !self.groups.contains_key(&start) {
+            self.obs
+                .span_open(now, SpanId::new(self.group_labels(start), Stage::Verify));
+        }
+        let layout = self.layout;
+        self.groups.entry(start).or_insert_with(|| Group {
+            tracker: PduTracker::new(),
+            inv: TpduInvariant::new(layout).expect("layout validated at framer"),
+            x_deltas: HashMap::new(),
+            ed: None,
+            held: Vec::new(),
+            failed: None,
+            reported: false,
+            elements: 0,
+        })
+    }
+
     /// Handles one arriving packet at time `now`.
     pub fn handle_packet(&mut self, packet: &Packet, now: u64) -> Vec<RxEvent> {
         self.last_now = now;
@@ -334,16 +370,7 @@ impl Receiver {
             return self.group_failure(start, FailureReason::BadChunk);
         }
 
-        let group = self.groups.entry(start).or_insert_with(|| Group {
-            tracker: PduTracker::new(),
-            inv: TpduInvariant::new(self.layout).expect("layout validated at framer"),
-            x_deltas: HashMap::new(),
-            ed: None,
-            held: Vec::new(),
-            failed: None,
-            reported: false,
-            elements: 0,
-        });
+        let group = self.group_entry(start, now);
 
         // Virtual reassembly within the TPDU. Duplicates must be rejected
         // *before* the invariant absorbs them (§3.3). A retransmission cut
@@ -443,12 +470,20 @@ impl Receiver {
                 } else {
                     self.stage(chunk.payload.len() as u64);
                     self.stats.data_touches += chunk.payload.len() as u64;
+                    if self.obs_on {
+                        self.obs
+                            .span_open(now, SpanId::new(Self::chunk_labels(&chunk), Stage::Hold));
+                    }
                     self.reorder_q.insert(first, (chunk.clone(), now));
                 }
             }
             DeliveryMode::Reassemble => {
                 self.stage(chunk.payload.len() as u64);
                 self.stats.data_touches += chunk.payload.len() as u64;
+                if self.obs_on {
+                    self.obs
+                        .span_open(now, SpanId::new(Self::chunk_labels(&chunk), Stage::Hold));
+                }
                 let group = self.groups.get_mut(&start).expect("present");
                 group.held.push((chunk.clone(), now));
             }
@@ -468,16 +503,7 @@ impl Receiver {
         let start = self.unwrap_csn(chunk.header.conn.sn);
         let mut digest = [0u8; 8];
         digest.copy_from_slice(&chunk.payload);
-        let group = self.groups.entry(start).or_insert_with(|| Group {
-            tracker: PduTracker::new(),
-            inv: TpduInvariant::new(self.layout).expect("layout validated"),
-            x_deltas: HashMap::new(),
-            ed: None,
-            held: Vec::new(),
-            failed: None,
-            reported: false,
-            elements: 0,
-        });
+        let group = self.group_entry(start, now);
         group.ed = Some(digest);
         self.try_complete(start, now)
     }
@@ -522,6 +548,8 @@ impl Receiver {
             self.stats.holding_delay += waited;
             if self.obs_on {
                 self.obs.counter("transport.rx.holding_delay_ns", waited);
+                self.obs
+                    .span_close(now, SpanId::new(Self::chunk_labels(&chunk), Stage::Hold));
             }
             self.place(self.in_order, &chunk.payload);
             self.in_order += len;
@@ -530,16 +558,8 @@ impl Receiver {
 
     /// Marks a group failed and reports it (once).
     fn group_failure(&mut self, start: u64, reason: FailureReason) -> Vec<RxEvent> {
-        let group = self.groups.entry(start).or_insert_with(|| Group {
-            tracker: PduTracker::new(),
-            inv: TpduInvariant::new(self.layout).expect("layout validated"),
-            x_deltas: HashMap::new(),
-            ed: None,
-            held: Vec::new(),
-            failed: None,
-            reported: false,
-            elements: 0,
-        });
+        let now = self.last_now;
+        let group = self.group_entry(start, now);
         if group.reported {
             return Vec::new();
         }
@@ -549,12 +569,15 @@ impl Receiver {
         if self.obs_on {
             self.obs.counter("transport.rx.tpdus_failed", 1);
             self.obs.event(
-                self.last_now,
+                now,
                 Event::ChunkRejected {
                     labels: Labels::new(self.params.conn_id, start as u32, 0),
                     reason: reason.as_str(),
                 },
             );
+            // The verdict — even a condemning one — ends the verify span.
+            self.obs
+                .span_close(now, SpanId::new(self.group_labels(start), Stage::Verify));
         }
         vec![RxEvent::TpduFailed { start, reason }]
     }
@@ -587,6 +610,8 @@ impl Receiver {
                 self.stats.holding_delay += waited;
                 if self.obs_on {
                     self.obs.counter("transport.rx.holding_delay_ns", waited);
+                    self.obs
+                        .span_close(now, SpanId::new(Self::chunk_labels(&chunk), Stage::Hold));
                 }
                 self.place(first, &chunk.payload);
             }
@@ -602,6 +627,13 @@ impl Receiver {
                         bytes: (elements * self.params.elem_size as u64) as u32,
                     },
                 );
+                // Verdict reached: the verify span closes, and delivery is
+                // marked with a zero-duration `deliver` span.
+                let labels = self.group_labels(start);
+                self.obs.span_close(now, SpanId::new(labels, Stage::Verify));
+                let deliver = SpanId::new(labels, Stage::Deliver);
+                self.obs.span_open(now, deliver);
+                self.obs.span_close(now, deliver);
             }
             let mut events = vec![RxEvent::TpduDelivered { start, elements }];
             if self.closed {

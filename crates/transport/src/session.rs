@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use chunks_core::error::CoreError;
 use chunks_core::packet::{unpack, Packet};
-use chunks_obs::{Event, ObsSink};
+use chunks_obs::{Event, Labels, ObsSink, SpanId, Stage};
 
 use crate::ack::AckInfo;
 use crate::conn::ConnectionParams;
@@ -93,6 +93,9 @@ pub struct Session {
     obs: Arc<dyn ObsSink>,
     /// Cached `obs.enabled()` so the disabled path costs one branch.
     obs_on: bool,
+    /// TPDU starts with an open `repair` span (RTO fired, ack still
+    /// outstanding). Populated only when `obs_on`.
+    repairing: std::collections::HashSet<u64>,
 }
 
 impl Session {
@@ -121,6 +124,7 @@ impl Session {
             stats: ReliabilityStats::default(),
             obs: chunks_obs::null(),
             obs_on: false,
+            repairing: std::collections::HashSet::new(),
         }
     }
 
@@ -284,6 +288,17 @@ impl Session {
                                     retries: self.rto.retries_for(start).unwrap_or(0),
                                 },
                             );
+                            // The repair span runs from the first timer fire
+                            // to the ack that finally repairs the TPDU.
+                            if self.repairing.insert(start) {
+                                self.obs.span_open(
+                                    now,
+                                    SpanId::new(
+                                        Labels::new(self.local_conn, start as u32, 0),
+                                        Stage::Repair,
+                                    ),
+                                );
+                            }
                             // `poll` already backed the timer off; record the
                             // RTO the re-armed entry is now running under.
                             if let Some(rto_ns) = self.rto.rto_for(start) {
@@ -351,6 +366,13 @@ impl Session {
         // after the poll above so a TPDU armed now cannot fire in the same
         // call it went out in.
         for (s, retransmission) in sent {
+            if self.obs_on {
+                // Mark the emission; repeat markers on the same labels are
+                // the lineage view of retransmission.
+                let id = SpanId::new(Labels::new(self.local_conn, s as u32, 0), Stage::Emit);
+                self.obs.span_open(now, id);
+                self.obs.span_close(now, id);
+            }
             self.rto.on_send(s, now, retransmission);
         }
 
@@ -388,6 +410,15 @@ impl Session {
                 RxEvent::Acked(ack) => {
                     let samples_before = self.rto.samples;
                     for start in self.tx.handle_ack(&ack) {
+                        if self.obs_on && self.repairing.remove(&start) {
+                            self.obs.span_close(
+                                self.clock,
+                                SpanId::new(
+                                    Labels::new(self.local_conn, start as u32, 0),
+                                    Stage::Repair,
+                                ),
+                            );
+                        }
                         self.rto.on_ack(start, self.clock);
                     }
                     if self.obs_on {

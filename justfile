@@ -4,8 +4,9 @@
 
 # Full lint gate: formatting, clippy, rustdoc — all warnings denied —
 # plus the release-mode test suite, the parallel-equivalence gate, the
-# reliability soak, and the deterministic-trace replay.
-lint: check test-release test-parallel soak trace
+# BENCH regression gate, the reliability soak, the lineage sweep, and the
+# deterministic-trace replay.
+lint: check test-release test-parallel bench-check soak lineage trace
 
 # Static gate only: formatting, clippy, rustdoc.
 check: fmt clippy doc
@@ -34,7 +35,7 @@ test-release:
 # Reliability soak: the full fault matrix under two seeds, deterministic,
 # release mode, well under 60 s. Rewrites BENCH_soak.json at the repo root.
 soak:
-    cargo run --release --bin experiments soak
+    cargo run --release --bin experiments soak --describe "$(git describe --always --dirty 2>/dev/null || echo unknown)"
 
 # Parallel-equivalence gate: the full 200-scenario differential sweep plus
 # the deterministic-schedule and closure-algebra suites, release mode.
@@ -44,13 +45,25 @@ test-parallel:
 # Regenerate the BENCH_parallel.json scaling sweep at the repo root (also
 # fingerprint-checks the pipeline against the serial demux per cell).
 bench-parallel:
-    cargo run --release --bin experiments parallel
+    cargo run --release --bin experiments parallel --describe "$(git describe --always --dirty 2>/dev/null || echo unknown)"
 
 # Regenerate the BENCH_wsc.json fast-path snapshot at the repo root.
 bench-wsc:
-    cargo bench -p chunks-bench --bench invariant
+    CHUNKS_DESCRIBE="$(git describe --always --dirty 2>/dev/null || echo unknown)" cargo bench -p chunks-bench --bench invariant
 
-# Replay the label-flips soak cell twice with a recording sink, prove the
-# two traces byte-identical, and print the metrics + event timeline.
+# Label-keyed lifecycle spans: drive one transfer through every netsim
+# profile, prove the span trees byte-identical across replays, and rewrite
+# BENCH_lineage.json at the repo root.
+lineage:
+    cargo run --release --bin experiments lineage --describe "$(git describe --always --dirty 2>/dev/null || echo unknown)"
+
+# BENCH regression gate: regenerate the virtual-clock BENCH_*.json
+# summaries in-process and fail on any byte of drift; wall-clock summaries
+# are checked structurally (parse + meta block + nonempty results).
+bench-check:
+    cargo run --release --bin experiments bench-check
+
+# Replay a soak cell twice with a recording sink, prove the two traces
+# byte-identical, and print the metrics + event timeline.
 trace:
     cargo run --release --bin experiments trace

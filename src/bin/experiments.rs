@@ -2,23 +2,31 @@
 //! quantified claims of the paper.
 //!
 //! ```text
-//! experiments [fig1|fig2|...|fig7|table1|b1|b2|b3|b4|b5|b6|all]
+//! experiments [--describe REV] [fig1|...|fig7|table1|b1|...|b8|soak|parallel|lineage|trace [SCENARIO]|bench-check|all]
 //! ```
 //!
 //! With no argument (or `all`) every experiment runs. Output is the content
-//! EXPERIMENTS.md records.
+//! EXPERIMENTS.md records. `--describe` stamps regenerated `BENCH_*.json`
+//! files with a source revision (the justfile passes `git describe`); the
+//! experiments themselves never shell out or read the wall clock.
+//! `trace` takes an optional soak-scenario name; an unknown name lists the
+//! valid ones. `bench-check` is the regression gate: it diffs regenerated
+//! summaries against the committed `BENCH_*.json` files.
 
 use chunks::experiments::{
     appendix_b, b1_receiver_modes, b2_frag_systems, b3_lockup, b4_codes, b5_compress, b6_demux,
-    b7_turner, b8_gap_budget, figures, parallel, soak, table1, trace,
+    b7_turner, b8_gap_budget, bench_check, figures, lineage, parallel, soak, table1, trace, SEED,
+    SEED2,
 };
 
-const SEED: u64 = 0xC0451;
-/// Second, independent seed for the soak determinism sweep.
-const SEED2: u64 = 0xA5EED;
+/// One parsed invocation: an experiment name plus its optional argument.
+struct Job {
+    name: String,
+    arg: Option<String>,
+}
 
-fn run_one(name: &str) -> bool {
-    match name {
+fn run_one(job: &Job, describe: &str) -> bool {
+    match job.name.as_str() {
         "fig1" => print_fig(figures::figure1()),
         "fig2" => print_fig(figures::figure2()),
         "fig3" => print_fig(figures::figure3()),
@@ -90,7 +98,9 @@ fn run_one(name: &str) -> bool {
             println!("{r2}");
             // Same seed, same rows — the whole matrix is reproducible.
             let deterministic = soak::run(SEED) == r1;
-            if let Err(e) = std::fs::write("BENCH_soak.json", soak_json(&[&r1, &r2])) {
+            if let Err(e) =
+                std::fs::write("BENCH_soak.json", soak::bench_json(&[&r1, &r2], describe))
+            {
                 eprintln!("could not write BENCH_soak.json: {e}");
             }
             deterministic && r1.passes() && r2.passes()
@@ -98,13 +108,38 @@ fn run_one(name: &str) -> bool {
         "parallel" => {
             let r = parallel::run(SEED);
             println!("{r}");
-            if let Err(e) = std::fs::write("BENCH_parallel.json", parallel_json(&r)) {
+            if let Err(e) =
+                std::fs::write("BENCH_parallel.json", parallel::bench_json(&r, describe))
+            {
                 eprintln!("could not write BENCH_parallel.json: {e}");
             }
             r.passes()
         }
+        "lineage" => {
+            let r = lineage::run(SEED);
+            println!("{r}");
+            if let Err(e) = std::fs::write("BENCH_lineage.json", lineage::bench_json(&r, describe))
+            {
+                eprintln!("could not write BENCH_lineage.json: {e}");
+            }
+            r.passes()
+        }
         "trace" => {
-            let r = trace::run(SEED);
+            let scenario = job.arg.as_deref().unwrap_or(trace::DEFAULT_SCENARIO);
+            match trace::run(SEED, scenario) {
+                Ok(r) => {
+                    println!("{r}");
+                    r.passes()
+                }
+                Err(names) => {
+                    eprintln!("unknown trace scenario: {scenario}");
+                    eprintln!("available scenarios: {}", names.join(", "));
+                    false
+                }
+            }
+        }
+        "bench-check" => {
+            let r = bench_check::run();
             println!("{r}");
             r.passes()
         }
@@ -115,105 +150,6 @@ fn run_one(name: &str) -> bool {
     }
 }
 
-/// Renders a row's nonzero-counter snapshot as one compact JSON object.
-fn metrics_json(metrics: &[(String, u64)]) -> String {
-    let parts: Vec<String> = metrics
-        .iter()
-        .map(|(n, v)| format!("\"{n}\": {v}"))
-        .collect();
-    format!("{{{}}}", parts.join(", "))
-}
-
-/// Renders the soak sweeps as the BENCH_soak.json goodput-under-loss record.
-fn soak_json(results: &[&soak::SoakResult]) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"soak-reliability-under-faults\",\n");
-    out.push_str(
-        "  \"regenerate\": \"cargo run --release --bin experiments soak (or: just soak)\",\n",
-    );
-    out.push_str(&format!(
-        "  \"workload\": \"{} bytes over a 4-path bundle through a Byzantine middlebox, virtual clock, tick {} ns\",\n",
-        soak::PAYLOAD_BYTES,
-        soak::TICK_NS
-    ));
-    out.push_str("  \"results\": [\n");
-    let rows: Vec<String> = results
-        .iter()
-        .flat_map(|r| r.rows.iter())
-        .map(|row| {
-            format!(
-                "    {{\"scenario\": \"{}\", \"seed\": \"{:#x}\", \"outcome\": \"{}\", \"delivered_frac\": {:.3}, \"virtual_ms\": {:.1}, \"timer_retransmits\": {}, \"shed_tpdus\": {}, \"acks_dropped\": {}, \"goodput_mib_s\": {:.2}, \"metrics\": {}}}",
-                row.scenario,
-                row.seed,
-                row.outcome,
-                row.delivered_frac(),
-                row.elapsed_ns as f64 / 1e6,
-                row.timer_retransmits,
-                row.shed_tpdus,
-                row.acks_dropped,
-                row.goodput_mibps,
-                metrics_json(&row.metrics),
-            )
-        })
-        .collect();
-    out.push_str(&rows.join(",\n"));
-    out.push_str("\n  ]\n}\n");
-    out
-}
-
-/// Renders the parallel sweep as the BENCH_parallel.json scaling record.
-fn parallel_json(r: &parallel::ParallelResult) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"parallel-receive-pipeline-scaling\",\n");
-    out.push_str(
-        "  \"regenerate\": \"cargo run --release --bin experiments parallel (or: just bench-parallel)\",\n",
-    );
-    out.push_str(&format!(
-        "  \"workload\": \"{} connections x {} KiB, {} KiB TPDUs, mtu {}; arrival trace replayed per worker count\",\n",
-        parallel::CONNS,
-        parallel::MESSAGE_BYTES / 1024,
-        parallel::TPDU_ELEMENTS / 1024,
-        parallel::MTU,
-    ));
-    out.push_str(
-        "  \"method\": \"throughput is wire bytes over the modelled makespan dispatch + busiest-worker busy time + merge, from per-stage times measured on the deterministic virtual engine (medians of 3); threads_wall_ms is the real std::thread engine on this host; every cell is fingerprint-compared against the serial demux\",\n",
-    );
-    out.push_str(&format!(
-        "  \"reorder_speedup_at_4_workers\": {:.2},\n",
-        r.reorder_speedup_at_4()
-    ));
-    out.push_str("  \"results\": [\n");
-    let rows: Vec<String> = r
-        .sweeps
-        .iter()
-        .flat_map(|s| {
-            let serial_ms = s.serial_wall_ns as f64 / 1e6;
-            s.cells.iter().map(move |c| {
-                format!(
-                    "    {{\"profile\": \"{}\", \"workers\": {}, \"dispatch_ms\": {:.3}, \"process_total_ms\": {:.3}, \"process_max_ms\": {:.3}, \"merge_ms\": {:.3}, \"makespan_ms\": {:.3}, \"modeled_mib_s\": {:.1}, \"speedup_vs_1\": {:.2}, \"threads_wall_ms\": {:.3}, \"serial_wall_ms\": {:.3}, \"delivered_bytes\": {}, \"divergences\": {}, \"metrics\": {}}}",
-                    c.profile,
-                    c.workers,
-                    c.dispatch_ns as f64 / 1e6,
-                    c.process_total_ns as f64 / 1e6,
-                    c.process_max_ns as f64 / 1e6,
-                    c.merge_ns as f64 / 1e6,
-                    c.critical_path_ns as f64 / 1e6,
-                    c.modeled_mib_s,
-                    c.speedup_vs_1,
-                    c.threads_wall_ns as f64 / 1e6,
-                    serial_ms,
-                    c.delivered_bytes,
-                    c.divergences,
-                    metrics_json(&c.metrics),
-                )
-            })
-        })
-        .collect();
-    out.push_str(&rows.join(",\n"));
-    out.push_str("\n  ]\n}\n");
-    out
-}
-
 fn print_fig(f: figures::FigureResult) -> bool {
     let ok = f.ok();
     println!("{f}");
@@ -221,7 +157,7 @@ fn print_fig(f: figures::FigureResult) -> bool {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
     let all = [
         "fig1",
         "fig2",
@@ -242,17 +178,61 @@ fn main() {
         "b8",
         "soak",
         "parallel",
+        "lineage",
         "trace",
     ];
-    let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        all.to_vec()
-    } else {
-        args.iter().map(String::as_str).collect()
-    };
+    // Pull out `--describe REV`, then pair `trace` with an optional
+    // scenario argument (any following token that is not itself an
+    // experiment name).
+    let mut describe = String::from("unknown");
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut run_all = raw.is_empty();
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--describe" => {
+                if let Some(v) = raw.get(i + 1) {
+                    describe = v.clone();
+                    i += 2;
+                } else {
+                    eprintln!("--describe needs a value");
+                    std::process::exit(2);
+                }
+            }
+            "all" => {
+                run_all = true;
+                i += 1;
+            }
+            name => {
+                let takes_arg = name == "trace";
+                let arg = if takes_arg {
+                    raw.get(i + 1)
+                        .filter(|a| !all.contains(&a.as_str()) && *a != "--describe")
+                        .cloned()
+                } else {
+                    None
+                };
+                i += 1 + usize::from(arg.is_some());
+                jobs.push(Job {
+                    name: name.to_owned(),
+                    arg,
+                });
+            }
+        }
+    }
+    if run_all {
+        jobs = all
+            .iter()
+            .map(|&name| Job {
+                name: name.to_owned(),
+                arg: None,
+            })
+            .collect();
+    }
     let mut failures = 0;
-    for name in selected {
-        if !run_one(name) {
-            eprintln!("experiment {name}: CHECK FAILED");
+    for job in &jobs {
+        if !run_one(job, &describe) {
+            eprintln!("experiment {}: CHECK FAILED", job.name);
             failures += 1;
         }
     }

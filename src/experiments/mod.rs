@@ -6,6 +6,11 @@
 //! integration tests assert on them. EXPERIMENTS.md records the outcomes
 //! against the paper's claims.
 
+/// Seed every deterministic experiment runs under.
+pub const SEED: u64 = 0xC0451;
+/// Second, independent seed for the soak determinism sweep.
+pub const SEED2: u64 = 0xA5EED;
+
 pub mod appendix_b;
 pub mod b1_receiver_modes;
 pub mod b2_frag_systems;
@@ -15,7 +20,10 @@ pub mod b5_compress;
 pub mod b6_demux;
 pub mod b7_turner;
 pub mod b8_gap_budget;
+pub mod bench_check;
+pub mod benchjson;
 pub mod figures;
+pub mod lineage;
 pub mod parallel;
 pub mod soak;
 pub mod table1;

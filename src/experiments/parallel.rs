@@ -476,6 +476,63 @@ pub fn run(seed: u64) -> ParallelResult {
     ParallelResult { seed, sweeps }
 }
 
+/// Renders the sweep as the `BENCH_parallel.json` scaling record. Timing
+/// fields are wall-clock (host-dependent), so the `bench-check` gate only
+/// validates this file structurally — it never diffs the numbers.
+pub fn bench_json(r: &ParallelResult, describe: &str) -> String {
+    use super::benchjson::{meta_json, metrics_json};
+    let mut out = String::from("{\n");
+    out.push_str(&meta_json(
+        "parallel-receive-pipeline-scaling",
+        "cargo run --release --bin experiments parallel (or: just bench-parallel)",
+        describe,
+    ));
+    out.push_str(&format!(
+        "  \"workload\": \"{} connections x {} KiB, {} KiB TPDUs, mtu {}; arrival trace replayed per worker count\",\n",
+        CONNS,
+        MESSAGE_BYTES / 1024,
+        TPDU_ELEMENTS / 1024,
+        MTU,
+    ));
+    out.push_str(
+        "  \"method\": \"throughput is wire bytes over the modelled makespan dispatch + busiest-worker busy time + merge, from per-stage times measured on the deterministic virtual engine (medians of 3); threads_wall_ms is the real std::thread engine on this host; every cell is fingerprint-compared against the serial demux\",\n",
+    );
+    out.push_str(&format!(
+        "  \"reorder_speedup_at_4_workers\": {:.2},\n",
+        r.reorder_speedup_at_4()
+    ));
+    out.push_str("  \"results\": [\n");
+    let rows: Vec<String> = r
+        .sweeps
+        .iter()
+        .flat_map(|s| {
+            let serial_ms = s.serial_wall_ns as f64 / 1e6;
+            s.cells.iter().map(move |c| {
+                format!(
+                    "    {{\"profile\": \"{}\", \"workers\": {}, \"dispatch_ms\": {:.3}, \"process_total_ms\": {:.3}, \"process_max_ms\": {:.3}, \"merge_ms\": {:.3}, \"makespan_ms\": {:.3}, \"modeled_mib_s\": {:.1}, \"speedup_vs_1\": {:.2}, \"threads_wall_ms\": {:.3}, \"serial_wall_ms\": {:.3}, \"delivered_bytes\": {}, \"divergences\": {}, \"metrics\": {}}}",
+                    c.profile,
+                    c.workers,
+                    c.dispatch_ns as f64 / 1e6,
+                    c.process_total_ns as f64 / 1e6,
+                    c.process_max_ns as f64 / 1e6,
+                    c.merge_ns as f64 / 1e6,
+                    c.critical_path_ns as f64 / 1e6,
+                    c.modeled_mib_s,
+                    c.speedup_vs_1,
+                    c.threads_wall_ns as f64 / 1e6,
+                    serial_ms,
+                    c.delivered_bytes,
+                    c.divergences,
+                    metrics_json(&c.metrics),
+                )
+            })
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -286,7 +286,7 @@ fn take_due(q: &mut BTreeMap<u64, Vec<Vec<u8>>>, t: u64) -> Vec<Vec<u8>> {
 /// transfer is one-way, so the sender's own piggyback acks say nothing —
 /// forwarding them would let the receiver re-ack every tick and trivialise
 /// ack loss.
-fn carries_payload(p: &Packet) -> bool {
+pub fn carries_payload(p: &Packet) -> bool {
     chunks_core::packet::unpack(p)
         .map(|chunks| {
             chunks
@@ -313,19 +313,25 @@ pub fn run_scenario_observed(sc: &SoakScenario, seed: u64, sink: Arc<dyn ObsSink
     });
     let payload: Vec<u8> = (0..PAYLOAD_BYTES).map(|i| (i * 7 + 3) as u8).collect();
     let mut a = endpoint(1, 2, sc.policy).with_obs(sink.clone());
-    let mut b = endpoint(2, 1, sc.policy).with_obs(sink);
+    let mut b = endpoint(2, 1, sc.policy).with_obs(sink.clone());
     a.send(&payload, 0xA, false);
 
-    // Forward: Byzantine middlebox, then a 4-stripe multipath bundle.
+    // Forward: Byzantine middlebox, then a 4-stripe multipath bundle. The
+    // sink rides along (mutation events, hop spans, path choices); with the
+    // NullSink it costs one cached branch per element.
     let mut byz_fwd = ByzantineRouter::new(sc.fwd, mix);
+    byz_fwd.set_obs(sink.clone());
     let fwd_cfg = LinkConfig::clean(512, 100_000, 0).with_loss(sc.fwd_loss);
     let mut fwd = MultipathLink::skewed(4, fwd_cfg, 20_000, mix ^ 0xF0F0);
+    fwd.set_obs(sink.clone());
     if let Some((path, from, until)) = sc.stall {
         fwd.stall_path(path, from, until);
     }
     // Reverse: Byzantine middlebox (the ack assassin), then a clean link.
     let mut byz_rev = ByzantineRouter::new(sc.rev, mix ^ 0x5EED);
+    byz_rev.set_obs(sink.clone());
     let mut rev = chunks_netsim::Link::new(LinkConfig::clean(512, 100_000, 0), mix ^ 0x0FF);
+    rev.set_obs(sink);
 
     let mut to_b: BTreeMap<u64, Vec<Vec<u8>>> = BTreeMap::new();
     let mut to_a: BTreeMap<u64, Vec<Vec<u8>>> = BTreeMap::new();
@@ -347,7 +353,7 @@ pub fn run_scenario_observed(sc: &SoakScenario, seed: u64, sink: Arc<dyn ObsSink
                 // Pure-ack packets from the sender carry no information on a
                 // one-way transfer; see `carries_payload`.
                 for p in packets.iter().filter(|p| carries_payload(p)) {
-                    for f in byz_fwd.ingest(p.bytes.to_vec()) {
+                    for f in byz_fwd.ingest_at(t, p.bytes.to_vec()) {
                         for (at, frame) in fwd.transmit(t, f) {
                             to_b.entry(at).or_default().push(frame);
                         }
@@ -364,7 +370,7 @@ pub fn run_scenario_observed(sc: &SoakScenario, seed: u64, sink: Arc<dyn ObsSink
         // cannot die: it sends no data, so it arms no timers.)
         if b_heard {
             for p in b.pump(t).expect("pure-ack endpoint has no retry budget") {
-                for f in byz_rev.ingest(p.bytes.to_vec()) {
+                for f in byz_rev.ingest_at(t, p.bytes.to_vec()) {
                     for (at, frame) in rev.transmit(t, f) {
                         to_a.entry(at).or_default().push(frame);
                     }
@@ -419,4 +425,44 @@ pub fn run(seed: u64) -> SoakResult {
             })
             .collect(),
     }
+}
+
+/// Renders the soak sweeps as the `BENCH_soak.json` goodput-under-loss
+/// record. Every field rides the virtual clock, so the file is exact and
+/// the `bench-check` gate diffs a regeneration byte for byte.
+pub fn bench_json(results: &[&SoakResult], describe: &str) -> String {
+    use super::benchjson::{meta_json, metrics_json};
+    let mut out = String::from("{\n");
+    out.push_str(&meta_json(
+        "soak-reliability-under-faults",
+        "cargo run --release --bin experiments soak (or: just soak)",
+        describe,
+    ));
+    out.push_str(&format!(
+        "  \"workload\": \"{} bytes over a 4-path bundle through a Byzantine middlebox, virtual clock, tick {} ns\",\n",
+        PAYLOAD_BYTES, TICK_NS
+    ));
+    out.push_str("  \"results\": [\n");
+    let rows: Vec<String> = results
+        .iter()
+        .flat_map(|r| r.rows.iter())
+        .map(|row| {
+            format!(
+                "    {{\"scenario\": \"{}\", \"seed\": \"{:#x}\", \"outcome\": \"{}\", \"delivered_frac\": {:.3}, \"virtual_ms\": {:.1}, \"timer_retransmits\": {}, \"shed_tpdus\": {}, \"acks_dropped\": {}, \"goodput_mib_s\": {:.2}, \"metrics\": {}}}",
+                row.scenario,
+                row.seed,
+                row.outcome,
+                row.delivered_frac(),
+                row.elapsed_ns as f64 / 1e6,
+                row.timer_retransmits,
+                row.shed_tpdus,
+                row.acks_dropped,
+                row.goodput_mibps,
+                metrics_json(&row.metrics),
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
 }

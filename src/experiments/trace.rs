@@ -1,13 +1,14 @@
-//! Deterministic event-trace replay: one faulty soak scenario, observed.
+//! Deterministic event-trace replay: any soak scenario, observed.
 //!
 //! The observability layer's core promise is that a trace is *evidence*: the
 //! same seeded scenario must export the byte-identical JSON-lines trace on
 //! every run, because everything — the fault stream, the retransmission
 //! timers, the event timestamps — rides the virtual clock. This experiment
-//! replays the `label-flips` cell of the soak matrix (Byzantine label
-//! mutations plus 10% ack loss: a scenario that exercises decode rejects,
-//! WSC-2 verification failures, timer-driven retransmission and backoff)
-//! twice with recording sinks and checks the exports byte for byte, then
+//! replays one cell of the soak matrix (any of them: `experiments trace
+//! <scenario>` picks; the default `label-flips` mixes Byzantine label
+//! mutations with 10% ack loss, exercising decode rejects, WSC-2
+//! verification failures, timer-driven retransmission and backoff) twice
+//! with recording sinks and checks the exports byte for byte, then
 //! pretty-prints the timeline a human would read to diagnose the run.
 
 use std::fmt;
@@ -16,8 +17,8 @@ use chunks_obs::RecordingSink;
 
 use super::soak;
 
-/// Scenario replayed (must name a cell of [`soak::fault_matrix`]).
-pub const SCENARIO: &str = "label-flips";
+/// Scenario replayed when none is named on the command line.
+pub const DEFAULT_SCENARIO: &str = "label-flips";
 /// Trace-ring capacity for the replay: large enough that no event of the
 /// 2 KiB transfer is evicted, so the export really is the whole story.
 pub const TRACE_EVENTS: usize = 1 << 16;
@@ -102,25 +103,36 @@ impl fmt::Display for TraceResult {
     }
 }
 
-fn observed_run(seed: u64) -> (soak::SoakRow, std::sync::Arc<RecordingSink>) {
-    let sc = soak::fault_matrix()
-        .into_iter()
-        .find(|sc| sc.name == SCENARIO)
-        .expect("scenario exists in the fault matrix");
+/// Every scenario name the replay accepts, in fault-matrix order.
+pub fn scenario_names() -> Vec<&'static str> {
+    soak::fault_matrix().iter().map(|sc| sc.name).collect()
+}
+
+fn observed_run(
+    sc: &soak::SoakScenario,
+    seed: u64,
+) -> (soak::SoakRow, std::sync::Arc<RecordingSink>) {
     let sink = RecordingSink::with_capacity(TRACE_EVENTS);
-    let row = soak::run_scenario_observed(&sc, seed, sink.clone());
+    let row = soak::run_scenario_observed(sc, seed, sink.clone());
     (row, sink)
 }
 
-/// Replays the scenario twice under `seed` and compares the exports.
-pub fn run(seed: u64) -> TraceResult {
-    let (row, sink) = observed_run(seed);
-    let (_, sink2) = observed_run(seed);
+/// Replays `scenario` twice under `seed` and compares the exports. An
+/// unknown scenario name returns the list of valid ones instead.
+pub fn run(seed: u64, scenario: &str) -> Result<TraceResult, Vec<&'static str>> {
+    let Some(sc) = soak::fault_matrix()
+        .into_iter()
+        .find(|sc| sc.name == scenario)
+    else {
+        return Err(scenario_names());
+    };
+    let (row, sink) = observed_run(&sc, seed);
+    let (_, sink2) = observed_run(&sc, seed);
     let json_lines = sink.trace_json_lines();
     let deterministic =
         json_lines == sink2.trace_json_lines() && sink.snapshot() == sink2.snapshot();
-    TraceResult {
-        scenario: SCENARIO,
+    Ok(TraceResult {
+        scenario: sc.name,
         seed,
         deterministic,
         events: sink.events().len(),
@@ -129,7 +141,7 @@ pub fn run(seed: u64) -> TraceResult {
         text: sink.trace_text(),
         metrics_text: sink.snapshot().render_text(),
         row,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -138,11 +150,21 @@ mod tests {
 
     #[test]
     fn trace_replay_is_deterministic_and_complete() {
-        let r = run(0xC0451);
+        let r = run(0xC0451, DEFAULT_SCENARIO).expect("default scenario exists");
         assert!(r.passes(), "trace replay failed: {r}");
         // The scenario's faults must actually appear in the trace.
         assert!(r.json_lines.contains("\"ev\": \"ChunkRejected\""));
         assert!(r.json_lines.contains("\"ev\": \"RetransmitFired\""));
         assert!(r.json_lines.contains("\"ev\": \"GroupDelivered\""));
+        // The Byzantine middlebox now narrates its own mutations.
+        assert!(r.json_lines.contains("\"ev\": \"ChunkMutated\""));
+    }
+
+    #[test]
+    fn unknown_scenario_lists_the_valid_names() {
+        let names = run(0xC0451, "no-such-cell").unwrap_err();
+        assert!(names.contains(&"label-flips"));
+        assert!(names.contains(&"ack-blackout-shed"));
+        assert_eq!(names, scenario_names());
     }
 }

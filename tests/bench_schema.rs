@@ -1,0 +1,87 @@
+//! Every committed `BENCH_*.json` summary must parse and open with a
+//! complete `meta` block: the bench name, the exact regenerate command, and
+//! the source revision it was generated from. The `bench-check` gate (and
+//! any human reading the file a year later) depends on those three fields.
+
+use chunks::experiments::benchjson::{parse, Value};
+
+const BENCH_FILES: [&str; 4] = [
+    "BENCH_lineage.json",
+    "BENCH_soak.json",
+    "BENCH_parallel.json",
+    "BENCH_wsc.json",
+];
+
+fn load(file: &str) -> Value {
+    let path = format!("{}/{}", env!("CARGO_MANIFEST_DIR"), file);
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{file}: {e}"));
+    parse(&src).unwrap_or_else(|e| panic!("{file}: {e}"))
+}
+
+#[test]
+fn every_bench_file_has_a_complete_meta_block() {
+    for file in BENCH_FILES {
+        let v = load(file);
+        let meta = v
+            .get("meta")
+            .unwrap_or_else(|| panic!("{file}: no `meta` object"));
+        for key in ["bench", "regenerate", "describe"] {
+            let s = meta
+                .get(key)
+                .and_then(Value::as_str)
+                .unwrap_or_else(|| panic!("{file}: meta.{key} missing or not a string"));
+            assert!(!s.is_empty(), "{file}: meta.{key} is empty");
+        }
+        // The regenerate command must be runnable as written: it names
+        // either a cargo invocation or a just recipe.
+        let regen = meta.get("regenerate").and_then(Value::as_str).unwrap();
+        assert!(
+            regen.contains("cargo ") || regen.contains("just "),
+            "{file}: meta.regenerate does not name a command: {regen}"
+        );
+    }
+}
+
+#[test]
+fn every_bench_file_carries_nonempty_results() {
+    for file in BENCH_FILES {
+        let v = load(file);
+        let results = v
+            .get("results")
+            .and_then(Value::as_arr)
+            .unwrap_or_else(|| panic!("{file}: no `results` array"));
+        assert!(!results.is_empty(), "{file}: empty `results`");
+        for row in results {
+            assert!(
+                row.as_obj().is_some(),
+                "{file}: results rows must be objects"
+            );
+        }
+    }
+}
+
+#[test]
+fn lineage_rows_expose_budget_and_quantiles_for_every_delay_metric() {
+    let v = load("BENCH_lineage.json");
+    let results = v.get("results").and_then(Value::as_arr).unwrap();
+    for row in results {
+        let profile = row.get("profile").and_then(Value::as_str).unwrap();
+        for section in ["budget", "quantiles"] {
+            let obj = row
+                .get(section)
+                .and_then(Value::as_obj)
+                .unwrap_or_else(|| panic!("{profile}: no `{section}` object"));
+            let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(
+                keys,
+                chunks::experiments::lineage::DELAY_METRICS.to_vec(),
+                "{profile}: {section} must cover every delay metric in lifecycle order"
+            );
+        }
+        assert_eq!(
+            row.get("deterministic"),
+            Some(&Value::Bool(true)),
+            "{profile}: committed lineage row must be deterministic"
+        );
+    }
+}

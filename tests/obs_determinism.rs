@@ -7,11 +7,16 @@
 //!    *nothing observable*: delivered bytes, digests, outcomes and verdicts
 //!    are bit-identical to the `NullSink` run, on both the session path and
 //!    the parallel pipeline.
-//! 3. **Doc sync** — `docs/OBSERVABILITY.md` names every catalogued metric
+//! 3. **Span transparency** — the lifecycle-span layer obeys the same two
+//!    rules: a NullSink run is bit-identical to a recording run, and the
+//!    per-chunk lineage export is byte-identical across replays of every
+//!    seeded netsim profile.
+//! 4. **Doc sync** — `docs/OBSERVABILITY.md` names every catalogued metric
 //!    and every event variant, so the documented surface cannot drift from
 //!    the exported one.
 
-use chunks::experiments::soak;
+use chunks::experiments::{lineage, soak};
+use chunks_netsim::Profile;
 use chunks_obs::{RecordingSink, CATALOGUE};
 use chunks_transport::{
     shard_of, ConnSpec, ConnectionParams, DeliveryMode, Engine, ParallelReceiver, Schedule, Sender,
@@ -77,6 +82,82 @@ fn recording_sink_is_differentially_transparent_on_the_session_path() {
         assert_eq!(
             baseline, observed,
             "{name}: observing the run changed its outcome"
+        );
+    }
+}
+
+// --- lifecycle spans: transparency and lineage determinism ------------------
+
+#[test]
+fn soak_span_exports_are_byte_identical_across_replays() {
+    for name in SCENARIOS {
+        let sc = scenario(name);
+        let (s1, s2) = (RecordingSink::shared(), RecordingSink::shared());
+        soak::run_scenario_observed(&sc, SEED, s1.clone());
+        soak::run_scenario_observed(&sc, SEED, s2.clone());
+        assert!(
+            !s1.span_records().is_empty(),
+            "{name}: an observed run must record lifecycle spans"
+        );
+        assert_eq!(
+            s1.span_json_lines(),
+            s2.span_json_lines(),
+            "{name}: span exports not byte-identical"
+        );
+        assert_eq!(
+            s1.lineage().to_json(),
+            s2.lineage().to_json(),
+            "{name}: lineage exports not byte-identical"
+        );
+        assert_eq!(s1.span_orphan_closes(), 0, "{name}: orphan span closes");
+    }
+}
+
+#[test]
+fn null_sink_profile_transfers_match_recording_runs() {
+    // The span layer must be invisible: driving the same seeded profile
+    // transfer with the NullSink and with a recording sink produces the
+    // bit-identical outcome (labels are parsed outside the fault RNG).
+    for profile in Profile::ALL {
+        let baseline = lineage::drive(profile, SEED, chunks_obs::null());
+        let observed = lineage::drive(profile, SEED, RecordingSink::shared());
+        assert_eq!(
+            baseline,
+            observed,
+            "{}: observing the transfer changed its outcome",
+            profile.name()
+        );
+    }
+}
+
+#[test]
+fn lineage_exports_are_byte_identical_per_profile() {
+    for profile in Profile::ALL {
+        let (s1, s2) = (RecordingSink::shared(), RecordingSink::shared());
+        lineage::drive(profile, SEED, s1.clone());
+        lineage::drive(profile, SEED, s2.clone());
+        assert!(
+            !s1.span_records().is_empty(),
+            "{}: a profile transfer must record spans",
+            profile.name()
+        );
+        assert_eq!(
+            s1.lineage().to_json(),
+            s2.lineage().to_json(),
+            "{}: lineage exports not byte-identical",
+            profile.name()
+        );
+        assert_eq!(
+            s1.span_json_lines(),
+            s2.span_json_lines(),
+            "{}: span exports not byte-identical",
+            profile.name()
+        );
+        assert_eq!(
+            s1.snapshot(),
+            s2.snapshot(),
+            "{}: metric snapshots diverged",
+            profile.name()
         );
     }
 }
@@ -189,10 +270,12 @@ fn recording_sink_is_differentially_transparent_on_the_parallel_path() {
 /// Every event variant name (kept in sync by the match in the test body —
 /// adding a variant without extending this list fails the doc-sync test
 /// only if the docs also miss it, but `Event::name` is exercised above).
-const EVENT_NAMES: [&str; 8] = [
+const EVENT_NAMES: [&str; 10] = [
     "ChunkDecoded",
     "ChunkRejected",
+    "ChunkMutated",
     "GroupDelivered",
+    "PathChosen",
     "RetransmitFired",
     "BackoffApplied",
     "ShardDispatched",
