@@ -1,30 +1,46 @@
 #![allow(missing_docs)] // bench target: fn main is the harness entry point
 
-//! F5/F6 bench: cost of the fragmentation-invariant error detection —
-//! absorbing a TPDU as one chunk versus many fragments (the invariance must
-//! not make fragmented arrivals expensive).
+//! F5/F6 bench: cost of the fragmentation-invariant error detection, swept
+//! across GF(2^32) backends and batch widths.
 //!
-//! Each fragment count is measured twice:
+//! Three workload families, every row tagged with the backend and batch
+//! width that produced it (pinned by `tests/bench_schema.rs`):
 //!
-//! * `absorb_fragments` — the production path: [`TpduInvariant`] on the
-//!   streaming [`Wsc2Stream`] encoder over table-driven GF(2^32);
-//! * `absorb_fragments_ref` — a faithful replica of the seed
-//!   implementation: one-shot `Wsc2` calls per element through the
-//!   bit-serial reference arithmetic (`add_bytes_ref` / `add_symbol_ref`).
+//! * `absorb_fragments/{backend}/{N}` — the paper's worst case: an
+//!   8192-byte TPDU of **1-byte elements** (every element zero-padded to
+//!   its own symbol), absorbed as `N` fragments through [`TpduInvariant`]
+//!   under a forced backend. The padded-element gather path turns this
+//!   into batched folds; `absorb_fragments_ref/{N}` replays the seed
+//!   implementation (one-shot bit-serial `Wsc2` calls per element) as the
+//!   baseline.
+//! * `absorb_bulk/{backend}/{N}` — the wire-speed case the ROADMAP's
+//!   GiB/s target is about: a 65536-byte TPDU of **1024-byte elements**
+//!   (SIZE a whole number of symbols, so payloads absorb as one contiguous
+//!   run), again as `N` fragments.
+//! * `fold/{backend}/w{W}` — the raw `(Σ dᵢ, Σ αⁱ·dᵢ)` kernel
+//!   ([`fold_symbols_with`]) over 16384 symbols at every batch width in
+//!   [`BATCH_WIDTHS`], plus `fold/ref/w1`, the seed per-symbol
+//!   `alpha_pow_ref`·`mul_ref` accumulation.
+//!
+//! The backend sweep honours the `CHUNKS_GF_BACKEND` override: when the
+//! env var forces `tables` (or the CPU has no carry-less multiply),
+//! only the portable path is measured — exactly what a table-only host
+//! would produce. `just bench-wsc-all` runs both configurations.
 //!
 //! After measuring, `main` writes the `BENCH_wsc.json` snapshot at the
-//! workspace root recording both arms and the speedup ratio (see
-//! EXPERIMENTS.md for how to regenerate it).
+//! workspace root (see EXPERIMENTS.md for the schema and how to
+//! regenerate it).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use chunks_bench::chunk_of;
-use chunks_core::chunk::ChunkHeader;
+use chunks_bench::{chunk_of, chunk_of_elements};
+use chunks_core::chunk::{Chunk, ChunkHeader};
 use chunks_core::frag::split_to_fit;
 use chunks_core::wire::WIRE_HEADER_LEN;
+use chunks_gf::{fold_symbols_with, Backend, Gf32, BATCH_WIDTHS, DEFAULT_CLMUL_WIDTH};
 use chunks_wsc::{InvariantLayout, TpduInvariant, Wsc2};
-use criterion::{criterion_group, BenchResult, BenchmarkId, Criterion, Throughput};
+use criterion::{BenchResult, Criterion, Throughput};
 
 /// Replica of the seed `TpduInvariant::absorb_chunk`: per-element one-shot
 /// `Wsc2` absorption through the bit-serial reference path, recomputing
@@ -57,45 +73,107 @@ fn absorb_chunk_ref(
     }
 }
 
-fn bench_invariant(c: &mut Criterion) {
-    let mut g = c.benchmark_group("invariant");
-    let whole = chunk_of(8192);
+/// Which backend produced a row and at what batch width — recorded beside
+/// each measurement so `BENCH_wsc.json` rows are comparable across hosts.
+struct RowTag {
+    id: String,
+    backend: &'static str,
+    batch: usize,
+}
+
+/// The backends this run sweeps. The `CHUNKS_GF_BACKEND` override is
+/// honoured through `Backend::active()`: forced to `tables` (or on a CPU
+/// without carry-less multiply) only the portable path is measured.
+fn sweep_backends() -> Vec<Backend> {
+    match Backend::active() {
+        Backend::Tables => vec![Backend::Tables],
+        _ => Backend::supported(),
+    }
+}
+
+/// The batch width `fold_symbols` uses on `backend` (what the absorb rows
+/// ride): serial Horner on tables, the wide default on clmul.
+fn default_width(backend: Backend) -> usize {
+    match backend {
+        Backend::Clmul => DEFAULT_CLMUL_WIDTH,
+        Backend::Tables => 1,
+    }
+}
+
+/// `absorb_fragments` / `absorb_bulk`: one TPDU absorbed as `pieces`
+/// fragments through `TpduInvariant`, measured once per swept backend.
+/// The seed bit-serial replica runs as the `ref` arm on the fragments
+/// workload only — its per-symbol cost is already characterized there and
+/// by `fold/ref/w1`, so re-timing it on the 8× larger bulk payload adds
+/// minutes of bench time without information.
+fn bench_absorb(
+    c: &mut Criterion,
+    tags: &mut Vec<RowTag>,
+    function: &str,
+    whole: &Chunk,
+    with_ref: bool,
+    piece_counts: &[u32],
+) {
     let layout = InvariantLayout::default();
-    g.throughput(Throughput::Bytes(8192));
-    for pieces in [1u32, 8, 64] {
+    let bytes = whole.payload.len() as u64;
+    let mut g = c.benchmark_group("invariant");
+    g.throughput(Throughput::Bytes(bytes));
+    for &pieces in piece_counts {
         let frags = if pieces == 1 {
             vec![whole.clone()]
         } else {
-            split_to_fit(whole.clone(), WIRE_HEADER_LEN + (8192 / pieces) as usize).unwrap()
+            split_to_fit(
+                whole.clone(),
+                WIRE_HEADER_LEN + (bytes / pieces as u64) as usize,
+            )
+            .unwrap()
         };
 
-        // The two arms must agree before their timings mean anything.
-        let mut fast = TpduInvariant::new(layout).unwrap();
+        // Every arm must agree on the digest before timings mean anything.
         let mut slow = Wsc2::new();
         let mut ids = None;
         for f in &frags {
-            fast.absorb_chunk(&f.header, &f.payload).unwrap();
             absorb_chunk_ref(&mut slow, &mut ids, layout, &f.header, &f.payload);
         }
-        assert_eq!(fast.digest(), slow.digest(), "slow/fast digests diverged");
-
-        g.bench_with_input(
-            BenchmarkId::new("absorb_fragments", pieces),
-            &frags,
-            |b, frags| {
-                b.iter(|| {
-                    let mut inv = TpduInvariant::with_default_layout();
-                    for f in frags {
-                        inv.absorb_chunk(&f.header, &f.payload).unwrap();
-                    }
-                    inv.digest()
-                })
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("absorb_fragments_ref", pieces),
-            &frags,
-            |b, frags| {
+        let oracle = slow.digest();
+        for backend in sweep_backends() {
+            Backend::force(Some(backend));
+            let mut fast = TpduInvariant::new(layout).unwrap();
+            for f in &frags {
+                fast.absorb_chunk(&f.header, &f.payload).unwrap();
+            }
+            assert_eq!(
+                fast.digest(),
+                oracle,
+                "{backend:?} digest diverged from the seed oracle"
+            );
+            tags.push(RowTag {
+                id: format!("invariant/{function}/{}/{pieces}", backend.name()),
+                backend: backend.name(),
+                batch: default_width(backend),
+            });
+            g.bench_with_input(
+                format!("{function}/{}/{pieces}", backend.name()),
+                &frags,
+                |b, frags| {
+                    b.iter(|| {
+                        let mut inv = TpduInvariant::with_default_layout();
+                        for f in frags {
+                            inv.absorb_chunk(&f.header, &f.payload).unwrap();
+                        }
+                        inv.digest()
+                    })
+                },
+            );
+            Backend::force(None);
+        }
+        if with_ref {
+            tags.push(RowTag {
+                id: format!("invariant/{function}_ref/{pieces}"),
+                backend: "ref",
+                batch: 1,
+            });
+            g.bench_with_input(format!("{function}_ref/{pieces}"), &frags, |b, frags| {
                 b.iter(|| {
                     let mut wsc = Wsc2::new();
                     let mut ids = None;
@@ -104,68 +182,164 @@ fn bench_invariant(c: &mut Criterion) {
                     }
                     wsc.digest()
                 })
-            },
-        );
+            });
+        }
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_invariant);
+/// `fold`: the raw batched-Horner kernel over 16384 symbols, swept across
+/// every backend × batch width, plus the seed per-symbol accumulation.
+fn bench_fold(c: &mut Criterion, tags: &mut Vec<RowTag>) {
+    const SYMS: usize = 16384;
+    let data: Vec<u32> = (0..SYMS as u32)
+        .map(|i| i.wrapping_mul(0x9E37_79B9) ^ 0xA5A5_5A5A)
+        .collect();
+
+    // Reference value all arms must reproduce.
+    let mut ref_p0 = Gf32::ZERO;
+    let mut ref_h = Gf32::ZERO;
+    for (i, &d) in data.iter().enumerate() {
+        let d = Gf32::new(d);
+        ref_p0 += d;
+        ref_h += Gf32::alpha_pow_ref(i as u64).mul_ref(d);
+    }
+
+    let mut g = c.benchmark_group("fold");
+    g.throughput(Throughput::Bytes((SYMS * 4) as u64));
+    for backend in sweep_backends() {
+        for &width in &BATCH_WIDTHS {
+            assert_eq!(
+                fold_symbols_with(backend, width, &data),
+                (ref_p0, ref_h),
+                "{backend:?} w{width} diverged from the seed oracle"
+            );
+            tags.push(RowTag {
+                id: format!("fold/{}/w{width}", backend.name()),
+                backend: backend.name(),
+                batch: width,
+            });
+            g.bench_with_input(format!("{}/w{width}", backend.name()), &data, |b, data| {
+                b.iter(|| fold_symbols_with(backend, width, data))
+            });
+        }
+    }
+    tags.push(RowTag {
+        id: "fold/ref/w1".into(),
+        backend: "ref",
+        batch: 1,
+    });
+    g.bench_with_input("ref/w1", &data, |b, data| {
+        b.iter(|| {
+            let mut p0 = Gf32::ZERO;
+            let mut h = Gf32::ZERO;
+            for (i, &d) in data.iter().enumerate() {
+                let d = Gf32::new(d);
+                p0 += d;
+                h += Gf32::alpha_pow_ref(i as u64).mul_ref(d);
+            }
+            (p0, h)
+        })
+    });
+    g.finish();
+}
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Writes `BENCH_wsc.json` at the workspace root from the measured results.
-/// The source revision in the meta block comes from the `CHUNKS_DESCRIBE`
-/// environment variable (the justfile passes `git describe`); the bench
-/// itself never shells out.
-fn write_snapshot(results: &[BenchResult]) -> std::io::Result<PathBuf> {
+/// `{:.1}` for a present median, `null` when the arm was not measured
+/// (e.g. clmul rows on a table-only run).
+fn num_or_null(v: Option<f64>) -> String {
+    v.map(|v| format!("{v:.1}"))
+        .unwrap_or_else(|| "null".into())
+}
+
+/// `{:.2}` ratio when both arms were measured, else `null`.
+fn ratio_or_null(num: Option<f64>, den: Option<f64>) -> String {
+    match (num, den) {
+        (Some(n), Some(d)) => format!("{:.2}", n / d),
+        _ => "null".into(),
+    }
+}
+
+/// Writes `BENCH_wsc.json` at the workspace root from the measured
+/// results. Every row carries `backend` and `batch` beside the timings
+/// (schema pinned by `tests/bench_schema.rs`); the `summary` section pairs
+/// the arms per workload. The source revision in the meta block comes from
+/// the `CHUNKS_DESCRIBE` environment variable (the justfile passes
+/// `git describe`); the bench itself never shells out.
+fn write_snapshot(results: &[BenchResult], tags: &[RowTag]) -> std::io::Result<PathBuf> {
     let describe = std::env::var("CHUNKS_DESCRIBE").unwrap_or_else(|_| "unknown".into());
+    let tag_of = |id: &str| tags.iter().find(|t| t.id == id);
+    let median = |id: &str| results.iter().find(|r| r.id == id).map(|r| r.median_ns);
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(
         out,
-        "  \"meta\": {{\"bench\": \"wsc-tpdu-invariant\", \"regenerate\": \"cargo bench -p chunks-bench --bench invariant (or: just bench-wsc)\", \"describe\": \"{}\"}},",
+        "  \"meta\": {{\"bench\": \"wsc-tpdu-invariant\", \"regenerate\": \"just bench-wsc (both backend configurations: just bench-wsc-all)\", \"describe\": \"{}\"}},",
         json_escape(&describe)
     );
     out.push_str(
-        "  \"workload\": \"8192-byte TPDU of 1-byte elements, absorbed as N fragments\",\n",
+        "  \"workload\": \"absorb_fragments: 8192-byte TPDU of 1-byte elements as N fragments; absorb_bulk: 65536-byte TPDU of 1024-byte elements as N fragments; fold: 16384-symbol (Σ d_i, Σ α^i·d_i) kernel\",\n",
     );
     out.push_str("  \"results\": [\n");
     for (k, r) in results.iter().enumerate() {
         let sep = if k + 1 == results.len() { "" } else { "," };
-        let rate = r
-            .mib_per_s()
-            .map(|v| format!("{v:.1}"))
-            .unwrap_or_else(|| "null".into());
+        let (backend, batch) = tag_of(&r.id)
+            .map(|t| (t.backend, t.batch))
+            .unwrap_or(("ref", 1));
         let _ = writeln!(
             out,
-            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"mib_per_s\": {}}}{}",
+            "    {{\"id\": \"{}\", \"backend\": \"{}\", \"batch\": {}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"mib_per_s\": {}}}{}",
             json_escape(&r.id),
+            backend,
+            batch,
             r.median_ns,
             r.mean_ns,
-            rate,
+            num_or_null(r.mib_per_s()),
             sep
         );
     }
     out.push_str("  ],\n");
 
-    // Pair fast/slow arms by fragment count and record the speedup.
-    let median = |id: &str| results.iter().find(|r| r.id == id).map(|r| r.median_ns);
-    out.push_str("  \"speedup\": [\n");
-    let counts = [1u32, 8, 64];
-    for (k, pieces) in counts.iter().enumerate() {
-        let sep = if k + 1 == counts.len() { "" } else { "," };
-        let fast = median(&format!("invariant/absorb_fragments/{pieces}")).unwrap_or(f64::NAN);
-        let slow = median(&format!("invariant/absorb_fragments_ref/{pieces}")).unwrap_or(f64::NAN);
+    // Pair the arms per workload: seed bit-serial baseline, portable table
+    // path, hardware clmul path, plus the payload rate of the clmul arm.
+    out.push_str("  \"summary\": [\n");
+    let workloads: Vec<(String, u64, Option<String>)> = [1u32, 8, 64]
+        .iter()
+        .map(|n| {
+            (
+                format!("absorb_fragments/{n}"),
+                8192,
+                Some(format!("invariant/absorb_fragments_ref/{n}")),
+            )
+        })
+        .chain(
+            [1u32, 16]
+                .iter()
+                .map(|n| (format!("absorb_bulk/{n}"), 65536, None)),
+        )
+        .collect();
+    for (k, (w, bytes, ref_id)) in workloads.iter().enumerate() {
+        let sep = if k + 1 == workloads.len() { "" } else { "," };
+        let arm = |backend: &str| {
+            let (f, n) = w.split_once('/').unwrap();
+            median(&format!("invariant/{f}/{backend}/{n}"))
+        };
+        let (tables, clmul) = (arm("tables"), arm("clmul"));
+        let seed = ref_id.as_deref().and_then(median);
+        let gib = clmul.map(|ns| *bytes as f64 / (1u64 << 30) as f64 / (ns / 1e9));
         let _ = writeln!(
             out,
-            "    {{\"fragments\": {}, \"seed_ref_ns\": {:.1}, \"streaming_ns\": {:.1}, \"ratio\": {:.2}}}{}",
-            pieces,
-            slow,
-            fast,
-            slow / fast,
+            "    {{\"workload\": \"{}\", \"seed_ref_ns\": {}, \"tables_ns\": {}, \"clmul_ns\": {}, \"clmul_vs_ref\": {}, \"clmul_vs_tables\": {}, \"clmul_gib_per_s\": {}}}{}",
+            w,
+            num_or_null(seed),
+            num_or_null(tables),
+            num_or_null(clmul),
+            ratio_or_null(seed, clmul),
+            ratio_or_null(tables, clmul),
+            gib.map(|g| format!("{g:.2}")).unwrap_or_else(|| "null".into()),
             sep
         );
     }
@@ -182,22 +356,27 @@ fn write_snapshot(results: &[BenchResult]) -> std::io::Result<PathBuf> {
 
 fn main() {
     let mut c = Criterion::default();
-    benches(&mut c);
+    let mut tags = Vec::new();
+    bench_absorb(
+        &mut c,
+        &mut tags,
+        "absorb_fragments",
+        &chunk_of(8192),
+        true,
+        &[1, 8, 64],
+    );
+    bench_absorb(
+        &mut c,
+        &mut tags,
+        "absorb_bulk",
+        &chunk_of_elements(1024, 64),
+        false,
+        &[1, 16],
+    );
+    bench_fold(&mut c, &mut tags);
     let results = c.take_results();
-    match write_snapshot(&results) {
+    match write_snapshot(&results, &tags) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write BENCH_wsc.json: {e}"),
-    }
-    for pieces in [1u32, 8, 64] {
-        let find = |id: String| results.iter().find(|r| r.id == id).map(|r| r.median_ns);
-        if let (Some(fast), Some(slow)) = (
-            find(format!("invariant/absorb_fragments/{pieces}")),
-            find(format!("invariant/absorb_fragments_ref/{pieces}")),
-        ) {
-            println!(
-                "speedup {pieces:>2} fragments: {:.2}x (seed {slow:.0} ns -> streaming {fast:.0} ns)",
-                slow / fast
-            );
-        }
     }
 }

@@ -27,6 +27,27 @@ pub fn chunk_of(len: u32) -> Chunk {
     .unwrap()
 }
 
+/// A data chunk of `len` elements of `size` bytes each, deterministic
+/// payload. `chunk_of(n)` is the 1-byte-element special case; this builder
+/// exists for workloads where SIZE is a whole number of 32-bit symbols, so
+/// the invariant's contiguous (un-padded) absorption path is exercised.
+pub fn chunk_of_elements(size: u16, len: u32) -> Chunk {
+    let payload: Vec<u8> = (0..size as usize * len as usize)
+        .map(|i| (i * 31 + 7) as u8)
+        .collect();
+    Chunk::new(
+        ChunkHeader::data(
+            size,
+            len,
+            FramingTuple::new(0xA, 1000, false),
+            FramingTuple::new(0x51, 0, true),
+            FramingTuple::new(0xC, 500, false),
+        ),
+        Bytes::from(payload),
+    )
+    .unwrap()
+}
+
 /// Deterministic pseudo-random byte buffer.
 pub fn buffer(len: usize) -> Vec<u8> {
     (0..len).map(|i| (i * 37 + 11) as u8).collect()

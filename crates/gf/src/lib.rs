@@ -20,27 +20,43 @@
 //! inverse — this is what makes the WSC-2 parities *incrementally updatable
 //! and order-independent*: symbols can be absorbed or removed in any order.
 //!
-//! # Fast path vs. reference path
+//! # Backends: reference, tables, hardware carry-less multiply
 //!
-//! Every operation exists in two bit-identical implementations:
+//! Every operation exists in bit-identical implementations:
 //!
 //! * the **reference path** ([`Gf32::mul_ref`], [`Gf32::alpha_pow_ref`]) —
 //!   windowed shift-and-XOR multiply and square-and-multiply
 //!   exponentiation, dependency-free and `const`-friendly; the oracle the
 //!   property tests and benchmarks compare against;
-//! * the **table-driven fast path** ([`Gf32::mul_fast`],
+//! * the **table-driven path** ([`Gf32::mul_fast`],
 //!   [`Gf32::alpha_pow`]; see `tables.rs` internals) — 8-bit windowed
 //!   carry-less multiply tables, byte-wise reduction tables and cached
-//!   powers of `alpha`, built once behind a `OnceLock`.
+//!   powers of `alpha`, built once behind a `OnceLock`; the portable
+//!   production fallback;
+//! * the **clmul path** ([`Gf32::mul_clmul`]; see `clmul.rs`) — hardware
+//!   carry-less multiply (`PCLMULQDQ` on x86_64, `PMULL` on aarch64) with
+//!   Barrett reduction, plus the wide-lane batched Horner kernel behind
+//!   [`fold_symbols`].
 //!
 //! The operator impls (`*`, `/`) and everything layered above (WSC-2, the
-//! TPDU invariant, the transport receiver) use the fast path.
+//! TPDU invariant, the transport receiver) dispatch through
+//! [`Backend::active`], decided once at first use from CPU feature
+//! detection and the `CHUNKS_GF_BACKEND` environment variable (see
+//! [`backend`]).
 
 #![deny(missing_docs)]
 
+pub mod backend;
+mod clmul;
+mod fold;
 mod poly;
 mod tables;
 
+pub use backend::Backend;
+pub use fold::{
+    fold_be_bytes, fold_be_bytes_with, fold_symbols, fold_symbols_with, BATCH_WIDTHS,
+    DEFAULT_CLMUL_WIDTH,
+};
 pub use poly::{clmul32, reduce64, MODULUS, POLY_LOW};
 
 use std::fmt;
@@ -105,7 +121,8 @@ impl Gf32 {
         self.0 == 0
     }
 
-    /// Field multiplication (table-driven fast path).
+    /// Field multiplication on the active [`Backend`]: hardware carry-less
+    /// multiply where the CPU has it, the table-driven path otherwise.
     ///
     /// ```
     /// use chunks_gf::Gf32;
@@ -116,7 +133,10 @@ impl Gf32 {
     /// ```
     #[inline]
     pub fn gf_mul(self, rhs: Gf32) -> Gf32 {
-        self.mul_fast(rhs)
+        match Backend::active() {
+            Backend::Clmul => self.mul_clmul(rhs),
+            Backend::Tables => self.mul_fast(rhs),
+        }
     }
 
     /// Reference multiplication: 4-bit windowed carry-less product reduced
@@ -137,6 +157,23 @@ impl Gf32 {
     #[inline]
     pub fn mul_fast(self, rhs: Gf32) -> Gf32 {
         Gf32(tables::mul_tables(self.0, rhs.0))
+    }
+
+    /// Hardware carry-less multiplication (`PCLMULQDQ`/`PMULL`) with
+    /// Barrett reduction: three `clmul` instructions, no memory traffic.
+    /// Bit-identical to [`Self::mul_ref`]; on CPUs without the
+    /// instruction it silently computes via [`Self::mul_fast`] instead,
+    /// so the call is safe everywhere.
+    ///
+    /// ```
+    /// use chunks_gf::Gf32;
+    /// let a = Gf32::new(0xDEAD_BEEF);
+    /// let b = Gf32::new(0x0BAD_F00D);
+    /// assert_eq!(a.mul_clmul(b), a.mul_ref(b));
+    /// ```
+    #[inline]
+    pub fn mul_clmul(self, rhs: Gf32) -> Gf32 {
+        Gf32(clmul::mul(self.0, rhs.0))
     }
 
     /// Multiplication by the generator `alpha = x`: a single shift plus a

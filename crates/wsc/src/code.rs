@@ -69,45 +69,23 @@ impl Wsc2 {
     /// `start`.
     ///
     /// Fast path: `Σ α^(start+k)·d_k = α^start · H` where the inner sum `H`
-    /// is evaluated by Horner's rule *backwards* — one `mul_alpha` (a shift
-    /// and conditional fold) per symbol, plus a single full multiplication
-    /// by `α^start` at the end.
+    /// is a batched Horner fold on the active GF(2^32) backend
+    /// ([`chunks_gf::fold_symbols`] — wide carry-less-multiply lanes where
+    /// the CPU has them, a serial shift-and-fold sweep otherwise), plus a
+    /// single full multiplication by `α^start` at the end.
     pub fn add_symbols(&mut self, start: u64, data: &[u32]) {
         debug_assert!(start + data.len() as u64 <= MAX_SYMBOLS);
-        let mut p0 = Gf32::ZERO;
-        let mut horner = Gf32::ZERO;
-        for &d in data.iter().rev() {
-            let d = Gf32::new(d);
-            horner = horner.mul_alpha() + d;
-            p0 += d;
-        }
+        let (p0, horner) = chunks_gf::fold_symbols(data);
         self.p0 += p0;
         self.p1 += Gf32::alpha_pow(start) * horner;
     }
 
     /// Absorbs raw bytes as big-endian 32-bit symbols at consecutive
     /// positions starting at `start`; a trailing partial symbol is
-    /// zero-padded on the right. Same Horner fast path as
-    /// [`Self::add_symbols`].
+    /// zero-padded on the right. Same batched fold as
+    /// [`Self::add_symbols`], via [`chunks_gf::fold_be_bytes`].
     pub fn add_bytes(&mut self, start: u64, bytes: &[u8]) {
-        let mut p0 = Gf32::ZERO;
-        let mut horner = Gf32::ZERO;
-        let mut iter = bytes.chunks_exact(4);
-        let rem = iter.remainder();
-        // The trailing partial symbol has the highest position: fold it in
-        // first (Horner runs back to front).
-        if !rem.is_empty() {
-            let mut word = [0u8; 4];
-            word[..rem.len()].copy_from_slice(rem);
-            let d = Gf32::new(u32::from_be_bytes(word));
-            horner = d;
-            p0 += d;
-        }
-        for group in iter.by_ref().rev() {
-            let d = Gf32::new(u32::from_be_bytes([group[0], group[1], group[2], group[3]]));
-            horner = horner.mul_alpha() + d;
-            p0 += d;
-        }
+        let (p0, horner) = chunks_gf::fold_be_bytes(bytes);
         self.p0 += p0;
         self.p1 += Gf32::alpha_pow(start) * horner;
     }

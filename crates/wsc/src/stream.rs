@@ -6,10 +6,12 @@
 //! positions are usually consecutive. [`Wsc2Stream`] keeps a **cursor** (the
 //! position one past the last symbol absorbed) and a **cached weight**
 //! `alpha^cursor`, so a run that starts exactly at the cursor — the common
-//! case for in-order chunk payloads — costs one Horner sweep (a shift and
-//! conditional fold per symbol) plus a single table multiply, with *no*
-//! exponentiation at all. Disordered arrivals just reseat the cursor with one
-//! table-driven [`Gf32::alpha_pow`] and continue.
+//! case for in-order chunk payloads — costs one batched Horner fold on the
+//! active GF(2^32) backend ([`chunks_gf::fold_symbols`]: wide carry-less
+//! multiply lanes where the CPU has them, a serial shift-and-fold sweep
+//! otherwise) plus a single full multiply, with *no* exponentiation at all.
+//! Disordered arrivals just reseat the cursor with one table-driven
+//! [`Gf32::alpha_pow`] and continue.
 //!
 //! Because the parities are sums, independently accumulated streams over
 //! disjoint position sets can be [`fold`](Wsc2Stream::fold)ed into one; the
@@ -122,31 +124,51 @@ impl Wsc2Stream {
         self.advance(1);
     }
 
+    /// Seeks to `start`, adds the folded run `(p0, horner)` of `n` symbols,
+    /// and advances the cursor. The value-update core shared by every
+    /// absorption entry point.
+    #[inline]
+    fn absorb_fold(&mut self, start: u64, p0: Gf32, horner: Gf32, n: u64) {
+        let w = self.seek(start);
+        self.acc.p0 += p0;
+        self.acc.p1 += w * horner;
+        self.advance(n);
+    }
+
     /// Absorbs a run of symbols at consecutive positions starting at
-    /// `start`. Backward Horner over the run, then one multiply by the
-    /// cursor weight.
+    /// `start`. Batched Horner fold on the active GF(2^32) backend
+    /// ([`chunks_gf::fold_symbols`]), then one multiply by the cursor
+    /// weight.
     pub fn add_symbols(&mut self, start: u64, data: &[u32]) {
         if data.is_empty() {
             return;
         }
         self.runs += 1;
         debug_assert!(start + data.len() as u64 <= MAX_SYMBOLS);
-        let mut p0 = Gf32::ZERO;
-        let mut horner = Gf32::ZERO;
-        for &d in data.iter().rev() {
-            let d = Gf32::new(d);
-            horner = horner.mul_alpha() + d;
-            p0 += d;
+        let (p0, horner) = chunks_gf::fold_symbols(data);
+        self.absorb_fold(start, p0, horner, data.len() as u64);
+    }
+
+    /// Continues the run the cursor is in the middle of: absorbs `data` at
+    /// the current cursor position **without** counting a new run.
+    ///
+    /// This lets `TpduInvariant` gather one logical run (a chunk's padded
+    /// elements) into stack-sized symbol blocks and absorb them block by
+    /// block while the `runs` disorder tally still counts a single run, as
+    /// the wire input had.
+    pub(crate) fn extend_symbols(&mut self, data: &[u32]) {
+        if data.is_empty() {
+            return;
         }
-        let w = self.seek(start);
-        self.acc.p0 += p0;
-        self.acc.p1 += w * horner;
-        self.advance(data.len() as u64);
+        debug_assert!(self.cursor + data.len() as u64 <= MAX_SYMBOLS);
+        let (p0, horner) = chunks_gf::fold_symbols(data);
+        self.absorb_fold(self.cursor, p0, horner, data.len() as u64);
     }
 
     /// Absorbs raw bytes as big-endian 32-bit symbols at consecutive
     /// positions starting at `start`; a trailing partial symbol is
-    /// zero-padded on the right, exactly like [`Wsc2::add_bytes`].
+    /// zero-padded on the right, exactly like [`Wsc2::add_bytes`]. Batched
+    /// fold via [`chunks_gf::fold_be_bytes`].
     pub fn add_bytes(&mut self, start: u64, bytes: &[u8]) {
         if bytes.is_empty() {
             return;
@@ -154,26 +176,8 @@ impl Wsc2Stream {
         self.runs += 1;
         let n = Wsc2::symbols_for_bytes(bytes.len());
         debug_assert!(start + n <= MAX_SYMBOLS);
-        let mut p0 = Gf32::ZERO;
-        let mut horner = Gf32::ZERO;
-        let mut iter = bytes.chunks_exact(4);
-        let rem = iter.remainder();
-        if !rem.is_empty() {
-            let mut word = [0u8; 4];
-            word[..rem.len()].copy_from_slice(rem);
-            let d = Gf32::new(u32::from_be_bytes(word));
-            horner = d;
-            p0 += d;
-        }
-        for group in iter.by_ref().rev() {
-            let d = Gf32::new(u32::from_be_bytes([group[0], group[1], group[2], group[3]]));
-            horner = horner.mul_alpha() + d;
-            p0 += d;
-        }
-        let w = self.seek(start);
-        self.acc.p0 += p0;
-        self.acc.p1 += w * horner;
-        self.advance(n);
+        let (p0, horner) = chunks_gf::fold_be_bytes(bytes);
+        self.absorb_fold(start, p0, horner, n);
     }
 
     /// Folds in a stream accumulated over a *disjoint* set of positions

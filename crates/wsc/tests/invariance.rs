@@ -6,6 +6,7 @@ use bytes::Bytes;
 use chunks_core::chunk::{Chunk, ChunkHeader};
 use chunks_core::frag::split;
 use chunks_core::label::FramingTuple;
+use chunks_gf::Backend;
 use chunks_wsc::{InvariantLayout, TpduInvariant, Wsc2, Wsc2Stream};
 use proptest::prelude::*;
 
@@ -226,6 +227,87 @@ proptest! {
             stream.add_bytes(start, bytes);
         }
         prop_assert_eq!(stream.code(), one_shot);
+    }
+
+    #[test]
+    fn fragmented_digest_identical_on_every_backend(
+        whole in whole_tpdu(),
+        cuts in proptest::collection::vec(any::<u8>(), 0..10),
+    ) {
+        // The invariant digest of a fragmented TPDU must not depend on
+        // which GF(2^32) backend absorbed it: force each backend the CPU
+        // supports in turn, absorb the same fragments, and require the
+        // digest to match the whole-TPDU digest byte for byte.
+        let base = digest_of(std::slice::from_ref(&whole));
+        let pieces = fragment(whole, &cuts);
+        let mut digests = Vec::new();
+        for backend in Backend::supported() {
+            Backend::force(Some(backend));
+            digests.push((backend, digest_of(&pieces)));
+        }
+        Backend::force(None);
+        for (backend, d) in digests {
+            prop_assert_eq!(d, base, "backend {:?} diverged", backend);
+        }
+    }
+
+    #[test]
+    fn stream_fold_equals_batched_horner_on_every_backend(
+        data in proptest::collection::vec(any::<u8>(), 1..600),
+        cuts in proptest::collection::vec(0.01f64..0.99, 0..6),
+        seed in any::<u64>(),
+    ) {
+        // `Wsc2Stream::fold` over random fragment splits — including the
+        // disordered-runs path — equals one batched Horner pass over the
+        // whole run, under every forced backend. The reference value comes
+        // from the seed bit-serial arithmetic, so a backend that is wrong
+        // *and* self-consistent still fails.
+        let mut oracle = Wsc2::new();
+        oracle.add_bytes_ref(0, &data);
+
+        let n_sym = Wsc2::symbols_for_bytes(data.len()) as usize;
+        let mut bounds: Vec<usize> = cuts
+            .iter()
+            .map(|f| ((n_sym as f64 * f) as usize).min(n_sym))
+            .collect();
+        bounds.push(0);
+        bounds.push(n_sym);
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        let mut outcomes = Vec::new();
+        for backend in Backend::supported() {
+            Backend::force(Some(backend));
+            // One-shot batched Horner over the whole run.
+            let mut batched = Wsc2::new();
+            batched.add_bytes(0, &data);
+            // Streaming: disjoint pieces absorbed in a shuffled (usually
+            // disordered) order into independent streams, then folded.
+            let mut parts: Vec<Wsc2Stream> = bounds
+                .windows(2)
+                .map(|w| {
+                    let (lo, hi) = (w[0] * 4, (w[1] * 4).min(data.len()));
+                    let mut s = Wsc2Stream::new();
+                    s.add_bytes(w[0] as u64, &data[lo..hi]);
+                    s
+                })
+                .collect();
+            let n = parts.len();
+            for i in 0..n {
+                let j = (seed.wrapping_add((i as u64) * 2654435761) % n as u64) as usize;
+                parts.swap(i, j);
+            }
+            let mut acc = Wsc2Stream::new();
+            for p in &parts {
+                acc.fold(p);
+            }
+            outcomes.push((backend, batched, acc.finish()));
+        }
+        Backend::force(None);
+        for (backend, batched, folded) in outcomes {
+            prop_assert_eq!(batched, oracle, "batched vs oracle, backend {:?}", backend);
+            prop_assert_eq!(folded, oracle, "stream fold vs oracle, backend {:?}", backend);
+        }
     }
 }
 

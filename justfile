@@ -47,8 +47,17 @@ test-parallel:
 bench-parallel:
     cargo run --release --bin experiments parallel --describe "$(git describe --always --dirty 2>/dev/null || echo unknown)"
 
-# Regenerate the BENCH_wsc.json fast-path snapshot at the repo root.
+# Regenerate the BENCH_wsc.json backend × batch-width snapshot at the
+# repo root (sweeps every GF(2^32) backend this CPU supports).
 bench-wsc:
+    CHUNKS_DESCRIBE="$(git describe --always --dirty 2>/dev/null || echo unknown)" cargo bench -p chunks-bench --bench invariant
+
+# Run the WSC bench under both backend configurations: first with the
+# portable table fallback forced via the CHUNKS_GF_BACKEND override
+# (exactly what a CPU without carry-less multiply would measure), then
+# the full auto-detected sweep, which writes the committed snapshot.
+bench-wsc-all:
+    CHUNKS_GF_BACKEND=tables CHUNKS_DESCRIBE="$(git describe --always --dirty 2>/dev/null || echo unknown)-tables-forced" cargo bench -p chunks-bench --bench invariant
     CHUNKS_DESCRIBE="$(git describe --always --dirty 2>/dev/null || echo unknown)" cargo bench -p chunks-bench --bench invariant
 
 # Label-keyed lifecycle spans: drive one transfer through every netsim

@@ -43,6 +43,15 @@ impl Value {
         }
     }
 
+    /// The numeric payload parsed from its raw source text, if this is a
+    /// number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
     /// The elements, if this is an array.
     pub fn as_arr(&self) -> Option<&[Value]> {
         match self {
@@ -284,7 +293,10 @@ mod tests {
         let rows = v.get("rows").unwrap().as_arr().unwrap();
         assert_eq!(rows.len(), 5);
         assert_eq!(rows[1], Value::Num("-2.5".into()));
+        assert_eq!(rows[1].as_f64(), Some(-2.5));
+        assert_eq!(rows[2].as_f64(), Some(1000.0));
         assert_eq!(rows[4], Value::Null);
+        assert_eq!(rows[4].as_f64(), None);
     }
 
     #[test]

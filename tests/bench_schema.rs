@@ -61,6 +61,35 @@ fn every_bench_file_carries_nonempty_results() {
 }
 
 #[test]
+fn wsc_rows_pin_backend_and_batch_width() {
+    // The WSC snapshot is a backend × batch-width sweep: every row must say
+    // which GF(2^32) backend produced it ("tables", "clmul", or "ref" for
+    // the bit-serial oracle arm) and at what batch width, or the numbers
+    // can't be compared across machines.
+    let v = load("BENCH_wsc.json");
+    let results = v.get("results").and_then(Value::as_arr).unwrap();
+    for row in results {
+        let id = row.get("id").and_then(Value::as_str).unwrap_or("<no id>");
+        let backend = row
+            .get("backend")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("{id}: no `backend` string"));
+        assert!(
+            ["tables", "clmul", "ref"].contains(&backend),
+            "{id}: unknown backend {backend:?}"
+        );
+        let batch = row
+            .get("batch")
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("{id}: no numeric `batch` width"));
+        assert!(
+            batch >= 1.0 && batch.fract() == 0.0,
+            "{id}: batch width must be a positive integer, got {batch}"
+        );
+    }
+}
+
+#[test]
 fn lineage_rows_expose_budget_and_quantiles_for_every_delay_metric() {
     let v = load("BENCH_lineage.json");
     let results = v.get("results").and_then(Value::as_arr).unwrap();
