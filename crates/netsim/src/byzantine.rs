@@ -13,10 +13,20 @@
 //! * **label flips** — a bit of a data chunk's `T.SN`, `C.ID` or `LEN`
 //!   header field is flipped *on the wire*, after packing, producing
 //!   exactly the Table-1 corruptions (misaddressing, misdelivery, length
-//!   error) the paper's detection story is about.
+//!   error) the paper's detection story is about;
+//! * **overlap injection** — three attacks on the reassembly state machine
+//!   itself: a data chunk duplicated at a *shifted offset* (its `C.SN` and
+//!   `T.SN` advance together, so the copy lands inside its own TPDU group
+//!   overlapping already-held positions with different bytes), an
+//!   *overlapping rewrite* (identical labels, payload bits flipped — the
+//!   classic fragment-overwrite evasion), and a *tiny-fragment flood*
+//!   (bursts of single-element chunks, each opening a far-ahead group that
+//!   never completes, to exhaust reassembly memory).
 //!
 //! All decisions come from a seeded [`StdRng`], so a soak run is exactly
-//! reproducible from its seed.
+//! reproducible from its seed. The overlap attacks draw from the RNG only
+//! when their probability is non-zero, so enabling them does not perturb
+//! the fault stream of a pre-existing configuration.
 
 use std::sync::Arc;
 
@@ -43,6 +53,22 @@ pub struct ByzantineConfig {
     pub flip_cid: f64,
     /// Probability a data chunk's `LEN` field gets one bit flipped.
     pub flip_len: f64,
+    /// Probability a data chunk is duplicated at a shifted offset: the
+    /// copy's `C.SN`, `T.SN` and `X.SN` all advance by half the chunk's
+    /// length, so it stays in its own TPDU group but overlaps the
+    /// original's positions with different bytes.
+    pub dup_shifted: f64,
+    /// Probability a data chunk is re-sent with identical labels and every
+    /// payload bit flipped — a full overlap whose bytes always differ.
+    pub rewrite_overlap: f64,
+    /// Probability a data chunk triggers a tiny-fragment flood burst.
+    pub tiny_flood: f64,
+    /// Single-element fragments per flood burst, each opening its own
+    /// never-completing TPDU group.
+    pub tiny_burst: u32,
+    /// Connection-space element where the flood starts claiming groups
+    /// (keep it inside the victim receiver's capacity).
+    pub tiny_base: u32,
 }
 
 impl ByzantineConfig {
@@ -50,6 +76,33 @@ impl ByzantineConfig {
     pub fn ack_dropper(p: f64) -> Self {
         ByzantineConfig {
             ack_drop: p,
+            ..Default::default()
+        }
+    }
+
+    /// The shifted-duplicate overlap attack alone.
+    pub fn shifted_duplicator(p: f64) -> Self {
+        ByzantineConfig {
+            dup_shifted: p,
+            ..Default::default()
+        }
+    }
+
+    /// The overlapping-rewrite attack alone.
+    pub fn rewriter(p: f64) -> Self {
+        ByzantineConfig {
+            rewrite_overlap: p,
+            ..Default::default()
+        }
+    }
+
+    /// The tiny-fragment flood alone: each firing emits `burst`
+    /// single-element fragments claiming groups from `base` upward.
+    pub fn tiny_flooder(p: f64, burst: u32, base: u32) -> Self {
+        ByzantineConfig {
+            tiny_flood: p,
+            tiny_burst: burst,
+            tiny_base: base,
             ..Default::default()
         }
     }
@@ -68,6 +121,12 @@ pub struct ByzantineStats {
     pub cid_flips: u64,
     /// `LEN` fields flipped.
     pub len_flips: u64,
+    /// Shifted-offset duplicates injected.
+    pub shifted_dups: u64,
+    /// Overlapping rewrites injected.
+    pub rewrites: u64,
+    /// Tiny fragments injected by flood bursts.
+    pub tiny_fragments: u64,
     /// Frames that did not parse as chunk packets (passed through intact).
     pub unparsed: u64,
 }
@@ -75,7 +134,14 @@ pub struct ByzantineStats {
 impl ByzantineStats {
     /// Total mutations of any kind.
     pub fn total(&self) -> u64 {
-        self.acks_dropped + self.eds_duplicated + self.tsn_flips + self.cid_flips + self.len_flips
+        self.acks_dropped
+            + self.eds_duplicated
+            + self.tsn_flips
+            + self.cid_flips
+            + self.len_flips
+            + self.shifted_dups
+            + self.rewrites
+            + self.tiny_fragments
     }
 }
 
@@ -90,6 +156,10 @@ pub struct ByzantineRouter {
     obs_on: bool,
     /// Virtual time of the frame being mutated (set by `ingest_at`).
     now: u64,
+    /// Next connection-space element the tiny-fragment flood will claim
+    /// (starts at `cfg.tiny_base`, strides by 2 so every fragment opens its
+    /// own incomplete group).
+    tiny_next: u32,
 }
 
 // Wire offsets inside a 32-byte chunk header (see `chunks_core::wire`).
@@ -103,6 +173,7 @@ impl ByzantineRouter {
     /// Creates a router with a deterministic mutation stream.
     pub fn new(cfg: ByzantineConfig, seed: u64) -> Self {
         ByzantineRouter {
+            tiny_next: cfg.tiny_base,
             cfg,
             rng: StdRng::seed_from_u64(seed),
             stats: ByzantineStats::default(),
@@ -130,6 +201,61 @@ impl ByzantineRouter {
         let id = SpanId::new(labels, Stage::Mutate);
         self.obs.span_open(self.now, id);
         self.obs.span_close(self.now, id);
+    }
+
+    /// The chunk-level overlap attacks: returns the injected chunks that
+    /// should travel right behind `c`. Each attack draws from the RNG only
+    /// when its probability is non-zero, so a configuration without overlap
+    /// attacks keeps its exact historical fault stream.
+    fn overlap_attacks(&mut self, c: &chunks_core::chunk::Chunk) -> Vec<chunks_core::chunk::Chunk> {
+        let mut evil = Vec::new();
+        if self.cfg.dup_shifted > 0.0 && self.rng.random::<f64>() < self.cfg.dup_shifted {
+            // Advance C.SN, T.SN and X.SN together: the group key
+            // (C.SN − T.SN) is unchanged, so the copy overlaps its own
+            // group's held positions with bytes from the wrong offset.
+            let shift = (c.header.len / 2).max(1);
+            let mut dup = c.clone();
+            dup.header.conn.sn = dup.header.conn.sn.wrapping_add(shift);
+            dup.header.tpdu.sn = dup.header.tpdu.sn.wrapping_add(shift);
+            dup.header.ext.sn = dup.header.ext.sn.wrapping_add(shift);
+            self.stats.shifted_dups += 1;
+            evil.push(dup);
+        }
+        if self.cfg.rewrite_overlap > 0.0 && self.rng.random::<f64>() < self.cfg.rewrite_overlap {
+            // Same labels, complemented payload: a full overlap whose
+            // bytes always differ from what the receiver holds.
+            let mut dup = c.clone();
+            let mut raw = dup.payload.to_vec();
+            for b in &mut raw {
+                *b = !*b;
+            }
+            dup.payload = raw.into();
+            self.stats.rewrites += 1;
+            evil.push(dup);
+        }
+        if self.cfg.tiny_flood > 0.0 && self.rng.random::<f64>() < self.cfg.tiny_flood {
+            use chunks_core::chunk::{Chunk, ChunkHeader};
+            use chunks_core::label::FramingTuple;
+            for _ in 0..self.cfg.tiny_burst {
+                let sn = self.tiny_next;
+                // Stride 2: a one-element claim then a hole, so every
+                // fragment opens its own group and none ever completes.
+                self.tiny_next = self.tiny_next.wrapping_add(2);
+                let header = ChunkHeader::data(
+                    c.header.size,
+                    1,
+                    FramingTuple::new(c.header.conn.id, sn, false),
+                    FramingTuple::new(c.header.tpdu.id, 0, false),
+                    FramingTuple::new(c.header.ext.id, sn, false),
+                );
+                let payload = vec![0x5Au8; c.header.size as usize];
+                if let Ok(frag) = Chunk::new(header, payload.into()) {
+                    self.stats.tiny_fragments += 1;
+                    evil.push(frag);
+                }
+            }
+        }
+        evil
     }
 
     /// Flips one random bit in the 4-byte field at `at` of `frame`.
@@ -205,6 +331,11 @@ impl PacketTransform for ByzantineRouter {
                     self.stats.eds_duplicated += 1;
                     keep.push(c.clone());
                     keep.push(c);
+                }
+                ChunkType::Data => {
+                    let evil = self.overlap_attacks(&c);
+                    keep.push(c);
+                    keep.extend(evil);
                 }
                 _ => keep.push(c),
             }
@@ -377,6 +508,75 @@ mod tests {
     }
 
     #[test]
+    fn shifted_duplicate_keeps_the_group_key() {
+        let mut r = ByzantineRouter::new(ByzantineConfig::shifted_duplicator(1.0), 6);
+        let out = r.ingest(one_frame(vec![data_chunk(16, 4, &[9; 8])]));
+        assert_eq!(r.stats.shifted_dups, 1);
+        let chunks: Vec<Chunk> = out
+            .iter()
+            .flat_map(|f| {
+                unpack(&Packet {
+                    bytes: f.clone().into(),
+                })
+                .unwrap()
+            })
+            .collect();
+        assert_eq!(chunks.len(), 2);
+        let (orig, dup) = (&chunks[0], &chunks[1]);
+        // Same group: C.SN − T.SN is preserved; the copy sits at a shifted
+        // offset inside it, overlapping [20, 24) of the original's [16, 24).
+        assert_eq!(
+            orig.header.conn.sn - orig.header.tpdu.sn,
+            dup.header.conn.sn - dup.header.tpdu.sn
+        );
+        assert_eq!(dup.header.conn.sn, 20);
+        assert_eq!(dup.payload, orig.payload);
+    }
+
+    #[test]
+    fn rewrite_overlap_flips_every_payload_bit() {
+        let mut r = ByzantineRouter::new(ByzantineConfig::rewriter(1.0), 7);
+        let out = r.ingest(one_frame(vec![data_chunk(0, 0, &[0xA5; 8])]));
+        assert_eq!(r.stats.rewrites, 1);
+        let chunks: Vec<Chunk> = out
+            .iter()
+            .flat_map(|f| {
+                unpack(&Packet {
+                    bytes: f.clone().into(),
+                })
+                .unwrap()
+            })
+            .collect();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].header, chunks[1].header, "labels identical");
+        assert!(chunks[1].payload.iter().all(|&b| b == 0x5A));
+    }
+
+    #[test]
+    fn tiny_flood_opens_disjoint_far_ahead_groups() {
+        let mut r = ByzantineRouter::new(ByzantineConfig::tiny_flooder(1.0, 4, 1000), 8);
+        let frames: Vec<Vec<u8>> = (0..2)
+            .flat_map(|i| r.ingest(one_frame(vec![data_chunk(i * 8, 0, &[1; 8])])))
+            .collect();
+        assert_eq!(r.stats.tiny_fragments, 8);
+        let frags: Vec<Chunk> = frames
+            .iter()
+            .flat_map(|f| {
+                unpack(&Packet {
+                    bytes: f.clone().into(),
+                })
+                .unwrap()
+            })
+            .filter(|c| c.header.len == 1)
+            .collect();
+        assert_eq!(frags.len(), 8);
+        // Consecutive bursts keep striding: all group starts distinct.
+        let sns: Vec<u32> = frags.iter().map(|c| c.header.conn.sn).collect();
+        assert_eq!(sns, (0..8u32).map(|i| 1000 + 2 * i).collect::<Vec<_>>());
+        assert!(frags.iter().all(|c| c.header.tpdu.sn == 0));
+    }
+
+    #[test]
     fn deterministic_under_seed() {
         let cfg = ByzantineConfig {
             ack_drop: 0.5,
@@ -384,6 +584,11 @@ mod tests {
             flip_tsn: 0.3,
             flip_cid: 0.3,
             flip_len: 0.3,
+            dup_shifted: 0.3,
+            rewrite_overlap: 0.3,
+            tiny_flood: 0.2,
+            tiny_burst: 2,
+            tiny_base: 4000,
         };
         let run = |seed| {
             let mut r = ByzantineRouter::new(cfg, seed);

@@ -123,6 +123,21 @@ pub const CATALOGUE: &[Spec] = &[
         "closed verify spans: group first-arrival to its WSC-2 verdict",
     ),
     counter(
+        "transport.budget.evictions",
+        "groups",
+        "Receiver evicted an idle incomplete group (LRU by virtual clock) under budget pressure",
+    ),
+    histogram(
+        "transport.budget.held_bytes",
+        "bytes",
+        "budget occupancy: held + staged bytes after each arrival while a budget is set",
+    ),
+    counter(
+        "transport.budget.shed_bytes",
+        "bytes",
+        "payload bytes the receiver shed because the resource budget was exhausted",
+    ),
+    counter(
         "transport.parallel.bad_packets",
         "packets",
         "ParallelReceiver::ingest refused a packet the span scan rejected",
@@ -218,6 +233,11 @@ pub const CATALOGUE: &[Spec] = &[
         "virtual time chunks spent staged before in-order release (reorder mode)",
     ),
     counter(
+        "transport.rx.overlap_conflicts",
+        "conflicts",
+        "Receiver saw a fragment overlap already-held positions with differing bytes",
+    ),
+    counter(
         "transport.rx.tpdus_delivered",
         "tpdus",
         "Receiver::try_complete delivered a TPDU whose WSC-2 invariant verified",
@@ -241,6 +261,11 @@ pub const CATALOGUE: &[Spec] = &[
         "transport.session.packets_emitted",
         "packets",
         "packets Session::emit handed to the network this pump",
+    ),
+    counter(
+        "transport.session.pressure_deferrals",
+        "deferrals",
+        "Session::emit deferred a repair pass or due timer on peer budget back-pressure",
     ),
     counter(
         "transport.session.pumps",

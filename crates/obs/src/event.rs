@@ -105,6 +105,33 @@ pub enum Event {
         /// Index of the chosen path.
         path: u32,
     },
+    /// A fragment overlapped already-held positions and the bytes differ —
+    /// the attacker-visible ambiguity an overlap policy resolves.
+    OverlapConflict {
+        /// Labels of the *arriving* chunk (the challenger).
+        labels: Labels,
+        /// Stable name of the policy that resolved the conflict
+        /// (`"reject"`, `"first-wins"`, `"last-wins"`).
+        policy: &'static str,
+        /// First conflicting byte (connection-space offset).
+        start: u32,
+        /// Conflicting bytes.
+        bytes: u32,
+        /// `T.SN` start of the group currently owning the bytes (equals the
+        /// challenger's group for a within-group overlap).
+        owner: u32,
+    },
+    /// Budget pressure evicted an idle, incomplete TPDU group.
+    GroupEvicted {
+        /// Connection the evicted group belonged to.
+        conn_id: u32,
+        /// `T.SN` of the evicted group's first byte.
+        start: u32,
+        /// Held bytes released by the eviction.
+        bytes: u32,
+        /// What ran out: `"groups"`, `"bytes"` or `"fragments"`.
+        cause: &'static str,
+    },
     /// A session reached a terminal reliability verdict for a TPDU.
     VerdictReached {
         /// Connection the verdict applies to.
@@ -129,6 +156,8 @@ impl Event {
             Event::MergeFolded { .. } => "MergeFolded",
             Event::ChunkMutated { .. } => "ChunkMutated",
             Event::PathChosen { .. } => "PathChosen",
+            Event::OverlapConflict { .. } => "OverlapConflict",
+            Event::GroupEvicted { .. } => "GroupEvicted",
             Event::VerdictReached { .. } => "VerdictReached",
         }
     }
@@ -202,6 +231,30 @@ impl Event {
                 labels(out, l);
                 let _ = write!(out, ", \"path\": {path}");
             }
+            Event::OverlapConflict {
+                labels: l,
+                policy,
+                start,
+                bytes,
+                owner,
+            } => {
+                labels(out, l);
+                let _ = write!(
+                    out,
+                    ", \"policy\": \"{policy}\", \"start\": {start}, \"bytes\": {bytes}, \"owner\": {owner}"
+                );
+            }
+            Event::GroupEvicted {
+                conn_id,
+                start,
+                bytes,
+                cause,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"cid\": {conn_id}, \"start\": {start}, \"bytes\": {bytes}, \"cause\": \"{cause}\""
+                );
+            }
             Event::VerdictReached {
                 conn_id,
                 verdict,
@@ -256,6 +309,28 @@ impl Event {
                 "path pick    C.ID {} T.SN {} X.SN {} -> path {}",
                 labels.conn_id, labels.t_sn, labels.x_sn, path
             ),
+            Event::OverlapConflict {
+                labels,
+                policy,
+                start,
+                bytes,
+                owner,
+            } => format!(
+                "overlap      C.ID {} T.SN {} X.SN {} [{}, {}) vs owner {} ({})",
+                labels.conn_id,
+                labels.t_sn,
+                labels.x_sn,
+                start,
+                start + bytes,
+                owner,
+                policy
+            ),
+            Event::GroupEvicted {
+                conn_id,
+                start,
+                bytes,
+                cause,
+            } => format!("evict        C.ID {conn_id} T.SN {start} ({bytes} B, budget {cause})"),
             Event::VerdictReached {
                 conn_id,
                 verdict,

@@ -29,6 +29,10 @@ pub struct AckInfo {
     /// Starts of TPDUs whose data is complete but whose ED control chunk
     /// never arrived — the sender need only re-send the 8-byte digest.
     pub need_ed: Vec<u64>,
+    /// Back-pressure: the receiver's resource budget is near exhaustion and
+    /// repairs should be deferred, not hammered — retransmitting into a
+    /// buffer that will shed the bytes is pure livelock.
+    pub pressure: bool,
 }
 
 impl AckInfo {
@@ -55,6 +59,7 @@ impl AckInfo {
         for s in &self.need_ed {
             out.extend_from_slice(&s.to_be_bytes());
         }
+        out.push(self.pressure as u8);
         out
     }
 
@@ -87,7 +92,7 @@ impl AckInfo {
             })
             .collect();
         let e = u16::from_be_bytes(buf[ed_at..ed_at + 2].try_into().ok()?) as usize;
-        if buf.len() != ed_at + 2 + e * 8 {
+        if buf.len() != ed_at + 2 + e * 8 + 1 {
             return None;
         }
         let need_ed = (0..e)
@@ -96,11 +101,17 @@ impl AckInfo {
                 u64::from_be_bytes(buf[at..at + 8].try_into().unwrap())
             })
             .collect();
+        let pressure = match buf[ed_at + 2 + e * 8] {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
         Some(AckInfo {
             cumulative,
             sacks,
             gaps,
             need_ed,
+            pressure,
         })
     }
 
@@ -142,6 +153,7 @@ mod tests {
                 sacks: vec![2048, 4096, 1 << 40],
                 gaps: vec![(1500, 1600), (3000, 3001)],
                 need_ed: vec![4096],
+                pressure: true,
             },
         ] {
             assert_eq!(AckInfo::decode(&ack.encode()), Some(ack.clone()));
@@ -157,10 +169,15 @@ mod tests {
             sacks: vec![10],
             gaps: vec![(20, 30)],
             need_ed: vec![40],
+            pressure: false,
         };
         let buf = ack.encode();
         assert_eq!(AckInfo::decode(&buf[..buf.len() - 1]), None);
         assert_eq!(AckInfo::decode(&buf[..4]), None);
+        // The pressure byte is strictly 0 or 1.
+        let mut junk = buf.clone();
+        *junk.last_mut().unwrap() = 7;
+        assert_eq!(AckInfo::decode(&junk), None);
     }
 
     #[test]

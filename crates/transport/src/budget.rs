@@ -1,0 +1,174 @@
+//! Resource budgets for the receive path: bounded memory under attack.
+//!
+//! The paper's receiver is correct on friendly traffic; a hostile peer can
+//! make it *unbounded* instead — a tiny-fragment flood opens TPDU groups
+//! and interval-table entries that never complete, and staged chunks in
+//! reorder/reassembly modes pin bytes forever (the Kent–Mogul reassembly
+//! lock-up, weaponised). A [`ResourceBudget`] puts explicit caps on all
+//! three axes. When a cap is hit the receiver degrades *gracefully and
+//! observably*: it first evicts the least-recently-touched idle group
+//! (LRU by virtual clock), and only sheds the arriving chunk — counted,
+//! typed, and traced — when nothing is evictable.
+//!
+//! A [`GlobalBudget`] adds a process-wide byte cap shared by every receiver
+//! of a parallel pipeline, so one connection cannot starve its siblings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Caps on what one receiver may hold. The default is unlimited — budgets
+/// are opt-in, and an unlimited budget adds no work to the hot path.
+#[derive(Clone, Debug)]
+pub struct ResourceBudget {
+    /// Maximum bytes staged in reorder/reassembly buffers at once.
+    pub max_held_bytes: u64,
+    /// Maximum TPDU groups open (arrived but neither delivered nor
+    /// condemned) at once.
+    pub max_open_groups: usize,
+    /// Maximum disjoint claimed ranges tracked at once — the interval-table
+    /// occupancy a VLSI reassembly unit would cap in hardware.
+    pub max_fragments: usize,
+    /// Optional process-wide byte budget shared with other receivers.
+    pub global: Option<Arc<GlobalBudget>>,
+}
+
+impl Default for ResourceBudget {
+    fn default() -> Self {
+        ResourceBudget {
+            max_held_bytes: u64::MAX,
+            max_open_groups: usize::MAX,
+            max_fragments: usize::MAX,
+            global: None,
+        }
+    }
+}
+
+impl ResourceBudget {
+    /// An unlimited budget (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// A budget with per-connection caps and no global pool.
+    pub fn with_caps(max_held_bytes: u64, max_open_groups: usize, max_fragments: usize) -> Self {
+        ResourceBudget {
+            max_held_bytes,
+            max_open_groups,
+            max_fragments,
+            global: None,
+        }
+    }
+
+    /// Attaches a shared global byte pool.
+    pub fn with_global(mut self, global: Arc<GlobalBudget>) -> Self {
+        self.global = Some(global);
+        self
+    }
+
+    /// True when any cap is actually finite — the one branch the unbudgeted
+    /// hot path pays.
+    pub fn is_limited(&self) -> bool {
+        self.max_held_bytes != u64::MAX
+            || self.max_open_groups != usize::MAX
+            || self.max_fragments != usize::MAX
+            || self.global.is_some()
+    }
+
+    /// True when staging `more` bytes on top of `held` would exceed the
+    /// per-connection or global byte cap.
+    pub fn bytes_exceeded(&self, held: u64, more: u64) -> bool {
+        if held.saturating_add(more) > self.max_held_bytes {
+            return true;
+        }
+        match &self.global {
+            Some(g) => g.held_bytes().saturating_add(more) > g.cap_bytes(),
+            None => false,
+        }
+    }
+}
+
+/// A process-wide staged-byte pool shared by many receivers (one per
+/// worker shard in the parallel pipeline). Atomic and advisory: admission
+/// checks read it, staging adds, releasing subtracts — a soft cap that
+/// bounds aggregate memory without a lock on the hot path.
+#[derive(Debug, Default)]
+pub struct GlobalBudget {
+    held: AtomicU64,
+    cap: u64,
+}
+
+impl GlobalBudget {
+    /// Creates a pool capped at `cap_bytes`.
+    pub fn new(cap_bytes: u64) -> Arc<Self> {
+        Arc::new(GlobalBudget {
+            held: AtomicU64::new(0),
+            cap: cap_bytes,
+        })
+    }
+
+    /// The configured cap.
+    pub fn cap_bytes(&self) -> u64 {
+        self.cap
+    }
+
+    /// Bytes currently held across all attached receivers.
+    pub fn held_bytes(&self) -> u64 {
+        self.held.load(Ordering::Relaxed)
+    }
+
+    /// Records `bytes` staged.
+    pub fn add(&self, bytes: u64) {
+        self.held.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records `bytes` released.
+    pub fn sub(&self, bytes: u64) {
+        let mut cur = self.held.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self
+                .held
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_unlimited() {
+        let b = ResourceBudget::default();
+        assert!(!b.is_limited());
+        assert!(!b.bytes_exceeded(u64::MAX - 1, 1));
+    }
+
+    #[test]
+    fn caps_trip_exactly_at_the_boundary() {
+        let b = ResourceBudget::with_caps(100, 4, 8);
+        assert!(b.is_limited());
+        assert!(!b.bytes_exceeded(60, 40));
+        assert!(b.bytes_exceeded(60, 41));
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_saturating() {
+        let g = GlobalBudget::new(1000);
+        let a =
+            ResourceBudget::with_caps(u64::MAX, usize::MAX, usize::MAX).with_global(Arc::clone(&g));
+        let b = ResourceBudget::default().with_global(Arc::clone(&g));
+        assert!(a.is_limited() && b.is_limited());
+        g.add(600);
+        assert!(!a.bytes_exceeded(0, 400));
+        assert!(b.bytes_exceeded(0, 401), "pool pressure is visible to both");
+        g.sub(200);
+        assert_eq!(g.held_bytes(), 400);
+        g.sub(10_000);
+        assert_eq!(g.held_bytes(), 0, "release saturates at zero");
+    }
+}

@@ -61,6 +61,7 @@
 #![deny(missing_docs)]
 
 pub mod ack;
+pub mod budget;
 pub mod conn;
 pub mod frame;
 pub mod mtu;
@@ -73,6 +74,7 @@ pub mod session;
 pub mod stream;
 
 pub use ack::AckInfo;
+pub use budget::{GlobalBudget, ResourceBudget};
 pub use conn::{ConnectionParams, Signal};
 pub use frame::{AlfFrame, Framer, Tpdu};
 pub use mtu::MtuProbe;

@@ -249,6 +249,7 @@ mod tests {
             sacks: vec![1024],
             gaps: vec![],
             need_ed: vec![],
+            pressure: false,
         };
         let mut mux = PacketMux::new(1500);
         for p in tx.packets_for_pending().unwrap() {

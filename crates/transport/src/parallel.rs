@@ -48,9 +48,11 @@ use chunks_core::label::ChunkType;
 use chunks_core::packet::{chunk_spans, Packet};
 use chunks_core::wire::{decode_chunk, decode_chunk_observed, labels_of};
 use chunks_obs::{Event, Labels, ObsSink, SpanId, Stage};
+use chunks_vreasm::OverlapPolicy;
 use chunks_wsc::{InvariantLayout, Wsc2Stream};
 
 use crate::ack::AckInfo;
+use crate::budget::ResourceBudget;
 use crate::conn::{ConnectionParams, Signal};
 use crate::receiver::{DeliveryMode, Receiver, RxEvent};
 
@@ -111,6 +113,44 @@ pub struct ConnSpec {
     pub mode: DeliveryMode,
     /// Application address space capacity, in elements.
     pub capacity_elements: u64,
+    /// What the connection's receiver does when a fragment overlaps
+    /// already-held positions with differing bytes.
+    pub policy: OverlapPolicy,
+    /// Memory budget for the connection's receiver. Give every spec a clone
+    /// of a [`ResourceBudget::with_global`] budget to cap the whole
+    /// pipeline's held bytes across workers.
+    pub budget: ResourceBudget,
+}
+
+impl ConnSpec {
+    /// Spec with the default overlap policy and an unlimited budget.
+    pub fn new(
+        params: ConnectionParams,
+        layout: InvariantLayout,
+        mode: DeliveryMode,
+        capacity_elements: u64,
+    ) -> Self {
+        ConnSpec {
+            params,
+            layout,
+            mode,
+            capacity_elements,
+            policy: OverlapPolicy::default(),
+            budget: ResourceBudget::default(),
+        }
+    }
+
+    /// Sets the overlap policy.
+    pub fn with_policy(mut self, policy: OverlapPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the resource budget.
+    pub fn with_budget(mut self, budget: ResourceBudget) -> Self {
+        self.budget = budget;
+        self
+    }
 }
 
 /// A control-plane event observed at dispatch, stamped with its global
@@ -512,6 +552,8 @@ impl ParallelReceiver {
             let conn_id = spec.params.conn_id;
             registered.push(conn_id);
             let mut rx = Receiver::new(spec.mode, spec.params, spec.layout, spec.capacity_elements);
+            rx.set_policy(spec.policy);
+            rx.set_budget(spec.budget);
             rx.set_obs(sink.clone());
             shards[shard_of(conn_id, workers)]
                 .receivers
@@ -858,12 +900,7 @@ mod tests {
     }
 
     fn spec(conn_id: u32) -> ConnSpec {
-        ConnSpec {
-            params: params(conn_id),
-            layout: layout(),
-            mode: DeliveryMode::Immediate,
-            capacity_elements: 256,
-        }
+        ConnSpec::new(params(conn_id), layout(), DeliveryMode::Immediate, 256)
     }
 
     fn sender(conn_id: u32) -> Sender {

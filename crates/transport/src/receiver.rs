@@ -30,11 +30,13 @@ use chunks_core::chunk::Chunk;
 use chunks_core::label::ChunkType;
 use chunks_core::packet::{unpack, unpack_observed, Packet};
 use chunks_obs::{Event, Labels, ObsSink, SpanId, Stage};
-use chunks_vreasm::{PduTracker, TrackEvent};
+use chunks_vreasm::{OverlapPolicy, PduTracker, Reassembly, Resolution, TrackEvent};
 use chunks_wsc::{InvariantLayout, TpduInvariant};
 
 use crate::ack::AckInfo;
+use crate::budget::ResourceBudget;
 use crate::conn::{ConnectionParams, Signal};
+use crate::rto::TransportError;
 
 /// The three receiver strategies of §3.3.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -66,6 +68,10 @@ pub enum FailureReason {
     /// The chunk itself was malformed (wire decode failed, wrong element
     /// size for the connection).
     BadChunk,
+    /// A fragment overlapped already-held positions with *differing* bytes
+    /// and [`OverlapPolicy::Reject`] condemned the group rather than pick
+    /// a winner.
+    OverlapConflict,
 }
 
 impl FailureReason {
@@ -77,6 +83,7 @@ impl FailureReason {
             FailureReason::Consistency => "consistency",
             FailureReason::ReassemblyError => "reassembly-error",
             FailureReason::BadChunk => "bad-chunk",
+            FailureReason::OverlapConflict => "overlap-conflict",
         }
     }
 }
@@ -105,6 +112,15 @@ pub enum RxEvent {
     Acked(AckInfo),
     /// The connection was closed by the `C.ST` bit.
     ConnectionClosed,
+    /// The resource budget was exhausted and the chunk was dropped before
+    /// it touched any verification state — the typed shed of graceful
+    /// degradation. The retransmission path will offer the data again.
+    ChunkShed {
+        /// Connection-space index of the TPDU the chunk belonged to.
+        start: u64,
+        /// Payload bytes shed.
+        bytes: u64,
+    },
 }
 
 /// Receiver statistics — the quantities the paper's performance argument
@@ -130,6 +146,13 @@ pub struct RxStats {
     /// Sum over delivered elements of (delivery time − arrival time), in
     /// the caller's time unit: the buffering latency immediate mode avoids.
     pub holding_delay: u64,
+    /// Overlaps whose bytes actually differed from what was already held
+    /// (benign retransmission cuts carry identical bytes and do not count).
+    pub overlap_conflicts: u64,
+    /// Idle incomplete groups evicted under budget pressure.
+    pub evictions: u64,
+    /// Payload bytes shed because the resource budget was exhausted.
+    pub shed_bytes: u64,
 }
 
 /// Per-TPDU verification state.
@@ -146,6 +169,9 @@ struct Group {
     failed: Option<FailureReason>,
     reported: bool,
     elements: u64,
+    /// Virtual-clock time of the group's most recent arrival — the LRU key
+    /// budget eviction orders idle groups by.
+    last_touch: u64,
 }
 
 /// The chunk receiver for one connection.
@@ -157,8 +183,15 @@ pub struct Receiver {
     /// Application address space; element `i` (connection-space) lives at
     /// bytes `[i*size, (i+1)*size)`.
     app: Vec<u8>,
-    /// Which connection-space elements have been claimed by a group.
-    claimed: chunks_vreasm::IntervalSet,
+    /// Which connection-space elements have been claimed, tagged by the
+    /// owning group's start — so a cross-group collision can name the
+    /// owner and the exact contested byte range in its diagnostic.
+    claimed: Reassembly,
+    /// How differing-byte overlaps within a group are resolved.
+    policy: OverlapPolicy,
+    /// Caps on held bytes, open groups and tracked fragments (unlimited by
+    /// default).
+    budget: ResourceBudget,
     /// Delivery cursor for Reorder mode (elements below are with the app).
     in_order: u64,
     /// Out-of-order staging for Reorder mode: element index → (chunk, when).
@@ -193,7 +226,9 @@ impl Receiver {
             params,
             layout,
             app: vec![0; capacity_elements as usize * params.elem_size as usize],
-            claimed: chunks_vreasm::IntervalSet::new(),
+            claimed: Reassembly::new(OverlapPolicy::default()),
+            policy: OverlapPolicy::default(),
+            budget: ResourceBudget::default(),
             in_order: 0,
             reorder_q: HashMap::new(),
             groups: HashMap::new(),
@@ -218,6 +253,38 @@ impl Receiver {
     pub fn set_obs(&mut self, sink: Arc<dyn ObsSink>) {
         self.obs_on = sink.enabled();
         self.obs = sink;
+    }
+
+    /// Sets the overlap policy (builder form).
+    pub fn with_policy(mut self, policy: OverlapPolicy) -> Self {
+        self.set_policy(policy);
+        self
+    }
+
+    /// Sets the overlap policy in place.
+    pub fn set_policy(&mut self, policy: OverlapPolicy) {
+        self.policy = policy;
+    }
+
+    /// The configured overlap policy.
+    pub fn policy(&self) -> OverlapPolicy {
+        self.policy
+    }
+
+    /// Installs a resource budget (builder form).
+    pub fn with_budget(mut self, budget: ResourceBudget) -> Self {
+        self.set_budget(budget);
+        self
+    }
+
+    /// Installs a resource budget in place.
+    pub fn set_budget(&mut self, budget: ResourceBudget) {
+        self.budget = budget;
+    }
+
+    /// The configured resource budget.
+    pub fn budget(&self) -> &ResourceBudget {
+        &self.budget
     }
 
     /// The delivery mode.
@@ -285,7 +352,7 @@ impl Receiver {
                 .span_open(now, SpanId::new(self.group_labels(start), Stage::Verify));
         }
         let layout = self.layout;
-        self.groups.entry(start).or_insert_with(|| Group {
+        let group = self.groups.entry(start).or_insert_with(|| Group {
             tracker: PduTracker::new(),
             inv: TpduInvariant::new(layout).expect("layout validated at framer"),
             x_deltas: HashMap::new(),
@@ -294,7 +361,10 @@ impl Receiver {
             failed: None,
             reported: false,
             elements: 0,
-        })
+            last_touch: now,
+        });
+        group.last_touch = now;
+        group
     }
 
     /// Handles one arriving packet at time `now`.
@@ -370,30 +440,60 @@ impl Receiver {
             return self.group_failure(start, FailureReason::BadChunk);
         }
 
-        let group = self.group_entry(start, now);
+        // Budget admission runs before any group or invariant state mutates,
+        // so a shed chunk leaves no trace in the verification state and a
+        // clean retransmission can land later.
+        if self.budget.is_limited() {
+            if let Some(events) = self.admit(start, first, len, now) {
+                return events;
+            }
+        }
 
-        // Virtual reassembly within the TPDU. Duplicates must be rejected
-        // *before* the invariant absorbs them (§3.3). A retransmission cut
-        // at different points may only *partially* duplicate received data;
-        // because chunks stay chunks under splitting (Appendix C), the
-        // receiver simply extracts the still-missing sub-chunks and
-        // processes those.
-        let uncovered = group.tracker.uncovered(h.tpdu.sn as u64, len);
-        if uncovered.is_empty() {
+        let group = self.group_entry(start, now);
+        let reported = group.reported;
+
+        // Virtual reassembly within the TPDU. Already-covered positions are
+        // resolved *before* the invariant absorbs anything (§3.3). A
+        // retransmission cut at different points duplicates received data
+        // with *identical* bytes — the benign case of Appendix C, silently
+        // trimmed. Overlapping positions whose bytes *differ* are a genuine
+        // conflict the overlap policy must resolve; whatever it picks, the
+        // WSC-2 invariant (not the policy) remains the integrity authority
+        // at delivery time. Fresh sub-spans are extracted and processed,
+        // because chunks stay chunks under splitting.
+        let sn = h.tpdu.sn as u64;
+        let uncovered = group.tracker.uncovered(sn, len);
+        let full_span = [(sn, sn + len)];
+        if uncovered != full_span {
             self.stats.duplicate_chunks += 1;
             if self.obs_on {
                 self.obs.counter("transport.rx.duplicate_chunks", 1);
             }
-            return Vec::new();
-        }
-        if uncovered != [(h.tpdu.sn as u64, h.tpdu.sn as u64 + len)] {
-            self.stats.duplicate_chunks += 1; // partially duplicate
-            if self.obs_on {
-                self.obs.counter("transport.rx.duplicate_chunks", 1);
+            // Complement of the uncovered runs: the overlapped positions.
+            let mut overlaps: Vec<(u64, u64)> = Vec::new();
+            let mut cursor = sn;
+            for &(lo, hi) in &uncovered {
+                if lo > cursor {
+                    overlaps.push((cursor, lo));
+                }
+                cursor = hi;
+            }
+            if cursor < sn + len {
+                overlaps.push((cursor, sn + len));
+            }
+            // A delivered (or condemned) group keeps its bytes no matter
+            // the policy: its verdict is already out.
+            if !reported {
+                if let Some(events) = self.resolve_overlaps(&chunk, start, &overlaps, now) {
+                    return events;
+                }
+            }
+            if uncovered.is_empty() {
+                return Vec::new();
             }
             let mut events = Vec::new();
             for (lo, hi) in uncovered {
-                let offset = (lo - h.tpdu.sn as u64) as u32;
+                let offset = (lo - sn) as u32;
                 let sublen = (hi - lo) as u32;
                 match chunks_core::frag::extract(&chunk, offset, sublen) {
                     Ok(piece) => events.extend(self.handle_data(piece, now)),
@@ -402,7 +502,8 @@ impl Receiver {
             }
             return events;
         }
-        match group.tracker.offer(h.tpdu.sn as u64, len, h.tpdu.st) {
+        let group = self.groups.get_mut(&start).expect("present");
+        match group.tracker.offer(sn, len, h.tpdu.st) {
             TrackEvent::Duplicate => {
                 self.stats.duplicate_chunks += 1;
                 if self.obs_on {
@@ -418,11 +519,34 @@ impl Receiver {
 
         // Cross-group collision: these elements already belong to another
         // TPDU's data — a corrupted C.SN moved this chunk (Table 1:
-        // consistency check).
-        if self.claimed.overlap(first, first + len) > 0 {
+        // consistency check). The overlap policy does not soften this
+        // channel: the colliding *identity* is itself the corruption, so
+        // every policy condemns; the diagnostic names the owning group and
+        // the exact contested byte range instead of discarding silently.
+        let probe = self.claimed.probe(first, first + len);
+        if !probe.is_clean() {
+            self.stats.overlap_conflicts += probe.conflicts.len() as u64;
+            if self.obs_on {
+                self.obs.counter(
+                    "transport.rx.overlap_conflicts",
+                    probe.conflicts.len() as u64,
+                );
+                for c in &probe.conflicts {
+                    self.obs.event(
+                        now,
+                        Event::OverlapConflict {
+                            labels: Self::chunk_labels(&chunk),
+                            policy: self.policy.as_str(),
+                            start: (c.start * esize as u64) as u32,
+                            bytes: (c.len() * esize as u64) as u32,
+                            owner: c.tag as u32,
+                        },
+                    );
+                }
+            }
             return self.group_failure(start, FailureReason::Consistency);
         }
-        self.claimed.insert(first, first + len);
+        self.claimed.claim(first, first + len, start);
 
         let group = self.groups.get_mut(&start).expect("just inserted");
         // X-level consistency: C.SN − X.SN constant per external PDU.
@@ -488,8 +612,259 @@ impl Receiver {
                 group.held.push((chunk.clone(), now));
             }
         }
+        if self.obs_on && self.budget.is_limited() {
+            self.obs
+                .observe("transport.budget.held_bytes", self.stats.buffered_bytes);
+        }
 
         self.try_complete(start, now)
+    }
+
+    /// Budget admission for an arriving data chunk: evict idle groups to
+    /// make room, and shed the chunk (typed, counted, traced) when nothing
+    /// is evictable. Returns `Some(events)` when the chunk was shed.
+    fn admit(&mut self, start: u64, first: u64, len: u64, now: u64) -> Option<Vec<RxEvent>> {
+        let bytes = len * self.params.elem_size as u64;
+        if !self.groups.contains_key(&start) {
+            while self.open_groups() >= self.budget.max_open_groups {
+                if !self.evict_idle(start, "groups", now) {
+                    return Some(self.shed(start, bytes));
+                }
+            }
+        }
+        // Interval-table occupancy: the hardware analogue caps tracked runs.
+        while self.claimed.fragments() >= self.budget.max_fragments {
+            if !self.evict_idle(start, "fragments", now) {
+                return Some(self.shed(start, bytes));
+            }
+        }
+        // Byte caps bind only when this arrival would actually stage.
+        let will_stage = match self.mode {
+            DeliveryMode::Immediate => false,
+            DeliveryMode::Reorder => first != self.in_order,
+            DeliveryMode::Reassemble => true,
+        };
+        if will_stage {
+            while self.budget.bytes_exceeded(self.stats.buffered_bytes, bytes) {
+                if !self.evict_idle(start, "bytes", now) {
+                    return Some(self.shed(start, bytes));
+                }
+            }
+        }
+        None
+    }
+
+    /// Groups that have arrived but reached no verdict yet.
+    fn open_groups(&self) -> usize {
+        self.groups.values().filter(|g| !g.reported).count()
+    }
+
+    /// Evicts the least-recently-touched idle group — unreported,
+    /// incomplete, and not the group the arriving chunk needs (`keep`).
+    /// LRU by virtual clock, start as the deterministic tie-break. Its
+    /// `verify` span stays open: an eviction is a verdictless drop, and the
+    /// trace shows it as one. Returns false when nothing is evictable.
+    fn evict_idle(&mut self, keep: u64, cause: &'static str, now: u64) -> bool {
+        let victim = self
+            .groups
+            .iter()
+            .filter(|(&s, g)| {
+                s != keep && !g.reported && !(g.tracker.is_complete() && g.ed.is_some())
+            })
+            .min_by_key(|(&s, g)| (g.last_touch, s))
+            .map(|(&s, _)| s);
+        let Some(s) = victim else {
+            return false;
+        };
+        let g = self.groups.remove(&s).expect("chosen from the map");
+        let span = g.elements.max(g.tracker.covered());
+        self.claimed.release(s);
+        let mut freed: u64 = g.held.iter().map(|(c, _)| c.payload.len() as u64).sum();
+        // Reorder-mode staging is keyed by element, not by group; free any
+        // staged chunks inside the evicted span too.
+        let keys: Vec<u64> = self
+            .reorder_q
+            .keys()
+            .copied()
+            .filter(|&f| f >= s && f < s + span)
+            .collect();
+        for k in keys {
+            if let Some((chunk, _)) = self.reorder_q.remove(&k) {
+                freed += chunk.payload.len() as u64;
+            }
+        }
+        self.unstage(freed);
+        self.stats.evictions += 1;
+        if self.obs_on {
+            self.obs.counter("transport.budget.evictions", 1);
+            self.obs.event(
+                now,
+                Event::GroupEvicted {
+                    conn_id: self.params.conn_id,
+                    start: s as u32,
+                    bytes: freed as u32,
+                    cause,
+                },
+            );
+        }
+        true
+    }
+
+    /// Drops an arriving chunk under exhausted budget.
+    fn shed(&mut self, start: u64, bytes: u64) -> Vec<RxEvent> {
+        self.stats.shed_bytes += bytes;
+        if self.obs_on {
+            self.obs.counter("transport.budget.shed_bytes", bytes);
+        }
+        vec![RxEvent::ChunkShed { start, bytes }]
+    }
+
+    /// Resolves differing-byte overlaps between an arriving chunk and data
+    /// the group already holds, per the configured policy. `overlaps` is in
+    /// `T.SN` space. Returns `Some(events)` when the policy condemns the
+    /// group ([`OverlapPolicy::Reject`]).
+    fn resolve_overlaps(
+        &mut self,
+        chunk: &Chunk,
+        start: u64,
+        overlaps: &[(u64, u64)],
+        now: u64,
+    ) -> Option<Vec<RxEvent>> {
+        let esize = self.params.elem_size as usize;
+        let sn = chunk.header.tpdu.sn as u64;
+        let mut condemn = false;
+        for &(lo, hi) in overlaps {
+            let new = &chunk.payload[(lo - sn) as usize * esize..(hi - sn) as usize * esize];
+            let old = self.held_bytes(start, start + lo, start + hi);
+            let differs = match &old {
+                Some(o) => o.as_slice() != new,
+                None => true,
+            };
+            if !differs {
+                continue; // benign retransmission cut (Appendix C)
+            }
+            self.stats.overlap_conflicts += 1;
+            if self.obs_on {
+                self.obs.counter("transport.rx.overlap_conflicts", 1);
+                self.obs.event(
+                    now,
+                    Event::OverlapConflict {
+                        labels: Self::chunk_labels(chunk),
+                        policy: self.policy.as_str(),
+                        start: ((start + lo) * esize as u64) as u32,
+                        bytes: ((hi - lo) * esize as u64) as u32,
+                        owner: start as u32,
+                    },
+                );
+            }
+            match self.policy.resolve(true) {
+                Resolution::Fail => condemn = true,
+                Resolution::Duplicate | Resolution::KeepHeld => {}
+                Resolution::Overwrite => match old {
+                    Some(o) => self.overwrite_held(start, start + lo, start + hi, &o, new),
+                    // Bytes we cannot read back we cannot patch out of the
+                    // invariant either — condemn rather than corrupt it.
+                    None => condemn = true,
+                },
+            }
+        }
+        condemn.then(|| self.group_failure(start, FailureReason::OverlapConflict))
+    }
+
+    /// Best-effort read-back of the bytes currently held for elements
+    /// `[lo, hi)` (connection space) of the group at `start`. Returns
+    /// `None` when any element cannot be located — the caller treats that
+    /// as a conflict.
+    fn held_bytes(&self, start: u64, lo: u64, hi: u64) -> Option<Vec<u8>> {
+        let esize = self.params.elem_size as usize;
+        let mut out = vec![0u8; (hi - lo) as usize * esize];
+        let mut have = chunks_vreasm::IntervalSet::new();
+        let overlay =
+            |out: &mut Vec<u8>, have: &mut chunks_vreasm::IntervalSet, f: u64, payload: &[u8]| {
+                let clen = payload.len() as u64 / esize as u64;
+                let (s, e) = (f.max(lo), (f + clen).min(hi));
+                if s < e {
+                    out[(s - lo) as usize * esize..(e - lo) as usize * esize].copy_from_slice(
+                        &payload[(s - f) as usize * esize..(e - f) as usize * esize],
+                    );
+                    have.insert(s, e);
+                }
+            };
+        match self.mode {
+            DeliveryMode::Immediate => {
+                out.copy_from_slice(&self.app[lo as usize * esize..hi as usize * esize]);
+                have.insert(lo, hi);
+            }
+            DeliveryMode::Reorder => {
+                if lo < self.in_order {
+                    let e = hi.min(self.in_order);
+                    out[..(e - lo) as usize * esize]
+                        .copy_from_slice(&self.app[lo as usize * esize..e as usize * esize]);
+                    have.insert(lo, e);
+                }
+                for (&f, (c, _)) in &self.reorder_q {
+                    overlay(&mut out, &mut have, f, &c.payload);
+                }
+            }
+            DeliveryMode::Reassemble => {
+                let g = self.groups.get(&start)?;
+                for (c, _) in &g.held {
+                    let f = self.unwrap_csn(c.header.conn.sn);
+                    overlay(&mut out, &mut have, f, &c.payload);
+                }
+            }
+        }
+        (have.covered() == hi - lo).then_some(out)
+    }
+
+    /// [`OverlapPolicy::LastWins`]: substitutes `new` for the held bytes at
+    /// elements `[lo, hi)` (connection space) and patches the group
+    /// invariant in place — WSC-2 is linear over GF(2), so absorbing the
+    /// XOR delta at the same positions swaps the data without recomputing
+    /// anything. The code keeps describing exactly the bytes held, and the
+    /// ED comparison at completion stays the integrity authority.
+    fn overwrite_held(&mut self, start: u64, lo: u64, hi: u64, old: &[u8], new: &[u8]) {
+        let esize = self.params.elem_size as usize;
+        if let Some(g) = self.groups.get_mut(&start) {
+            g.inv
+                .patch_elements(self.params.elem_size, lo - start, old, new);
+        }
+        match self.mode {
+            DeliveryMode::Immediate => self.place(lo, new),
+            DeliveryMode::Reorder => {
+                let e = hi.min(self.in_order.max(lo));
+                if lo < e {
+                    self.place(lo, &new[..(e - lo) as usize * esize]);
+                }
+                let mut touched = 0;
+                for (&f, (c, _)) in self.reorder_q.iter_mut() {
+                    touched += overlay_into_chunk(c, f, lo, hi, new, esize);
+                }
+                self.count_rewrite(touched);
+            }
+            DeliveryMode::Reassemble => {
+                let initial = self.params.initial_csn;
+                let mut touched = 0;
+                if let Some(g) = self.groups.get_mut(&start) {
+                    for (c, _) in g.held.iter_mut() {
+                        let f = c.header.conn.sn.wrapping_sub(initial) as u64;
+                        touched += overlay_into_chunk(c, f, lo, hi, new, esize);
+                    }
+                }
+                self.count_rewrite(touched);
+            }
+        }
+    }
+
+    /// Counts an in-place rewrite of staged bytes as data touches.
+    fn count_rewrite(&mut self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        self.stats.data_touches += bytes;
+        if self.obs_on {
+            self.obs.counter("transport.rx.data_touches", bytes);
+        }
     }
 
     fn handle_ed(&mut self, chunk: Chunk, now: u64) -> Vec<RxEvent> {
@@ -501,6 +876,15 @@ impl Receiver {
             return Vec::new();
         }
         let start = self.unwrap_csn(chunk.header.conn.sn);
+        // An ED chunk opens a group too; a flood of them is budgeted the
+        // same way a data flood is.
+        if self.budget.is_limited() && !self.groups.contains_key(&start) {
+            while self.open_groups() >= self.budget.max_open_groups {
+                if !self.evict_idle(start, "groups", now) {
+                    return self.shed(start, chunk.payload.len() as u64);
+                }
+            }
+        }
         let mut digest = [0u8; 8];
         digest.copy_from_slice(&chunk.payload);
         let group = self.group_entry(start, now);
@@ -527,6 +911,9 @@ impl Receiver {
             .stats
             .peak_buffered_bytes
             .max(self.stats.buffered_bytes);
+        if let Some(g) = &self.budget.global {
+            g.add(bytes);
+        }
         if self.obs_on {
             self.obs
                 .observe("transport.rx.buffered_bytes", self.stats.buffered_bytes);
@@ -538,6 +925,9 @@ impl Receiver {
 
     fn unstage(&mut self, bytes: u64) {
         self.stats.buffered_bytes = self.stats.buffered_bytes.saturating_sub(bytes);
+        if let Some(g) = &self.budget.global {
+            g.sub(bytes);
+        }
     }
 
     fn drain_reorder_queue(&mut self, now: u64) {
@@ -707,7 +1097,38 @@ impl Receiver {
             sacks,
             gaps,
             need_ed,
+            pressure: self.under_pressure(),
         }
+    }
+
+    /// True when occupancy stands at or above 3/4 of any configured cap —
+    /// the back-pressure signal [`make_ack`](Self::make_ack) forwards so
+    /// the sender defers repairs instead of livelocking retransmissions
+    /// into a buffer that will shed them.
+    pub fn under_pressure(&self) -> bool {
+        if !self.budget.is_limited() {
+            return false;
+        }
+        let hot = |held: u64, cap: u64| cap != u64::MAX && held >= cap - cap / 4;
+        let b = &self.budget;
+        hot(self.stats.buffered_bytes, b.max_held_bytes)
+            || (b.max_open_groups != usize::MAX
+                && self.open_groups() >= b.max_open_groups - b.max_open_groups / 4)
+            || (b.max_fragments != usize::MAX
+                && self.claimed.fragments() >= b.max_fragments - b.max_fragments / 4)
+            || b.global
+                .as_ref()
+                .is_some_and(|g| hot(g.held_bytes(), g.cap_bytes()))
+    }
+
+    /// The typed budget-exhaustion error, once any bytes have been shed.
+    pub fn budget_error(&self) -> Option<TransportError> {
+        (self.stats.shed_bytes > 0).then_some(TransportError::BudgetExhausted {
+            conn_id: self.params.conn_id,
+            shed_bytes: self.stats.shed_bytes,
+            evictions: self.stats.evictions,
+            held_bytes: self.stats.buffered_bytes,
+        })
     }
 
     /// Starts of groups that failed verification and need retransmission.
@@ -726,12 +1147,11 @@ impl Receiver {
     /// (with identical identifiers, §3.3) can be verified afresh.
     pub fn reset_group(&mut self, start: u64) {
         if let Some(g) = self.groups.remove(&start) {
-            // Release the claimed range so retransmitted data may land.
-            self.claimed
-                .subtract(start, start + g.elements.max(g.tracker.covered()));
-            for (chunk, _) in &g.held {
-                self.unstage(chunk.payload.len() as u64);
-            }
+            // Release exactly this group's claims so retransmitted data may
+            // land (tagged claims free without arithmetic on the span).
+            self.claimed.release(start);
+            let freed: u64 = g.held.iter().map(|(c, _)| c.payload.len() as u64).sum();
+            self.unstage(freed);
         }
     }
 
@@ -766,6 +1186,29 @@ impl Receiver {
     pub fn delivered_starts(&self) -> &[u64] {
         &self.delivered
     }
+}
+
+/// Copies the intersection of `[lo, hi)` (connection-space elements) with
+/// a staged chunk's span out of `new` into the chunk's payload; returns the
+/// bytes rewritten. `first` is the chunk's first connection-space element.
+fn overlay_into_chunk(
+    c: &mut Chunk,
+    first: u64,
+    lo: u64,
+    hi: u64,
+    new: &[u8],
+    esize: usize,
+) -> u64 {
+    let clen = c.header.len as u64;
+    let (s, e) = (first.max(lo), (first + clen).min(hi));
+    if s >= e {
+        return 0;
+    }
+    let mut raw = c.payload.to_vec();
+    raw[(s - first) as usize * esize..(e - first) as usize * esize]
+        .copy_from_slice(&new[(s - lo) as usize * esize..(e - lo) as usize * esize]);
+    c.payload = raw.into();
+    (e - s) * esize as u64
 }
 
 #[cfg(test)]

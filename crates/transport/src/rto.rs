@@ -46,6 +46,19 @@ pub enum TransportError {
         /// Virtual nanoseconds since the TPDU was first sent.
         elapsed_ns: u64,
     },
+    /// The receiver's resource budget ran out and payload bytes were shed —
+    /// degradation was graceful (typed, counted) rather than an allocation
+    /// blow-up, but the caller should know delivery is running partial.
+    BudgetExhausted {
+        /// The connection that shed data.
+        conn_id: u32,
+        /// Payload bytes shed so far.
+        shed_bytes: u64,
+        /// Idle groups evicted to make room before shedding began.
+        evictions: u64,
+        /// Bytes still held in staging buffers at the time of the report.
+        held_bytes: u64,
+    },
 }
 
 impl fmt::Display for TransportError {
@@ -61,6 +74,16 @@ impl fmt::Display for TransportError {
                 f,
                 "peer unreachable on connection {conn_id}: TPDU at {tpdu_start} \
                  unacked after {retries} retransmissions over {elapsed_ns} ns"
+            ),
+            TransportError::BudgetExhausted {
+                conn_id,
+                shed_bytes,
+                evictions,
+                held_bytes,
+            } => write!(
+                f,
+                "resource budget exhausted on connection {conn_id}: shed \
+                 {shed_bytes} bytes after {evictions} evictions ({held_bytes} bytes held)"
             ),
         }
     }
@@ -277,6 +300,27 @@ impl RetransmitTimer {
         self.entries.values().map(|e| e.expires_at).min()
     }
 
+    /// Pushes every due timer forward by one current RTO *without*
+    /// consuming a retry, applying backoff, or marking the entry
+    /// retransmitted — the back-pressure deferral. While the peer reports
+    /// budget pressure, retransmitting would only feed bytes to the
+    /// shedder; deferring keeps the retry budget intact for when the
+    /// pressure clears. Returns the deferred starts.
+    pub fn defer_due(&mut self, now: u64) -> Vec<u64> {
+        let due: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.expires_at <= now)
+            .map(|(&s, _)| s)
+            .collect();
+        for &start in &due {
+            let rto = self.backed_off(self.entries[&start].backoff);
+            let e = self.entries.get_mut(&start).expect("collected above");
+            e.expires_at = now + rto;
+        }
+        due
+    }
+
     /// Advances the virtual clock and collects every due verdict.
     ///
     /// A [`TimerVerdict::Retransmit`] applies the backoff and re-arms the
@@ -424,5 +468,32 @@ mod tests {
         assert!(e.to_string().contains("8 retransmissions"));
         let c: TransportError = CoreError::Truncated.into();
         assert!(c.to_string().contains("truncated"));
+        let b = TransportError::BudgetExhausted {
+            conn_id: 3,
+            shed_bytes: 4096,
+            evictions: 2,
+            held_bytes: 512,
+        };
+        assert!(b.to_string().contains("budget exhausted"));
+        assert!(b.to_string().contains("4096 bytes"));
+    }
+
+    #[test]
+    fn defer_due_postpones_without_consuming_retries() {
+        let mut t = timer();
+        t.on_send(0, 0, false);
+        // Fire once for real: one retry consumed, backoff applied.
+        assert_eq!(t.poll(1000), vec![TimerVerdict::Retransmit(0)]);
+        assert_eq!(t.retries_for(0), Some(1));
+        assert_eq!(t.rto_for(0), Some(2000));
+        // Deferral at the next expiry: pushed forward by the *current* RTO,
+        // retries and backoff untouched.
+        assert_eq!(t.defer_due(3000), vec![0]);
+        assert_eq!(t.retries_for(0), Some(1));
+        assert_eq!(t.rto_for(0), Some(2000), "no extra backoff");
+        assert!(t.poll(3001).is_empty(), "entry re-armed into the future");
+        assert_eq!(t.next_expiry(), Some(5000));
+        // Not-yet-due entries are left alone.
+        assert!(t.defer_due(4000).is_empty());
     }
 }

@@ -47,18 +47,26 @@ pub struct ReliabilityStats {
     /// Packets deferred to a later pump by the burst cap.
     /// Registry twin: `transport.session.burst_deferrals`.
     pub burst_deferrals: u64,
+    /// Repair passes and due timers deferred because the peer signalled
+    /// budget back-pressure (retries are *not* consumed by a deferral).
+    /// Registry twin: `transport.session.pressure_deferrals`.
+    pub pressure_deferrals: u64,
 }
 
 impl ReliabilityStats {
     /// The counters as `(catalogue name, value)` pairs, named exactly as
     /// the `chunks-obs` registry exports them (see `docs/OBSERVABILITY.md`).
-    pub fn as_metrics(&self) -> [(&'static str, u64); 5] {
+    pub fn as_metrics(&self) -> [(&'static str, u64); 6] {
         [
             ("transport.rto.timer_retransmits", self.timer_retransmits),
             ("transport.rto.shed_tpdus", self.shed_tpdus),
             ("transport.rto.rtt_samples", self.rtt_samples),
             ("transport.rto.base_rto_ns", self.base_rto_ns),
             ("transport.session.burst_deferrals", self.burst_deferrals),
+            (
+                "transport.session.pressure_deferrals",
+                self.pressure_deferrals,
+            ),
         ]
     }
 }
@@ -87,6 +95,9 @@ pub struct Session {
     repair_limit_tpdus: usize,
     /// Sticky dead-peer verdict: once declared, every later pump repeats it.
     dead: Option<TransportError>,
+    /// The peer's last back-pressure signal (from the newest ack). While
+    /// true, repair passes and due timers defer instead of retransmitting.
+    peer_pressure: bool,
     /// Timer/shedding counters.
     stats: ReliabilityStats,
     /// Observability sink (no-op by default).
@@ -121,6 +132,7 @@ impl Session {
             max_burst_packets: 256,
             repair_limit_tpdus: 64,
             dead: None,
+            peer_pressure: false,
             stats: ReliabilityStats::default(),
             obs: chunks_obs::null(),
             obs_on: false,
@@ -142,6 +154,29 @@ impl Session {
     pub fn with_rto(mut self, cfg: RtoConfig) -> Self {
         self.rto = RetransmitTimer::new(cfg);
         self
+    }
+
+    /// Sets the inbound receiver's overlap policy (call before data flows).
+    pub fn with_overlap_policy(mut self, policy: chunks_vreasm::OverlapPolicy) -> Self {
+        self.rx.set_policy(policy);
+        self
+    }
+
+    /// Installs a resource budget on the inbound receiver.
+    pub fn with_rx_budget(mut self, budget: crate::budget::ResourceBudget) -> Self {
+        self.rx.set_budget(budget);
+        self
+    }
+
+    /// Typed budget-exhaustion report from the inbound receiver, once any
+    /// bytes have been shed.
+    pub fn budget_error(&self) -> Option<TransportError> {
+        self.rx.budget_error()
+    }
+
+    /// The peer's most recent back-pressure signal.
+    pub fn peer_pressure(&self) -> bool {
+        self.peer_pressure
     }
 
     /// Overrides the per-pump burst cap (packets) and the per-pass repair
@@ -250,16 +285,40 @@ impl Session {
             }
         } else if let Some(ack) = self.inbound_ack.take() {
             self.tx.handle_ack(&ack);
-            let (packets, repaired) = self
-                .tx
-                .retransmit_for_ack_parts(&ack, self.repair_limit_tpdus)?;
-            for p in packets {
-                mux.enqueue_chunks(unpack(&p)?);
+            if ack.pressure {
+                // The peer's budget is near exhaustion: a repair pass now
+                // would only feed bytes to the shedder. Defer it; the next
+                // unpressured ack re-triggers selective repair.
+                self.stats.pressure_deferrals += 1;
+                if self.obs_on {
+                    self.obs.counter("transport.session.pressure_deferrals", 1);
+                }
+            } else {
+                let (packets, repaired) = self
+                    .tx
+                    .retransmit_for_ack_parts(&ack, self.repair_limit_tpdus)?;
+                for p in packets {
+                    mux.enqueue_chunks(unpack(&p)?);
+                }
+                sent.extend(repaired.into_iter().map(|s| (s, true)));
             }
-            sent.extend(repaired.into_iter().map(|s| (s, true)));
         }
 
-        if timers {
+        if timers && self.peer_pressure {
+            // Back-pressure: push due timers forward without consuming
+            // retries — deferral, not decay, so the retry budget is intact
+            // when the pressure clears.
+            let deferred = self.rto.defer_due(now);
+            if !deferred.is_empty() {
+                self.stats.pressure_deferrals += deferred.len() as u64;
+                if self.obs_on {
+                    self.obs.counter(
+                        "transport.session.pressure_deferrals",
+                        deferred.len() as u64,
+                    );
+                }
+            }
+        } else if timers {
             let fires_before = self.rto.fires;
             let verdicts = self.rto.poll(now);
             if self.obs_on {
@@ -428,6 +487,7 @@ impl Session {
                         );
                     }
                     // Remember it for the next repair pass too.
+                    self.peer_pressure = ack.pressure;
                     self.inbound_ack = Some(ack);
                 }
                 other => app_events.push(other),

@@ -337,6 +337,9 @@ impl StreamReceiver {
             sacks,
             gaps,
             need_ed,
+            // The stream receiver has no resource budget (its window is the
+            // budget), so it never signals back-pressure.
+            pressure: false,
         }
     }
 }

@@ -16,7 +16,10 @@
 //!   buffer with finite capacity, used to reproduce the reassembly-buffer
 //!   **lock-up** phenomenon chunks eliminate (§3.3, citing Kent–Mogul);
 //! * [`bounded::BoundedTracker`] — a VLSI-shaped tracker with a fixed gap
-//!   budget, modelling the hardware units of STER 92 / MCAU 93b.
+//!   budget, modelling the hardware units of STER 92 / MCAU 93b;
+//! * [`reassembly::Reassembly`] — tagged intervals with an explicit
+//!   [`reassembly::OverlapPolicy`], the hardened layer the transport uses
+//!   to make attacker-controlled overlapping fragments well-defined.
 //!
 //! Completion falls out of coverage plus the stop bit — fragments may
 //! arrive in any order:
@@ -37,9 +40,11 @@
 pub mod bounded;
 pub mod buffer;
 pub mod interval;
+pub mod reassembly;
 pub mod tracker;
 
 pub use bounded::{BoundedEvent, BoundedTracker};
 pub use buffer::{BufferEvent, ReassemblyBuffer};
 pub use interval::IntervalSet;
+pub use reassembly::{Claim, Conflict, OverlapPolicy, Reassembly, Resolution};
 pub use tracker::{PduTracker, TrackEvent};

@@ -1,6 +1,6 @@
 //! Property tests for interval tracking against a naive bitmap model.
 
-use chunks_vreasm::{IntervalSet, PduTracker, TrackEvent};
+use chunks_vreasm::{IntervalSet, OverlapPolicy, PduTracker, Reassembly, TrackEvent};
 use proptest::prelude::*;
 
 const UNIVERSE: u64 = 256;
@@ -44,6 +44,126 @@ proptest! {
         if let Some(&(_, max_end)) = rs.last() {
             let gap_total: u64 = set.gaps(max_end).iter().map(|(s, e)| e - s).sum();
             prop_assert_eq!(gap_total + set.covered(), max_end);
+        }
+    }
+
+    #[test]
+    fn insert_is_idempotent(ops in proptest::collection::vec((0u64..UNIVERSE, 1u64..32), 1..24)) {
+        let mut s = IntervalSet::new();
+        for &(start, len) in &ops {
+            s.insert(start, start + len);
+        }
+        let before = s.clone();
+        // Re-inserting any already-inserted span changes nothing and
+        // reports itself fully duplicate.
+        for &(start, len) in &ops {
+            prop_assert_eq!(s.insert(start, start + len), len);
+            prop_assert_eq!(&s, &before);
+        }
+    }
+
+    #[test]
+    fn disjoint_inserts_commute(spans in proptest::collection::vec((0u64..UNIVERSE, 1u64..16), 2..12)) {
+        // Rewrite the spans to be pairwise disjoint by spacing them out,
+        // then insert in the generated order and in reverse: the resulting
+        // sets must be identical and every insert must report zero overlap.
+        let disjoint: Vec<(u64, u64)> = spans
+            .iter()
+            .enumerate()
+            .map(|(i, &(start, len))| {
+                let base = i as u64 * 40;
+                (base + start % 20, base + start % 20 + len.min(19))
+            })
+            .collect();
+        let mut fwd = IntervalSet::new();
+        for &(s, e) in &disjoint {
+            prop_assert_eq!(fwd.insert(s, e), 0, "spans must be disjoint");
+        }
+        let mut rev = IntervalSet::new();
+        for &(s, e) in disjoint.iter().rev() {
+            prop_assert_eq!(rev.insert(s, e), 0);
+        }
+        prop_assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn subtract_inverts_insert(
+        ops in proptest::collection::vec((0u64..UNIVERSE, 1u64..32), 0..24),
+        span in (0u64..UNIVERSE, 1u64..32),
+    ) {
+        let mut s = IntervalSet::new();
+        for &(start, len) in &ops {
+            s.insert(start, start + len);
+        }
+        let (start, len) = span;
+        let end = start + len;
+        let before = s.clone();
+        let dup = s.insert(start, end);
+        // Subtracting only the *fresh* part restores the original set.
+        let mut restored = s.clone();
+        let mut removed = 0;
+        for (gs, ge) in before.uncovered(start, end) {
+            removed += restored.subtract(gs, ge);
+        }
+        prop_assert_eq!(dup + removed, len);
+        prop_assert_eq!(&restored, &before);
+        // Subtracting the whole span then re-inserting it round-trips too.
+        let mut t = s.clone();
+        prop_assert_eq!(t.subtract(start, end), len);
+        t.insert(start, end);
+        prop_assert_eq!(&t, &s);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_bounded(
+        a in proptest::collection::vec((0u64..UNIVERSE, 1u64..32), 1..16),
+        b in proptest::collection::vec((0u64..UNIVERSE, 1u64..32), 1..16),
+    ) {
+        // overlap(A, span of B) summed over B's disjoint ranges equals
+        // overlap(B, span of A) summed over A's — both count |A ∩ B|.
+        let build = |ops: &[(u64, u64)]| {
+            let mut s = IntervalSet::new();
+            for &(start, len) in ops {
+                s.insert(start, start + len);
+            }
+            s
+        };
+        let sa = build(&a);
+        let sb = build(&b);
+        let ab: u64 = sb.ranges().iter().map(|&(s, e)| sa.overlap(s, e)).sum();
+        let ba: u64 = sa.ranges().iter().map(|&(s, e)| sb.overlap(s, e)).sum();
+        prop_assert_eq!(ab, ba);
+        prop_assert!(ab <= sa.covered().min(sb.covered()));
+        // Self-overlap over each own range is total coverage.
+        let self_ov: u64 = sa.ranges().iter().map(|&(s, e)| sa.overlap(s, e)).sum();
+        prop_assert_eq!(self_ov, sa.covered());
+    }
+
+    #[test]
+    fn reassembly_claims_match_untagged_coverage(
+        claims in proptest::collection::vec((0u64..UNIVERSE, 1u64..32, 0u64..4), 1..24),
+    ) {
+        // A Reassembly's coverage and conflict accounting must agree with
+        // the plain IntervalSet it extends: fresh + conflicts partition
+        // every claim, and coverage() reproduces the untagged set.
+        let mut r = Reassembly::new(OverlapPolicy::FirstWins);
+        let mut s = IntervalSet::new();
+        for &(start, len, tag) in &claims {
+            let end = start + len;
+            let c = r.claim(start, end, tag);
+            let dup = s.insert(start, end);
+            prop_assert_eq!(c.conflict_len(), dup);
+            let fresh: u64 = c.fresh.iter().map(|(a, b)| b - a).sum();
+            prop_assert_eq!(fresh + dup, len);
+        }
+        prop_assert_eq!(r.covered(), s.covered());
+        let cov = r.coverage();
+        prop_assert_eq!(cov.ranges(), s.ranges());
+        // Every claimed position has exactly one owner.
+        for &(cs, ce) in s.ranges() {
+            for p in cs..ce {
+                prop_assert!(r.owner_of(p).is_some());
+            }
         }
     }
 

@@ -214,9 +214,30 @@ impl TpduInvariant {
             // contiguous run with no per-element padding.
             self.wsc.add_bytes(first * spe, payload);
         } else {
-            self.absorb_padded_elements(header, payload, first, spe);
+            self.absorb_padded_elements(header.size as usize, payload, first, spe);
         }
         Ok(())
+    }
+
+    /// Replaces already-absorbed data: substitutes `new` for `old` at the
+    /// element positions starting at T.SN `first` (both slices cover the
+    /// same elements of `size` bytes each).
+    ///
+    /// GF(2^32) has characteristic 2, so absorbing `old ⊕ new` at the same
+    /// symbol positions cancels `old`'s contribution and adds `new`'s —
+    /// the invariant ends exactly as if `new` had been absorbed in the
+    /// first place. This is how a `LastWins` overlap policy keeps WSC-2 as
+    /// the integrity authority: the invariant always describes the bytes
+    /// actually held, and only the sender's ED value can bless them.
+    pub fn patch_elements(&mut self, size: u16, first: u64, old: &[u8], new: &[u8]) {
+        debug_assert_eq!(old.len(), new.len(), "patch must cover equal spans");
+        let spe = Wsc2::symbols_for_bytes(size as usize);
+        let delta: Vec<u8> = old.iter().zip(new).map(|(a, b)| a ^ b).collect();
+        if size as u64 == spe * 4 {
+            self.wsc.add_bytes(first * spe, &delta);
+        } else {
+            self.absorb_padded_elements(size as usize, &delta, first, spe);
+        }
     }
 
     /// Absorbs a chunk whose `SIZE` is not a whole number of symbols: each
@@ -229,16 +250,9 @@ impl TpduInvariant {
     /// SIZE = 1 benchmark workload. The whole chunk stays one *logical* run:
     /// only the first block seeks the cursor and counts in the disorder
     /// tally; later blocks continue at the cursor.
-    fn absorb_padded_elements(
-        &mut self,
-        header: &ChunkHeader,
-        payload: &[u8],
-        first: u64,
-        spe: u64,
-    ) {
+    fn absorb_padded_elements(&mut self, size: usize, payload: &[u8], first: u64, spe: u64) {
         /// Symbols gathered per stack block (1 KiB).
         const BLOCK: usize = 256;
-        let size = header.size as usize;
         let spe_us = spe as usize;
         if spe_us > BLOCK {
             // An element outgrows the gather block (SIZE > 1 KiB): absorb one
@@ -651,6 +665,53 @@ mod tests {
         let mut pb = TpduInvariant::with_default_layout();
         pb.absorb_chunk(&b.header, &b.payload).unwrap();
         assert_eq!(pa.fold(&pb), Err(InvariantError::IdMismatch));
+    }
+
+    #[test]
+    fn patch_elements_substitutes_data_in_place() {
+        // Absorb a chunk, then patch elements [2, 5) to new bytes: the
+        // digest must equal absorbing the patched payload directly — the
+        // LastWins overlap-policy mechanism.
+        let whole = tpdu_chunk(true, false);
+        let mut inv = TpduInvariant::with_default_layout();
+        inv.absorb_chunk(&whole.header, &whole.payload).unwrap();
+        let old = &whole.payload[2..5];
+        let new = b"XYZ";
+        inv.patch_elements(whole.header.size, whole.header.tpdu.sn as u64 + 2, old, new);
+
+        let mut patched = whole.clone();
+        let mut raw = patched.payload.to_vec();
+        raw[2..5].copy_from_slice(new);
+        patched.payload = raw.into();
+        assert_eq!(inv.digest(), digest_of(&[patched]));
+
+        // Patching back restores the original digest (involution).
+        inv.patch_elements(whole.header.size, whole.header.tpdu.sn as u64 + 2, new, old);
+        assert_eq!(inv.digest(), digest_of(&[whole]));
+    }
+
+    #[test]
+    fn patch_elements_handles_multi_symbol_elements() {
+        let payload: Vec<u8> = (0..16).collect();
+        let c = Chunk::new(
+            chunks_core::chunk::ChunkHeader::data(
+                8,
+                2,
+                FramingTuple::new(1, 0, false),
+                FramingTuple::new(2, 0, true),
+                FramingTuple::new(3, 0, false),
+            ),
+            payload.clone().into(),
+        )
+        .unwrap();
+        let mut inv = TpduInvariant::with_default_layout();
+        inv.absorb_chunk(&c.header, &c.payload).unwrap();
+        let new = [0xEEu8; 8];
+        inv.patch_elements(8, 1, &payload[8..16], &new);
+        let mut raw = payload.clone();
+        raw[8..16].copy_from_slice(&new);
+        let patched = Chunk::new(c.header, raw.into()).unwrap();
+        assert_eq!(inv.digest(), digest_of(&[patched]));
     }
 
     #[test]

@@ -4,9 +4,9 @@
 
 # Full lint gate: formatting, clippy, rustdoc — all warnings denied —
 # plus the release-mode test suite, the parallel-equivalence gate, the
-# BENCH regression gate, the reliability soak, the lineage sweep, and the
-# deterministic-trace replay.
-lint: check test-release test-parallel bench-check soak lineage trace
+# BENCH regression gate, the reliability soak, the adversarial overlap
+# sweep, the lineage sweep, and the deterministic-trace replay.
+lint: check test-release test-parallel bench-check soak soak-overlap lineage trace
 
 # Static gate only: formatting, clippy, rustdoc.
 check: fmt clippy doc
@@ -36,6 +36,12 @@ test-release:
 # release mode, well under 60 s. Rewrites BENCH_soak.json at the repo root.
 soak:
     cargo run --release --bin experiments soak --describe "$(git describe --always --dirty 2>/dev/null || echo unknown)"
+
+# Adversarial overlap sweep: overlap policy × reassembly attack × memory
+# budget, proving serial/parallel equivalence, WSC-2 integrity authority,
+# and bounded memory under flood. Rewrites BENCH_overlap.json at the root.
+soak-overlap:
+    cargo run --release --bin experiments overlap --describe "$(git describe --always --dirty 2>/dev/null || echo unknown)"
 
 # Parallel-equivalence gate: the full 200-scenario differential sweep plus
 # the deterministic-schedule and closure-algebra suites, release mode.

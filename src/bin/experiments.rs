@@ -15,8 +15,8 @@
 
 use chunks::experiments::{
     appendix_b, b1_receiver_modes, b2_frag_systems, b3_lockup, b4_codes, b5_compress, b6_demux,
-    b7_turner, b8_gap_budget, bench_check, figures, lineage, parallel, soak, table1, trace, SEED,
-    SEED2,
+    b7_turner, b8_gap_budget, bench_check, figures, lineage, overlap, parallel, soak, table1,
+    trace, SEED, SEED2,
 };
 
 /// One parsed invocation: an experiment name plus its optional argument.
@@ -115,6 +115,17 @@ fn run_one(job: &Job, describe: &str) -> bool {
             }
             r.passes()
         }
+        "overlap" => {
+            let r = overlap::run(SEED);
+            println!("{r}");
+            // Same seed, same rows — every cell is reproducible.
+            let deterministic = overlap::run(SEED) == r;
+            if let Err(e) = std::fs::write("BENCH_overlap.json", overlap::bench_json(&r, describe))
+            {
+                eprintln!("could not write BENCH_overlap.json: {e}");
+            }
+            deterministic && r.passes()
+        }
         "lineage" => {
             let r = lineage::run(SEED);
             println!("{r}");
@@ -178,6 +189,7 @@ fn main() {
         "b8",
         "soak",
         "parallel",
+        "overlap",
         "lineage",
         "trace",
     ];

@@ -3,8 +3,9 @@
 //!
 //! Two classes of file, two checks:
 //!
-//! * **Exact** (`BENCH_lineage.json`, `BENCH_soak.json`) — every value
-//!   rides the virtual clock, so the check regenerates the file with the
+//! * **Exact** (`BENCH_lineage.json`, `BENCH_soak.json`,
+//!   `BENCH_overlap.json`) — every value rides the virtual clock, so the
+//!   check regenerates the file with the
 //!   committed `meta.describe` and diffs byte for byte. Tolerance is zero:
 //!   any drift means either the code's behaviour changed (commit the
 //!   regenerated file deliberately) or determinism broke (fix it).
@@ -19,7 +20,7 @@
 use std::fmt;
 
 use super::benchjson::{parse, Value};
-use super::{lineage, soak, SEED, SEED2};
+use super::{lineage, overlap, soak, SEED, SEED2};
 
 /// How one file fared.
 #[derive(Clone, PartialEq, Debug)]
@@ -196,6 +197,9 @@ pub fn run() -> BenchCheckResult {
             check_file("BENCH_soak.json", true, |describe| {
                 let (r1, r2) = (soak::run(SEED), soak::run(SEED2));
                 soak::bench_json(&[&r1, &r2], describe)
+            }),
+            check_file("BENCH_overlap.json", true, |describe| {
+                overlap::bench_json(&overlap::run(SEED), describe)
             }),
             check_file("BENCH_parallel.json", false, |_| String::new()),
             check_file("BENCH_wsc.json", false, |_| String::new()),

@@ -24,6 +24,7 @@ pub mod bench_check;
 pub mod benchjson;
 pub mod figures;
 pub mod lineage;
+pub mod overlap;
 pub mod parallel;
 pub mod soak;
 pub mod table1;

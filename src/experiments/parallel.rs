@@ -99,11 +99,13 @@ fn layout() -> InvariantLayout {
 fn specs() -> Vec<ConnSpec> {
     conn_ids()
         .iter()
-        .map(|&id| ConnSpec {
-            params: params(id),
-            layout: layout(),
-            mode: DeliveryMode::Immediate,
-            capacity_elements: MESSAGE_BYTES as u64 + 4 * TPDU_ELEMENTS as u64,
+        .map(|&id| {
+            ConnSpec::new(
+                params(id),
+                layout(),
+                DeliveryMode::Immediate,
+                MESSAGE_BYTES as u64 + 4 * TPDU_ELEMENTS as u64,
+            )
         })
         .collect()
 }

@@ -153,7 +153,9 @@ fn classify(chunks: Vec<Chunk>) -> Channel {
         if let RxEvent::TpduFailed { reason, .. } = e {
             let c = match reason {
                 FailureReason::EdMismatch => Channel::EdCode,
-                FailureReason::Consistency => Channel::Consistency,
+                // An overlap conflict is label-consistency detection: the
+                // labels place two differing payloads at one position.
+                FailureReason::Consistency | FailureReason::OverlapConflict => Channel::Consistency,
                 FailureReason::ReassemblyError | FailureReason::BadChunk => Channel::Reassembly,
             };
             // First failure wins (it is what an implementation would log).

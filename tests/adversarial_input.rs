@@ -76,6 +76,74 @@ proptest! {
     }
 
     #[test]
+    fn receiver_survives_manufactured_overlaps_and_zero_spans(
+        shift in 1u32..48,
+        truncate in 0u32..4,
+        policy_idx in 0usize..3,
+    ) {
+        use chunks::core::label::ChunkType;
+        use chunks::core::packet::unpack;
+        use chunks::vreasm::OverlapPolicy;
+
+        let policy = OverlapPolicy::ALL[policy_idx];
+        let mut tx = Sender::new(SenderConfig {
+            params: params(),
+            layout: layout(),
+            mtu: 256,
+            min_tpdu_elements: 4,
+            max_tpdu_elements: 64,
+        });
+        let payload: Vec<u8> = (0..256).map(|i| (i * 5 + 1) as u8).collect();
+        tx.submit_simple(&payload, 0xE, false);
+        let packets = tx.packets_for_pending().unwrap();
+        let mut rx = Receiver::new(DeliveryMode::Reassemble, params(), layout(), 4096)
+            .with_policy(policy);
+        for (i, p) in packets.iter().enumerate() {
+            let now = i as u64;
+            let _ = rx.handle_packet(p, now);
+            for c in unpack(p).unwrap() {
+                if c.header.ty != ChunkType::Data {
+                    continue;
+                }
+                // An overlapping span: the same group key (both SNs shift
+                // together), the original bytes re-offered at a shifted
+                // offset — and optionally with a truncated LEN, so the
+                // overlap cuts mid-chunk. Labels stay self-consistent
+                // (payload length always matches SIZE × LEN).
+                let mut dup = c.clone();
+                dup.header.conn.sn = dup.header.conn.sn.wrapping_add(shift);
+                dup.header.tpdu.sn = dup.header.tpdu.sn.wrapping_add(shift);
+                if truncate > 0 && dup.header.len > truncate {
+                    dup.header.len -= truncate;
+                    let keep = dup.header.len as usize * dup.header.size as usize;
+                    dup.payload = dup.payload.slice(0..keep);
+                }
+                let _ = rx.handle_chunk(dup, now);
+                // A zero-length span at the same position: LEN = 0, no
+                // payload bytes at all.
+                let mut zero = c.clone();
+                zero.header.len = 0;
+                zero.payload = Vec::new().into();
+                let _ = rx.handle_chunk(zero, now);
+            }
+        }
+        let _ = rx.expire_incomplete();
+        // Conflicts must surface as typed failures, never as corruption:
+        // whatever the policy, the verified prefix holds the sender's bytes
+        // exactly.
+        let vp = (rx.verified_prefix() as usize).min(payload.len());
+        prop_assert_eq!(&rx.app_data()[..vp], &payload[..vp]);
+        // Under the reject policy a diagnosed conflict condemns its group —
+        // the failure is reported, not swallowed.
+        if policy == OverlapPolicy::Reject && rx.stats.overlap_conflicts > 0 {
+            prop_assert!(
+                rx.stats.tpdus_failed > 0 || !rx.failed_starts().is_empty(),
+                "diagnosed conflicts must surface as typed failures"
+            );
+        }
+    }
+
+    #[test]
     fn demux_survives_random_packets(
         frames in proptest::collection::vec(
             proptest::collection::vec(any::<u8>(), 0..256), 1..8),

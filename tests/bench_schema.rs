@@ -5,9 +5,10 @@
 
 use chunks::experiments::benchjson::{parse, Value};
 
-const BENCH_FILES: [&str; 4] = [
+const BENCH_FILES: [&str; 5] = [
     "BENCH_lineage.json",
     "BENCH_soak.json",
+    "BENCH_overlap.json",
     "BENCH_parallel.json",
     "BENCH_wsc.json",
 ];
@@ -85,6 +86,47 @@ fn wsc_rows_pin_backend_and_batch_width() {
         assert!(
             batch >= 1.0 && batch.fract() == 0.0,
             "{id}: batch width must be a positive integer, got {batch}"
+        );
+    }
+}
+
+#[test]
+fn overlap_rows_pin_the_full_cell_coordinates_and_the_two_proofs() {
+    // Every row of the adversarial sweep must say exactly which cell it is
+    // (policy × attack × budget) and carry the two per-cell proofs: the
+    // serial/parallel equivalence bit and the corrupted-delivery count
+    // (which the committed file must show as zero — WSC-2 is the integrity
+    // authority under every overlap policy).
+    let v = load("BENCH_overlap.json");
+    let results = v.get("results").and_then(Value::as_arr).unwrap();
+    assert_eq!(results.len(), 18, "3 policies × 3 attacks × 2 budgets");
+    for row in results {
+        let coord = |key: &str, allowed: &[&str]| {
+            let s = row
+                .get(key)
+                .and_then(Value::as_str)
+                .unwrap_or_else(|| panic!("overlap row: no `{key}` string"));
+            assert!(allowed.contains(&s), "overlap row: unknown {key} {s:?}");
+        };
+        coord("policy", &["reject", "first-wins", "last-wins"]);
+        coord(
+            "attack",
+            &[
+                "shifted-duplicate",
+                "conflicting-rewrite",
+                "tiny-fragment-flood",
+            ],
+        );
+        coord("budget", &["unlimited", "capped"]);
+        assert_eq!(
+            row.get("parallel_identical"),
+            Some(&Value::Bool(true)),
+            "committed overlap row must be serial/parallel byte-identical"
+        );
+        assert_eq!(
+            row.get("corrupted_deliveries").and_then(Value::as_f64),
+            Some(0.0),
+            "committed overlap row must never deliver corrupted bytes"
         );
     }
 }

@@ -150,11 +150,13 @@ impl Scenario {
     pub fn specs(&self) -> Vec<ConnSpec> {
         self.conn_ids()
             .iter()
-            .map(|&id| ConnSpec {
-                params: self.params(id),
-                layout: self.layout(),
-                mode: self.mode,
-                capacity_elements: self.capacity_elements(),
+            .map(|&id| {
+                ConnSpec::new(
+                    self.params(id),
+                    self.layout(),
+                    self.mode,
+                    self.capacity_elements(),
+                )
             })
             .collect()
     }
@@ -192,6 +194,7 @@ impl Scenario {
                     sacks: vec![11],
                     gaps: vec![(8, 9)],
                     need_ed: vec![],
+                    pressure: false,
                 },
             );
             mux.enqueue_signal(&Signal::Teardown { conn_id: 0xFEED });

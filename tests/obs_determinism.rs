@@ -178,12 +178,7 @@ fn layout() -> InvariantLayout {
 }
 
 fn spec(conn_id: u32) -> ConnSpec {
-    ConnSpec {
-        params: params(conn_id),
-        layout: layout(),
-        mode: DeliveryMode::Immediate,
-        capacity_elements: 512,
-    }
+    ConnSpec::new(params(conn_id), layout(), DeliveryMode::Immediate, 512)
 }
 
 #[test]
@@ -270,11 +265,13 @@ fn recording_sink_is_differentially_transparent_on_the_parallel_path() {
 /// Every event variant name (kept in sync by the match in the test body —
 /// adding a variant without extending this list fails the doc-sync test
 /// only if the docs also miss it, but `Event::name` is exercised above).
-const EVENT_NAMES: [&str; 10] = [
+const EVENT_NAMES: [&str; 12] = [
     "ChunkDecoded",
     "ChunkRejected",
     "ChunkMutated",
     "GroupDelivered",
+    "GroupEvicted",
+    "OverlapConflict",
     "PathChosen",
     "RetransmitFired",
     "BackoffApplied",

@@ -103,11 +103,13 @@ fn sender_session(conn_id: u32) -> Session {
 
 fn specs() -> Vec<ConnSpec> {
     conn_ids()
-        .map(|id| ConnSpec {
-            params: params(id),
-            layout: layout(),
-            mode: DeliveryMode::Immediate,
-            capacity_elements: MSG_LEN as u64 + 256,
+        .map(|id| {
+            ConnSpec::new(
+                params(id),
+                layout(),
+                DeliveryMode::Immediate,
+                MSG_LEN as u64 + 256,
+            )
         })
         .collect()
 }
