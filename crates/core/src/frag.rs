@@ -106,6 +106,9 @@ pub fn merge(a: &Chunk, b: &Chunk) -> Result<Chunk, CoreError> {
         },
         ..a.header
     };
+    // Must own: the two payloads are (in general) slices of different
+    // buffers; a merged chunk needs one contiguous run, so this is the one
+    // place reassembly genuinely gathers bytes.
     let mut payload = Vec::with_capacity(a.payload.len() + b.payload.len());
     payload.extend_from_slice(&a.payload);
     payload.extend_from_slice(&b.payload);
@@ -127,6 +130,8 @@ pub fn extract(chunk: &Chunk, offset: u32, len: u32) -> Result<Chunk, CoreError>
             len: chunk.header.len,
         });
     }
+    // Not a payload copy: `Chunk::clone` refcounts the shared buffer, and
+    // the `split` calls below slice it — no bytes move in `extract`.
     let mut piece = chunk.clone();
     if offset > 0 {
         piece = split(&piece, offset)?.1;

@@ -254,6 +254,101 @@ pub fn chunk_spans(packet: &Packet) -> Result<Vec<(usize, usize)>, CoreError> {
     Ok(spans)
 }
 
+/// Validates a packet's framing without allocating, returning the number of
+/// chunks it carries.
+///
+/// This is the allocation-free twin of [`chunk_spans`]: the same end-marker,
+/// padding, truncation, oversize and header rules apply, so a packet is
+/// accepted by `validate` exactly when `chunk_spans`/[`unpack`] accept it,
+/// with the same error otherwise. The zero-copy receive path runs this scan
+/// first — preserving `unpack`'s whole-packet reject semantics — and then
+/// walks the (now known-good) spans with [`spans`], decoding each chunk in
+/// place without a `Vec` of spans or a `Vec` of chunks.
+pub fn validate(packet: &Packet) -> Result<usize, CoreError> {
+    let bytes: &[u8] = &packet.bytes;
+    let mut count = 0usize;
+    let mut at = 0usize;
+    while at < bytes.len() {
+        let rest = &bytes[at..];
+        if rest.len() < WIRE_HEADER_LEN {
+            if rest.iter().all(|&b| b == 0) {
+                break;
+            }
+            return Err(CoreError::Truncated);
+        }
+        let header = crate::wire::decode_header(rest)?;
+        if header.len == 0 {
+            if rest[WIRE_HEADER_LEN..].iter().any(|&b| b != 0) {
+                return Err(CoreError::TrailingGarbage);
+            }
+            break;
+        }
+        header.validate()?;
+        let claimed = header.size as u64 * header.len as u64;
+        if claimed > MAX_DECODE_PAYLOAD as u64 {
+            return Err(CoreError::OversizedLen {
+                claimed,
+                max: MAX_DECODE_PAYLOAD as u64,
+            });
+        }
+        let total = WIRE_HEADER_LEN + claimed as usize;
+        if rest.len() < total {
+            return Err(CoreError::Truncated);
+        }
+        count += 1;
+        at += total;
+    }
+    Ok(count)
+}
+
+/// Iterates the chunk byte spans of an **already-validated** packet without
+/// allocating. On a packet [`validate`] accepted, this yields exactly the
+/// spans [`chunk_spans`] would collect; on anything else it simply stops at
+/// the first inconsistency (it cannot report errors — run [`validate`]
+/// first).
+pub fn spans(packet: &Packet) -> Spans<'_> {
+    Spans {
+        bytes: &packet.bytes,
+        at: 0,
+    }
+}
+
+/// Iterator over chunk spans of a validated packet. See [`spans`].
+#[derive(Debug)]
+pub struct Spans<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Iterator for Spans<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        if self.at >= self.bytes.len() {
+            return None;
+        }
+        let rest = &self.bytes[self.at..];
+        if rest.len() < WIRE_HEADER_LEN {
+            return None;
+        }
+        let header = crate::wire::decode_header(rest).ok()?;
+        if header.len == 0 {
+            return None;
+        }
+        let claimed = header.size as u64 * header.len as u64;
+        if claimed > MAX_DECODE_PAYLOAD as u64 {
+            return None;
+        }
+        let total = WIRE_HEADER_LEN + claimed as usize;
+        if rest.len() < total {
+            return None;
+        }
+        let span = (self.at, self.at + total);
+        self.at += total;
+        Some(span)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,8 +496,30 @@ mod tests {
                     assert_eq!(used, hi - lo);
                     assert_eq!(&decoded, chunk);
                 }
+                // The allocation-free scan agrees too, span for span.
+                assert_eq!(validate(p).unwrap(), spans.len());
+                let streamed: Vec<(usize, usize)> = super::spans(p).collect();
+                assert_eq!(streamed, spans);
+                // And the zero-copy decode sees the same chunks, sharing the
+                // packet's buffer instead of copying out of it.
+                for ((lo, hi), chunk) in spans.iter().zip(&chunks) {
+                    let (zc, used) = crate::wire::decode_chunk_at(&p.bytes, *lo).unwrap();
+                    assert_eq!(used, hi - lo);
+                    assert_eq!(&zc, chunk);
+                    let range = p.bytes.as_ptr_range();
+                    if !zc.payload.is_empty() {
+                        let pp = zc.payload.as_ptr();
+                        assert!(
+                            range.contains(&pp),
+                            "zero-copy payload must borrow the packet buffer"
+                        );
+                    }
+                }
             }
-            (Err(a), Err(b)) => assert_eq!(a, b),
+            (Err(a), Err(b)) => {
+                assert_eq!(a, b);
+                assert_eq!(validate(p).unwrap_err(), a);
+            }
             (a, b) => panic!("span scan {a:?} disagrees with unpack {b:?}"),
         }
     }

@@ -97,9 +97,38 @@ pub fn encode_chunk(c: &Chunk, out: &mut Vec<u8>) {
     out.extend_from_slice(&c.payload);
 }
 
-/// Decodes one chunk from the front of `buf`, returning it together with the
-/// number of bytes consumed.
-pub fn decode_chunk(buf: &[u8]) -> Result<(Chunk, usize), CoreError> {
+/// A decoded chunk whose payload *borrows* the wire buffer.
+///
+/// The zero-copy receive path decodes headers in place and keeps payloads as
+/// borrowed slices of the arriving packet; nothing is materialised until (and
+/// unless) the chunk is staged. Validation is identical to [`decode_chunk`]:
+/// the two functions accept and reject exactly the same inputs, and on
+/// acceptance the borrowed payload is bitwise equal to the owned copy (a
+/// property `tests/chunk_closure_props.rs` pins for arbitrary packets).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChunkRef<'a> {
+    /// The decoded, validated header.
+    pub header: ChunkHeader,
+    /// The payload, borrowed from the wire buffer.
+    pub payload: &'a [u8],
+}
+
+impl ChunkRef<'_> {
+    /// Materialises an owned [`Chunk`], copying the payload. The receive
+    /// path avoids this; it exists for callers that must outlive the buffer.
+    pub fn to_chunk(&self) -> Chunk {
+        Chunk {
+            header: self.header,
+            payload: Bytes::copy_from_slice(self.payload),
+        }
+    }
+}
+
+/// Shared validation core: decodes and validates the header at the front of
+/// `buf` and returns `(header, total wire length)` without touching the
+/// payload bytes.
+#[inline]
+fn decode_validated(buf: &[u8]) -> Result<(ChunkHeader, usize), CoreError> {
     let header = decode_header(buf)?;
     header.validate()?;
     // Widen before multiplying: `SIZE * LEN` approaches 2^48, which on a
@@ -112,12 +141,48 @@ pub fn decode_chunk(buf: &[u8]) -> Result<(Chunk, usize), CoreError> {
             max: MAX_DECODE_PAYLOAD as u64,
         });
     }
-    let plen = claimed as usize;
-    let total = WIRE_HEADER_LEN + plen;
+    let total = WIRE_HEADER_LEN + claimed as usize;
     if buf.len() < total {
         return Err(CoreError::Truncated);
     }
+    Ok((header, total))
+}
+
+/// Decodes one chunk from the front of `buf`, returning it together with the
+/// number of bytes consumed. The payload is **copied** out of the buffer —
+/// this is the owned decode the zero-copy path is differentially tested
+/// against; hot paths use [`decode_chunk_at`] instead.
+pub fn decode_chunk(buf: &[u8]) -> Result<(Chunk, usize), CoreError> {
+    let (header, total) = decode_validated(buf)?;
     let payload = Bytes::copy_from_slice(&buf[WIRE_HEADER_LEN..total]);
+    Ok((Chunk { header, payload }, total))
+}
+
+/// Decodes one chunk from the front of `buf` with a borrowed payload —
+/// same accept/reject behaviour as [`decode_chunk`], no copy, no allocation.
+pub fn decode_chunk_ref(buf: &[u8]) -> Result<(ChunkRef<'_>, usize), CoreError> {
+    let (header, total) = decode_validated(buf)?;
+    Ok((
+        ChunkRef {
+            header,
+            payload: &buf[WIRE_HEADER_LEN..total],
+        },
+        total,
+    ))
+}
+
+/// Decodes one chunk starting at byte `at` of a packet's [`Bytes`], with the
+/// payload as a zero-copy sub-slice sharing the packet's buffer. No payload
+/// byte is copied and nothing is allocated; the returned [`Chunk`] keeps the
+/// packet buffer alive for as long as it (or any stage it is handed to)
+/// holds the slice. Accept/reject behaviour is identical to running
+/// [`decode_chunk`] on `&bytes[at..]`.
+pub fn decode_chunk_at(bytes: &Bytes, at: usize) -> Result<(Chunk, usize), CoreError> {
+    if at > bytes.len() {
+        return Err(CoreError::Truncated);
+    }
+    let (header, total) = decode_validated(&bytes[at..])?;
+    let payload = bytes.slice(at + WIRE_HEADER_LEN..at + total);
     Ok((Chunk { header, payload }, total))
 }
 

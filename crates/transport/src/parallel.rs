@@ -45,8 +45,8 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use chunks_core::label::ChunkType;
-use chunks_core::packet::{chunk_spans, Packet};
-use chunks_core::wire::{decode_chunk, decode_chunk_observed, labels_of};
+use chunks_core::packet::{spans, validate, Packet};
+use chunks_core::wire::{decode_chunk_at, decode_chunk_observed, labels_of};
 use chunks_obs::{Event, Labels, ObsSink, SpanId, Stage};
 use chunks_vreasm::OverlapPolicy;
 use chunks_wsc::{InvariantLayout, Wsc2Stream};
@@ -280,6 +280,9 @@ enum Work {
     Chunk { raw: Bytes, now: u64 },
     /// Clear a failed/incomplete group so a retransmission verifies afresh.
     Reset { conn_id: u32, start: u64 },
+    /// Pre-size every owned receiver (and the worker's event buffers) for
+    /// an expected load, so the steady state that follows allocates nothing.
+    Reserve { tpdus: usize, fragments: usize },
     /// Barrier: reply with per-connection snapshots (threads engine).
     Sync(mpsc::Sender<Vec<SyncSnapshot>>),
 }
@@ -337,10 +340,14 @@ impl Shard {
         let started = Instant::now();
         match work {
             Work::Chunk { raw, now } => {
+                // The zero-copy decode slices the chunk's payload straight
+                // out of the dispatched span (itself a slice of the arriving
+                // packet); only the observed decode still materialises a
+                // copy, in exchange for its per-chunk trace events.
                 let decoded = if self.obs_on {
                     decode_chunk_observed(&raw, now, &*self.obs)
                 } else {
-                    decode_chunk(&raw)
+                    decode_chunk_at(&raw, 0)
                 };
                 let chunk = match decoded {
                     Ok((c, _)) => c,
@@ -356,19 +363,32 @@ impl Shard {
                     return;
                 };
                 self.chunks += 1;
-                let events = rx.handle_chunk(chunk, now);
-                for event in &events {
+                // Events append straight into the connection's merge buffer;
+                // the freshly-appended tail is then scanned for deliveries
+                // to fold into the worker transcript. No per-chunk Vec.
+                let events = self.events.entry(conn_id).or_default();
+                let before = events.len();
+                rx.handle_chunk_into(chunk, now, events);
+                for event in &events[before..] {
                     if let RxEvent::TpduDelivered { start, .. } = event {
                         if let Some(code) = rx.delivered_code(*start) {
                             self.transcript.fold_code(&code);
                         }
                     }
                 }
-                self.events.entry(conn_id).or_default().extend(events);
             }
             Work::Reset { conn_id, start } => {
                 if let Some(rx) = self.receivers.get_mut(&conn_id) {
                     rx.reset_group(start);
+                }
+            }
+            Work::Reserve { tpdus, fragments } => {
+                for (&id, rx) in self.receivers.iter_mut() {
+                    rx.reserve(tpdus, fragments);
+                    // Deliveries dominate the event stream: one TpduDelivered
+                    // per TPDU plus occasional control events; 2× covers the
+                    // measurement windows the alloc gate drives.
+                    self.events.entry(id).or_default().reserve(tpdus * 2);
                 }
             }
             Work::Sync(reply) => {
@@ -419,12 +439,27 @@ impl Picker {
 
     /// Picks the next worker with pending work, or `None` when all queues
     /// are empty.
+    ///
+    /// Runs once per drained work item, so every schedule selects by
+    /// positional scan: no candidate list is materialised. Each arm picks
+    /// exactly the worker the old collect-then-index implementation picked
+    /// (the index-`k` entry of the ascending non-empty list is the `k`-th
+    /// non-empty queue in index order).
     fn next(&mut self, queues: &[VecDeque<Work>]) -> Option<usize> {
         let n = queues.len();
-        let nonempty: Vec<usize> = (0..n).filter(|&i| !queues[i].is_empty()).collect();
-        if nonempty.is_empty() {
+        let nonempty = queues.iter().filter(|q| !q.is_empty()).count();
+        if nonempty == 0 {
             return None;
         }
+        let kth_nonempty = |k: usize, skip: Option<usize>| -> usize {
+            queues
+                .iter()
+                .enumerate()
+                .filter(|&(i, q)| Some(i) != skip && !q.is_empty())
+                .nth(k)
+                .map(|(i, _)| i)
+                .expect("k-th non-empty queue exists")
+        };
         let pick = match &self.schedule {
             Schedule::Fair => {
                 let chosen = (0..n)
@@ -447,7 +482,7 @@ impl Picker {
                     .lcg
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(1442695040888963407);
-                nonempty[((self.lcg >> 33) as usize) % nonempty.len()]
+                kth_nonempty(((self.lcg >> 33) as usize) % nonempty, None)
             }
             Schedule::Rotation(order) => {
                 assert!(!order.is_empty(), "rotation order must name a worker");
@@ -464,14 +499,18 @@ impl Picker {
                 // Every worker in the order is empty but some queue is not:
                 // the order must cover all workers with work, so fall back
                 // to the first non-empty to guarantee progress.
-                chosen.unwrap_or(nonempty[0])
+                chosen.unwrap_or_else(|| kth_nonempty(0, None))
             }
             Schedule::Starve(victim) => {
-                let others: Vec<usize> = nonempty.iter().copied().filter(|i| i != victim).collect();
-                if others.is_empty() {
+                let others = if queues[*victim].is_empty() {
+                    nonempty
+                } else {
+                    nonempty - 1
+                };
+                if others == 0 {
                     *victim
                 } else {
-                    let chosen = others[self.cursor % others.len()];
+                    let chosen = kth_nonempty(self.cursor % others, Some(*victim));
                     self.cursor += 1;
                     chosen
                 }
@@ -611,26 +650,49 @@ impl ParallelReceiver {
     /// rejects the whole packet), then routes each span.
     pub fn ingest(&mut self, packet: &Packet, now: u64) {
         let started = Instant::now();
+        self.ingest_inner(packet, now);
+        self.dispatch_ns += started.elapsed().as_nanos() as u64;
+    }
+
+    /// Ingests a batch of packets arriving at the same virtual time. The
+    /// dispatch clock is read once per batch, so per-packet ingest overhead
+    /// amortises across the batch.
+    pub fn ingest_batch(&mut self, packets: &[Packet], now: u64) {
+        let started = Instant::now();
+        for packet in packets {
+            self.ingest_inner(packet, now);
+        }
+        self.dispatch_ns += started.elapsed().as_nanos() as u64;
+    }
+
+    /// Pre-sizes every worker's receivers and event buffers for an expected
+    /// load of `tpdus` TPDU groups and `fragments` tracked fragment runs, so
+    /// the steady state that follows stays allocation-free. Travels the work
+    /// queues like any other item, so it is ordered with the data.
+    pub fn reserve(&mut self, tpdus: usize, fragments: usize) {
+        for worker in 0..self.workers {
+            self.send(worker, Work::Reserve { tpdus, fragments });
+        }
+    }
+
+    fn ingest_inner(&mut self, packet: &Packet, now: u64) {
         self.last_now = now;
         self.dispatch.packets += 1;
         if self.obs_on {
             self.obs.counter("transport.parallel.packets", 1);
         }
-        let spans = match chunk_spans(packet) {
-            Ok(s) => s,
-            Err(_) => {
-                self.dispatch.bad_packets += 1;
-                if self.obs_on {
-                    self.obs.counter("transport.parallel.bad_packets", 1);
-                }
-                self.dispatch_ns += started.elapsed().as_nanos() as u64;
-                return;
+        // One allocation-free validation scan, then a streaming span walk:
+        // the span list is never materialised.
+        if validate(packet).is_err() {
+            self.dispatch.bad_packets += 1;
+            if self.obs_on {
+                self.obs.counter("transport.parallel.bad_packets", 1);
             }
-        };
-        for (at, end) in spans {
-            let raw = packet.bytes.slice(at..end);
-            // The span walk already validated this header.
-            let Ok(header) = chunks_core::wire::decode_header(&raw) else {
+            return;
+        }
+        for (at, end) in spans(packet) {
+            // The validation scan already vetted this header.
+            let Ok(header) = chunks_core::wire::decode_header(&packet.bytes[at..]) else {
                 continue;
             };
             let stamp = self.stamp;
@@ -638,7 +700,7 @@ impl ParallelReceiver {
             self.dispatch.routed[header.ty.to_u8() as usize] += 1;
             match header.ty {
                 ChunkType::Ack => {
-                    if let Ok((chunk, _)) = decode_chunk(&raw) {
+                    if let Ok((chunk, _)) = decode_chunk_at(&packet.bytes, at) {
                         if let Ok(ack) = AckInfo::from_chunk(&chunk) {
                             self.control.push(ControlEvent {
                                 stamp,
@@ -651,7 +713,7 @@ impl ParallelReceiver {
                     }
                 }
                 ChunkType::Signal => {
-                    if let Ok((chunk, _)) = decode_chunk(&raw) {
+                    if let Ok((chunk, _)) = decode_chunk_at(&packet.bytes, at) {
                         if let Ok(s) = Signal::from_chunk(&chunk) {
                             self.control.push(ControlEvent {
                                 stamp,
@@ -681,6 +743,7 @@ impl ParallelReceiver {
                                 .span_open(now, SpanId::new(labels, Stage::MergeQueue));
                             self.merge_open.push(labels);
                         }
+                        let raw = packet.bytes.slice(at..end);
                         self.send(worker, Work::Chunk { raw, now });
                     } else {
                         if self.obs_on {
@@ -695,7 +758,6 @@ impl ParallelReceiver {
                 ChunkType::Padding => {}
             }
         }
-        self.dispatch_ns += started.elapsed().as_nanos() as u64;
     }
 
     /// Clears a failed/incomplete group on `conn_id` so a retransmission
@@ -743,6 +805,14 @@ impl ParallelReceiver {
                 shards[w].process(work);
             }
         }
+    }
+
+    /// Drives all queued work to completion without snapshotting anything —
+    /// the allocation-free barrier the hot-path alloc tests measure across.
+    /// On the virtual engine this processes every queued item inline; on the
+    /// threads engine the workers drain continuously and this is a no-op.
+    pub fn drain(&mut self) {
+        self.drain_virtual();
     }
 
     /// Mid-stream snapshot of every registered connection, sorted by

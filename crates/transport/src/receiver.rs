@@ -28,7 +28,8 @@ use std::sync::Arc;
 
 use chunks_core::chunk::Chunk;
 use chunks_core::label::ChunkType;
-use chunks_core::packet::{unpack, unpack_observed, Packet};
+use chunks_core::packet::{spans, unpack, unpack_observed, validate, Packet};
+use chunks_core::wire::decode_chunk_at;
 use chunks_obs::{Event, Labels, ObsSink, SpanId, Stage};
 use chunks_vreasm::{OverlapPolicy, PduTracker, Reassembly, Resolution, TrackEvent};
 use chunks_wsc::{InvariantLayout, TpduInvariant};
@@ -174,6 +175,22 @@ struct Group {
     last_touch: u64,
 }
 
+/// Compact record of a delivered TPDU. On delivery the heavyweight [`Group`]
+/// (interval slab, X-delta table, staging `Vec`) moves to the receiver's
+/// pool for reuse by the next TPDU; everything later queries need — the
+/// verified code, the digest, the element count, and the known end for
+/// duplicate classification — survives here, heap-free.
+#[derive(Clone, Debug)]
+struct Done {
+    elements: u64,
+    /// One past the last `T.SN`-space element (the tracker's known end),
+    /// used to classify late retransmissions exactly as the full tracker
+    /// would have.
+    end: u64,
+    code: chunks_wsc::Wsc2,
+    digest: [u8; 8],
+}
+
 /// The chunk receiver for one connection.
 #[derive(Debug)]
 pub struct Receiver {
@@ -196,10 +213,25 @@ pub struct Receiver {
     in_order: u64,
     /// Out-of-order staging for Reorder mode: element index → (chunk, when).
     reorder_q: HashMap<u64, (Chunk, u64)>,
+    /// Open and failed groups only; delivered groups collapse into `done`.
     groups: HashMap<u64, Group>,
+    /// Delivered TPDUs, keyed by start: the compact remainder of a group
+    /// after its heavy state returned to `pool`.
+    done: HashMap<u64, Done>,
+    /// Recycled group shells (cleared trackers with warm interval slabs,
+    /// cleared X-delta tables, empty staging `Vec`s with their capacity).
+    /// Fed by delivery, eviction, and group reset; drained by
+    /// [`Self::group_entry`] — in steady state a new TPDU opens without
+    /// touching the allocator.
+    pool: Vec<Group>,
     /// Verified-and-delivered TPDU starts (drives acks).
     delivered: Vec<u64>,
     closed: bool,
+    /// Differential-test oracle: when set, `handle_packet` decodes through
+    /// the pre-refactor owned path (`unpack`, one payload copy per chunk)
+    /// instead of the zero-copy span walk. Behaviour must be identical —
+    /// `tests/parallel_differential.rs` replays every scenario both ways.
+    legacy_owned: bool,
     /// Accumulated statistics.
     pub stats: RxStats,
     /// Observability sink; [`chunks_obs::NullSink`] unless
@@ -232,8 +264,11 @@ impl Receiver {
             in_order: 0,
             reorder_q: HashMap::new(),
             groups: HashMap::new(),
+            done: HashMap::new(),
+            pool: Vec::new(),
             delivered: Vec::new(),
             closed: false,
+            legacy_owned: false,
             stats: RxStats::default(),
             obs: chunks_obs::null(),
             obs_on: false,
@@ -292,6 +327,33 @@ impl Receiver {
         self.mode
     }
 
+    /// Routes `handle_packet` through the pre-refactor owned decode path
+    /// (builder form). This is the differential-test oracle: identical
+    /// events, stats, and delivered bytes are required of both paths.
+    pub fn with_legacy_owned(mut self, on: bool) -> Self {
+        self.set_legacy_owned(on);
+        self
+    }
+
+    /// See [`Self::with_legacy_owned`].
+    pub fn set_legacy_owned(&mut self, on: bool) {
+        self.legacy_owned = on;
+    }
+
+    /// Pre-sizes every growth point on the receive path for `tpdus` more
+    /// TPDUs fragmenting into at most `fragments` disjoint runs, so a
+    /// steady-state window stays allocation-free (amortised `Vec`/map
+    /// doubling alone cannot promise a zero-allocation *window* — an
+    /// explicit reserve can). `tests/hotpath_allocs.rs` pins this.
+    pub fn reserve(&mut self, tpdus: usize, fragments: usize) {
+        self.groups.reserve(tpdus);
+        self.done.reserve(tpdus);
+        self.delivered.reserve(tpdus);
+        self.claimed.reserve(fragments);
+        self.reorder_q.reserve(fragments);
+        self.pool.reserve(tpdus);
+    }
+
     /// The application address space (element `i` at `i * elem_size`).
     pub fn app_data(&self) -> &[u8] {
         &self.app
@@ -303,7 +365,7 @@ impl Receiver {
             .delivered
             .iter()
             .map(|&s| {
-                let elements = self.groups.get(&s).map(|g| g.elements).unwrap_or_default();
+                let elements = self.done.get(&s).map(|d| d.elements).unwrap_or_default();
                 (s, elements)
             })
             .collect();
@@ -347,89 +409,162 @@ impl Receiver {
     /// data, ED, or the failure that condemns it — opens its `verify` span;
     /// the span closes at the WSC-2 verdict (delivery or failure).
     fn group_entry(&mut self, start: u64, now: u64) -> &mut Group {
-        if self.obs_on && !self.groups.contains_key(&start) {
-            self.obs
-                .span_open(now, SpanId::new(self.group_labels(start), Stage::Verify));
+        if !self.groups.contains_key(&start) {
+            if self.obs_on {
+                self.obs
+                    .span_open(now, SpanId::new(self.group_labels(start), Stage::Verify));
+            }
+            let group = match self.pool.pop() {
+                Some(g) => g,
+                None => Group {
+                    tracker: PduTracker::new(),
+                    inv: TpduInvariant::new(self.layout).expect("layout validated at framer"),
+                    x_deltas: HashMap::new(),
+                    ed: None,
+                    held: Vec::new(),
+                    failed: None,
+                    reported: false,
+                    elements: 0,
+                    last_touch: now,
+                },
+            };
+            self.groups.insert(start, group);
         }
-        let layout = self.layout;
-        let group = self.groups.entry(start).or_insert_with(|| Group {
-            tracker: PduTracker::new(),
-            inv: TpduInvariant::new(layout).expect("layout validated at framer"),
-            x_deltas: HashMap::new(),
-            ed: None,
-            held: Vec::new(),
-            failed: None,
-            reported: false,
-            elements: 0,
-            last_touch: now,
-        });
+        let group = self.groups.get_mut(&start).expect("just ensured");
         group.last_touch = now;
         group
     }
 
+    /// Returns a retired group's shell to the pool: every container is
+    /// cleared but keeps its capacity (the tracker's interval slab recycles
+    /// its nodes), so [`Self::group_entry`] can re-arm it for the next TPDU
+    /// without allocating.
+    fn recycle_group(&mut self, mut g: Group) {
+        g.tracker.clear();
+        g.inv.reset();
+        g.x_deltas.clear();
+        g.held.clear();
+        g.ed = None;
+        g.failed = None;
+        g.reported = false;
+        g.elements = 0;
+        self.pool.push(g);
+    }
+
     /// Handles one arriving packet at time `now`.
     pub fn handle_packet(&mut self, packet: &Packet, now: u64) -> Vec<RxEvent> {
-        self.last_now = now;
-        let parsed = if self.obs_on {
-            unpack_observed(packet, now, &*self.obs)
-        } else {
-            unpack(packet)
-        };
-        let chunks = match parsed {
-            Ok(c) => c,
-            Err(_) => {
-                self.stats.bad_packets += 1;
-                if self.obs_on {
-                    self.obs.counter("transport.rx.bad_packets", 1);
-                }
-                return Vec::new();
-            }
-        };
         let mut events = Vec::new();
-        for chunk in chunks {
-            events.extend(self.handle_chunk(chunk, now));
-        }
+        self.handle_packet_into(packet, now, &mut events);
         events
+    }
+
+    /// [`Self::handle_packet`], appending events into a caller-owned buffer
+    /// — the allocation-free form the hot path uses.
+    pub fn handle_packet_into(&mut self, packet: &Packet, now: u64, out: &mut Vec<RxEvent>) {
+        self.last_now = now;
+        self.packet_inner(packet, now, out);
+    }
+
+    /// Handles a batch of packets arriving at the same virtual time. The
+    /// per-call bookkeeping — the `now` stamp, the decode-path selection,
+    /// the caller's event buffer — is paid once per batch instead of once
+    /// per packet, and the deferred WSC folds inside each group's
+    /// `Wsc2Stream` amortise across the whole batch of absorbed chunks.
+    pub fn ingest_batch(&mut self, packets: &[Packet], now: u64, out: &mut Vec<RxEvent>) {
+        self.last_now = now;
+        for packet in packets {
+            self.packet_inner(packet, now, out);
+        }
+    }
+
+    fn packet_inner(&mut self, packet: &Packet, now: u64, out: &mut Vec<RxEvent>) {
+        if self.obs_on || self.legacy_owned {
+            // Observed decode keeps per-chunk trace events in wire order;
+            // the legacy-owned oracle keeps the pre-refactor copying decode.
+            let parsed = if self.obs_on {
+                unpack_observed(packet, now, &*self.obs)
+            } else {
+                unpack(packet)
+            };
+            match parsed {
+                Ok(chunks) => {
+                    for chunk in chunks {
+                        self.chunk_inner(chunk, now, out);
+                    }
+                }
+                Err(_) => {
+                    self.stats.bad_packets += 1;
+                    if self.obs_on {
+                        self.obs.counter("transport.rx.bad_packets", 1);
+                    }
+                }
+            }
+            return;
+        }
+        // Zero-copy hot path: one allocation-free validation scan preserves
+        // `unpack`'s whole-packet reject semantics, then each chunk decodes
+        // in place with its payload borrowing the packet's `Bytes`.
+        if validate(packet).is_err() {
+            self.stats.bad_packets += 1;
+            return;
+        }
+        for (at, _) in spans(packet) {
+            let Ok((chunk, _)) = decode_chunk_at(&packet.bytes, at) else {
+                debug_assert!(false, "validated packet must decode");
+                continue;
+            };
+            self.chunk_inner(chunk, now, out);
+        }
     }
 
     /// Handles one chunk at time `now`.
     pub fn handle_chunk(&mut self, chunk: Chunk, now: u64) -> Vec<RxEvent> {
+        let mut events = Vec::new();
+        self.handle_chunk_into(chunk, now, &mut events);
+        events
+    }
+
+    /// [`Self::handle_chunk`], appending events into a caller-owned buffer.
+    pub fn handle_chunk_into(&mut self, chunk: Chunk, now: u64, out: &mut Vec<RxEvent>) {
         self.last_now = now;
+        self.chunk_inner(chunk, now, out);
+    }
+
+    fn chunk_inner(&mut self, chunk: Chunk, now: u64, out: &mut Vec<RxEvent>) {
         match chunk.header.ty {
-            ChunkType::Data => self.handle_data(chunk, now),
-            ChunkType::ErrorDetection => self.handle_ed(chunk, now),
+            ChunkType::Data => self.handle_data(chunk, now, out),
+            ChunkType::ErrorDetection => self.handle_ed(chunk, now, out),
             ChunkType::Signal => match Signal::from_chunk(&chunk) {
-                Ok(s) => vec![RxEvent::Signalled(s)],
+                Ok(s) => out.push(RxEvent::Signalled(s)),
                 Err(_) => {
                     self.stats.bad_packets += 1;
                     if self.obs_on {
                         self.obs.counter("transport.rx.bad_packets", 1);
                     }
-                    Vec::new()
                 }
             },
             ChunkType::Ack => match AckInfo::from_chunk(&chunk) {
-                Ok(a) => vec![RxEvent::Acked(a)],
+                Ok(a) => out.push(RxEvent::Acked(a)),
                 Err(_) => {
                     self.stats.bad_packets += 1;
                     if self.obs_on {
                         self.obs.counter("transport.rx.bad_packets", 1);
                     }
-                    Vec::new()
                 }
             },
-            ChunkType::Padding => Vec::new(),
+            ChunkType::Padding => {}
         }
     }
 
-    fn handle_data(&mut self, chunk: Chunk, now: u64) -> Vec<RxEvent> {
+    fn handle_data(&mut self, chunk: Chunk, now: u64, out: &mut Vec<RxEvent>) {
         let h = chunk.header;
         // SIZE is signalled per connection; a mismatch is a corrupted SIZE
         // field (Table 1: reassembly error).
         if h.size != self.params.elem_size {
-            return self.group_failure(
+            return self.group_failure_into(
                 self.unwrap_csn(h.conn.sn.wrapping_sub(h.tpdu.sn)),
                 FailureReason::BadChunk,
+                out,
             );
         }
         let start = self.unwrap_csn(h.conn.sn.wrapping_sub(h.tpdu.sn));
@@ -437,16 +572,41 @@ impl Receiver {
         let len = h.len as u64;
         let esize = self.params.elem_size as usize;
         if (first + len) as usize * esize > self.app.len() {
-            return self.group_failure(start, FailureReason::BadChunk);
+            return self.group_failure_into(start, FailureReason::BadChunk, out);
         }
 
         // Budget admission runs before any group or invariant state mutates,
         // so a shed chunk leaves no trace in the verification state and a
         // clean retransmission can land later.
-        if self.budget.is_limited() {
-            if let Some(events) = self.admit(start, first, len, now) {
-                return events;
+        if self.budget.is_limited() && self.admit_into(start, first, len, now, out) {
+            return;
+        }
+
+        // Delivered groups have collapsed into the `done` tier; their heavy
+        // state is recycled. Late copies aimed at a delivered TPDU replay the
+        // legacy semantics exactly, derived from what the retired group would
+        // have answered through its (fully contiguous) tracker.
+        let sn = h.tpdu.sn as u64;
+        if let Some(done) = self.done.get(&start) {
+            let end = done.end;
+            if sn >= end {
+                // Data entirely past the verified stop: the legacy path went
+                // offer → Inconsistent → group_failure, and the reported
+                // group swallowed the verdict. Silent, no stats.
+                return;
             }
+            self.stats.duplicate_chunks += 1;
+            if self.obs_on {
+                self.obs.counter("transport.rx.duplicate_chunks", 1);
+            }
+            if sn + len > end && self.budget.is_limited() {
+                // A tail past the verified end: the legacy recursion put the
+                // extracted sub-chunk back through budget admission before
+                // discovering the inconsistency, so shedding behaviour (and
+                // its events) must be reproduced here.
+                self.admit_into(start, first + (end - sn), len - (end - sn), now, out);
+            }
+            return;
         }
 
         let group = self.group_entry(start, now);
@@ -461,10 +621,13 @@ impl Receiver {
         // WSC-2 invariant (not the policy) remains the integrity authority
         // at delivery time. Fresh sub-spans are extracted and processed,
         // because chunks stay chunks under splitting.
-        let sn = h.tpdu.sn as u64;
-        let uncovered = group.tracker.uncovered(sn, len);
-        let full_span = [(sn, sn + len)];
-        if uncovered != full_span {
+        //
+        // The gate is the allocation-free `overlap`; the `uncovered` Vec is
+        // built only on this (cold) duplicate path. `len == 0` keeps the
+        // legacy outcome for degenerate empty chunks, whose uncovered set
+        // `[]` never equalled the full span.
+        if len == 0 || group.tracker.overlap(sn, len) > 0 {
+            let uncovered = group.tracker.uncovered(sn, len);
             self.stats.duplicate_chunks += 1;
             if self.obs_on {
                 self.obs.counter("transport.rx.duplicate_chunks", 1);
@@ -483,24 +646,18 @@ impl Receiver {
             }
             // A delivered (or condemned) group keeps its bytes no matter
             // the policy: its verdict is already out.
-            if !reported {
-                if let Some(events) = self.resolve_overlaps(&chunk, start, &overlaps, now) {
-                    return events;
-                }
+            if !reported && self.resolve_overlaps_into(&chunk, start, &overlaps, now, out) {
+                return;
             }
-            if uncovered.is_empty() {
-                return Vec::new();
-            }
-            let mut events = Vec::new();
             for (lo, hi) in uncovered {
                 let offset = (lo - sn) as u32;
                 let sublen = (hi - lo) as u32;
                 match chunks_core::frag::extract(&chunk, offset, sublen) {
-                    Ok(piece) => events.extend(self.handle_data(piece, now)),
-                    Err(_) => events.extend(self.group_failure(start, FailureReason::BadChunk)),
+                    Ok(piece) => self.handle_data(piece, now, out),
+                    Err(_) => self.group_failure_into(start, FailureReason::BadChunk, out),
                 }
             }
-            return events;
+            return;
         }
         let group = self.groups.get_mut(&start).expect("present");
         match group.tracker.offer(sn, len, h.tpdu.st) {
@@ -509,10 +666,10 @@ impl Receiver {
                 if self.obs_on {
                     self.obs.counter("transport.rx.duplicate_chunks", 1);
                 }
-                return Vec::new();
+                return;
             }
             TrackEvent::Inconsistent => {
-                return self.group_failure(start, FailureReason::ReassemblyError);
+                return self.group_failure_into(start, FailureReason::ReassemblyError, out);
             }
             TrackEvent::Accepted => {}
         }
@@ -523,37 +680,44 @@ impl Receiver {
         // channel: the colliding *identity* is itself the corruption, so
         // every policy condemns; the diagnostic names the owning group and
         // the exact contested byte range instead of discarding silently.
-        let probe = self.claimed.probe(first, first + len);
-        if !probe.is_clean() {
-            self.stats.overlap_conflicts += probe.conflicts.len() as u64;
-            if self.obs_on {
-                self.obs.counter(
-                    "transport.rx.overlap_conflicts",
-                    probe.conflicts.len() as u64,
-                );
-                for c in &probe.conflicts {
-                    self.obs.event(
-                        now,
-                        Event::OverlapConflict {
-                            labels: Self::chunk_labels(&chunk),
-                            policy: self.policy.as_str(),
-                            start: (c.start * esize as u64) as u32,
-                            bytes: (c.len() * esize as u64) as u32,
-                            owner: c.tag as u32,
-                        },
+        // The clean (overwhelmingly common) case is decided by the
+        // allocation-free `overlap` probe; only a contested span pays for
+        // the conflict-describing `Claim`.
+        if self.claimed.overlap(first, first + len) > 0 {
+            let probe = self.claimed.probe(first, first + len);
+            if !probe.is_clean() {
+                self.stats.overlap_conflicts += probe.conflicts.len() as u64;
+                if self.obs_on {
+                    self.obs.counter(
+                        "transport.rx.overlap_conflicts",
+                        probe.conflicts.len() as u64,
                     );
+                    for c in &probe.conflicts {
+                        self.obs.event(
+                            now,
+                            Event::OverlapConflict {
+                                labels: Self::chunk_labels(&chunk),
+                                policy: self.policy.as_str(),
+                                start: (c.start * esize as u64) as u32,
+                                bytes: (c.len() * esize as u64) as u32,
+                                owner: c.tag as u32,
+                            },
+                        );
+                    }
                 }
+                return self.group_failure_into(start, FailureReason::Consistency, out);
             }
-            return self.group_failure(start, FailureReason::Consistency);
+            self.claimed.claim(first, first + len, start);
+        } else {
+            self.claimed.claim_uncontested(first, first + len, start);
         }
-        self.claimed.claim(first, first + len, start);
 
         let group = self.groups.get_mut(&start).expect("just inserted");
         // X-level consistency: C.SN − X.SN constant per external PDU.
         let x_delta = h.conn.sn.wrapping_sub(h.ext.sn);
         match group.x_deltas.get(&h.ext.id) {
             Some(&d) if d != x_delta => {
-                return self.group_failure(start, FailureReason::Consistency);
+                return self.group_failure_into(start, FailureReason::Consistency, out);
             }
             Some(_) => {}
             None => {
@@ -567,7 +731,7 @@ impl Receiver {
                 chunks_wsc::InvariantError::IdMismatch => FailureReason::EdMismatch,
                 _ => FailureReason::BadChunk,
             };
-            return self.group_failure(start, reason);
+            return self.group_failure_into(start, reason, out);
         }
         group.elements += len;
         self.stats.chunks_accepted += 1;
@@ -617,25 +781,35 @@ impl Receiver {
                 .observe("transport.budget.held_bytes", self.stats.buffered_bytes);
         }
 
-        self.try_complete(start, now)
+        self.try_complete_into(start, now, out)
     }
 
     /// Budget admission for an arriving data chunk: evict idle groups to
     /// make room, and shed the chunk (typed, counted, traced) when nothing
-    /// is evictable. Returns `Some(events)` when the chunk was shed.
-    fn admit(&mut self, start: u64, first: u64, len: u64, now: u64) -> Option<Vec<RxEvent>> {
+    /// is evictable. Returns `true` when the chunk was shed (the shed event
+    /// has been appended to `out`).
+    fn admit_into(
+        &mut self,
+        start: u64,
+        first: u64,
+        len: u64,
+        now: u64,
+        out: &mut Vec<RxEvent>,
+    ) -> bool {
         let bytes = len * self.params.elem_size as u64;
-        if !self.groups.contains_key(&start) {
+        if !self.groups.contains_key(&start) && !self.done.contains_key(&start) {
             while self.open_groups() >= self.budget.max_open_groups {
                 if !self.evict_idle(start, "groups", now) {
-                    return Some(self.shed(start, bytes));
+                    self.shed_into(start, bytes, out);
+                    return true;
                 }
             }
         }
         // Interval-table occupancy: the hardware analogue caps tracked runs.
         while self.claimed.fragments() >= self.budget.max_fragments {
             if !self.evict_idle(start, "fragments", now) {
-                return Some(self.shed(start, bytes));
+                self.shed_into(start, bytes, out);
+                return true;
             }
         }
         // Byte caps bind only when this arrival would actually stage.
@@ -647,11 +821,12 @@ impl Receiver {
         if will_stage {
             while self.budget.bytes_exceeded(self.stats.buffered_bytes, bytes) {
                 if !self.evict_idle(start, "bytes", now) {
-                    return Some(self.shed(start, bytes));
+                    self.shed_into(start, bytes, out);
+                    return true;
                 }
             }
         }
-        None
+        false
     }
 
     /// Groups that have arrived but reached no verdict yet.
@@ -707,29 +882,32 @@ impl Receiver {
                 },
             );
         }
+        self.recycle_group(g);
         true
     }
 
     /// Drops an arriving chunk under exhausted budget.
-    fn shed(&mut self, start: u64, bytes: u64) -> Vec<RxEvent> {
+    fn shed_into(&mut self, start: u64, bytes: u64, out: &mut Vec<RxEvent>) {
         self.stats.shed_bytes += bytes;
         if self.obs_on {
             self.obs.counter("transport.budget.shed_bytes", bytes);
         }
-        vec![RxEvent::ChunkShed { start, bytes }]
+        out.push(RxEvent::ChunkShed { start, bytes });
     }
 
     /// Resolves differing-byte overlaps between an arriving chunk and data
     /// the group already holds, per the configured policy. `overlaps` is in
-    /// `T.SN` space. Returns `Some(events)` when the policy condemns the
-    /// group ([`OverlapPolicy::Reject`]).
-    fn resolve_overlaps(
+    /// `T.SN` space. Returns `true` when the policy condemns the group
+    /// ([`OverlapPolicy::Reject`]); the failure events are appended to
+    /// `out`.
+    fn resolve_overlaps_into(
         &mut self,
         chunk: &Chunk,
         start: u64,
         overlaps: &[(u64, u64)],
         now: u64,
-    ) -> Option<Vec<RxEvent>> {
+        out: &mut Vec<RxEvent>,
+    ) -> bool {
         let esize = self.params.elem_size as usize;
         let sn = chunk.header.tpdu.sn as u64;
         let mut condemn = false;
@@ -768,7 +946,10 @@ impl Receiver {
                 },
             }
         }
-        condemn.then(|| self.group_failure(start, FailureReason::OverlapConflict))
+        if condemn {
+            self.group_failure_into(start, FailureReason::OverlapConflict, out);
+        }
+        condemn
     }
 
     /// Best-effort read-back of the bytes currently held for elements
@@ -867,21 +1048,26 @@ impl Receiver {
         }
     }
 
-    fn handle_ed(&mut self, chunk: Chunk, now: u64) -> Vec<RxEvent> {
+    fn handle_ed(&mut self, chunk: Chunk, now: u64, out: &mut Vec<RxEvent>) {
         if chunk.payload.len() != 8 {
             self.stats.bad_packets += 1;
             if self.obs_on {
                 self.obs.counter("transport.rx.bad_packets", 1);
             }
-            return Vec::new();
+            return;
         }
         let start = self.unwrap_csn(chunk.header.conn.sn);
+        // A delivered group's verdict is out: the legacy path overwrote the
+        // dead `ed` field and `try_complete` returned nothing. Silent.
+        if self.done.contains_key(&start) {
+            return;
+        }
         // An ED chunk opens a group too; a flood of them is budgeted the
         // same way a data flood is.
         if self.budget.is_limited() && !self.groups.contains_key(&start) {
             while self.open_groups() >= self.budget.max_open_groups {
                 if !self.evict_idle(start, "groups", now) {
-                    return self.shed(start, chunk.payload.len() as u64);
+                    return self.shed_into(start, chunk.payload.len() as u64, out);
                 }
             }
         }
@@ -889,7 +1075,7 @@ impl Receiver {
         digest.copy_from_slice(&chunk.payload);
         let group = self.group_entry(start, now);
         group.ed = Some(digest);
-        self.try_complete(start, now)
+        self.try_complete_into(start, now, out)
     }
 
     /// Writes payload bytes into the application space (one data touch per
@@ -947,11 +1133,18 @@ impl Receiver {
     }
 
     /// Marks a group failed and reports it (once).
-    fn group_failure(&mut self, start: u64, reason: FailureReason) -> Vec<RxEvent> {
+    fn group_failure_into(&mut self, start: u64, reason: FailureReason, out: &mut Vec<RxEvent>) {
+        // A delivered group's verdict is final: the legacy path found the
+        // still-present group with `reported` set and returned silently.
+        // Without this guard a fresh group would be conjured and a spurious
+        // failure reported for an already-verified TPDU.
+        if self.done.contains_key(&start) {
+            return;
+        }
         let now = self.last_now;
         let group = self.group_entry(start, now);
         if group.reported {
-            return Vec::new();
+            return;
         }
         group.failed = Some(reason);
         group.reported = true;
@@ -969,77 +1162,94 @@ impl Receiver {
             self.obs
                 .span_close(now, SpanId::new(self.group_labels(start), Stage::Verify));
         }
-        vec![RxEvent::TpduFailed { start, reason }]
+        out.push(RxEvent::TpduFailed { start, reason });
     }
 
     /// Checks whether the group at `start` is complete and verifiable.
-    fn try_complete(&mut self, start: u64, now: u64) -> Vec<RxEvent> {
+    /// On delivery the group's heavy state is recycled into the pool and a
+    /// compact [`Done`] record takes its place.
+    fn try_complete_into(&mut self, start: u64, now: u64, out: &mut Vec<RxEvent>) {
         let Some(group) = self.groups.get_mut(&start) else {
-            return Vec::new();
+            return;
         };
         if group.reported || group.failed.is_some() {
-            return Vec::new();
+            return;
         }
         let (Some(digest), true) = (group.ed, group.tracker.is_complete()) else {
-            return Vec::new();
+            return;
         };
-        let elements = group.elements;
-        if group.inv.matches(digest) {
-            group.reported = true;
-            if self.obs_on {
-                self.obs.counter("wsc.verify_pass", 1);
-                self.obs
-                    .observe("wsc.runs_per_tpdu", group.inv.absorbed_runs());
-            }
-            // Reassemble mode releases the staged chunks to the app now.
-            let held = std::mem::take(&mut group.held);
-            for (chunk, arrived) in held {
-                let first = self.unwrap_csn(chunk.header.conn.sn);
-                self.unstage(chunk.payload.len() as u64);
-                let waited = now.saturating_sub(arrived);
-                self.stats.holding_delay += waited;
-                if self.obs_on {
-                    self.obs.counter("transport.rx.holding_delay_ns", waited);
-                    self.obs
-                        .span_close(now, SpanId::new(Self::chunk_labels(&chunk), Stage::Hold));
-                }
-                self.place(first, &chunk.payload);
-            }
-            self.delivered.push(start);
-            self.stats.tpdus_delivered += 1;
-            if self.obs_on {
-                self.obs.counter("transport.rx.tpdus_delivered", 1);
-                self.obs.event(
-                    now,
-                    Event::GroupDelivered {
-                        conn_id: self.params.conn_id,
-                        start: start as u32,
-                        bytes: (elements * self.params.elem_size as u64) as u32,
-                    },
-                );
-                // Verdict reached: the verify span closes, and delivery is
-                // marked with a zero-duration `deliver` span.
-                let labels = self.group_labels(start);
-                self.obs.span_close(now, SpanId::new(labels, Stage::Verify));
-                let deliver = SpanId::new(labels, Stage::Deliver);
-                self.obs.span_open(now, deliver);
-                self.obs.span_close(now, deliver);
-            }
-            let mut events = vec![RxEvent::TpduDelivered { start, elements }];
-            if self.closed {
-                events.push(RxEvent::ConnectionClosed);
-            }
-            events
-        } else {
+        if !group.inv.matches(digest) {
             // Discard staged data; the retransmission will replace it.
-            let held = std::mem::take(&mut group.held);
-            for (chunk, _) in held {
-                self.unstage(chunk.payload.len() as u64);
-            }
+            // Summing first and clearing in place keeps the held Vec's
+            // capacity for the retransmission (the arithmetic is identical
+            // to per-chunk unstaging: unstage is a plain subtraction).
+            let freed: u64 = group.held.iter().map(|(c, _)| c.payload.len() as u64).sum();
+            group.held.clear();
+            self.unstage(freed);
             if self.obs_on {
                 self.obs.counter("wsc.verify_fail", 1);
             }
-            self.group_failure(start, FailureReason::EdMismatch)
+            return self.group_failure_into(start, FailureReason::EdMismatch, out);
+        }
+        let mut group = self.groups.remove(&start).expect("present");
+        let elements = group.elements;
+        if self.obs_on {
+            self.obs.counter("wsc.verify_pass", 1);
+            self.obs
+                .observe("wsc.runs_per_tpdu", group.inv.absorbed_runs());
+        }
+        // Reassemble mode releases the staged chunks to the app now.
+        // `drain` preserves arrival order (the obs span-close order the
+        // lineage trace pins) and keeps the Vec's capacity for the pool.
+        for (chunk, arrived) in group.held.drain(..) {
+            let first = self.unwrap_csn(chunk.header.conn.sn);
+            self.unstage(chunk.payload.len() as u64);
+            let waited = now.saturating_sub(arrived);
+            self.stats.holding_delay += waited;
+            if self.obs_on {
+                self.obs.counter("transport.rx.holding_delay_ns", waited);
+                self.obs
+                    .span_close(now, SpanId::new(Self::chunk_labels(&chunk), Stage::Hold));
+            }
+            self.place(first, &chunk.payload);
+        }
+        self.delivered.push(start);
+        self.stats.tpdus_delivered += 1;
+        if self.obs_on {
+            self.obs.counter("transport.rx.tpdus_delivered", 1);
+            self.obs.event(
+                now,
+                Event::GroupDelivered {
+                    conn_id: self.params.conn_id,
+                    start: start as u32,
+                    bytes: (elements * self.params.elem_size as u64) as u32,
+                },
+            );
+            // Verdict reached: the verify span closes, and delivery is
+            // marked with a zero-duration `deliver` span.
+            let labels = self.group_labels(start);
+            self.obs.span_close(now, SpanId::new(labels, Stage::Verify));
+            let deliver = SpanId::new(labels, Stage::Deliver);
+            self.obs.span_open(now, deliver);
+            self.obs.span_close(now, deliver);
+        }
+        let end = group
+            .tracker
+            .known_end()
+            .expect("complete group knows its end");
+        self.done.insert(
+            start,
+            Done {
+                elements,
+                end,
+                code: group.inv.code(),
+                digest: group.inv.digest(),
+            },
+        );
+        self.recycle_group(group);
+        out.push(RxEvent::TpduDelivered { start, elements });
+        if self.closed {
+            out.push(RxEvent::ConnectionClosed);
         }
     }
 
@@ -1054,7 +1264,7 @@ impl Receiver {
             .collect();
         let mut events = Vec::new();
         for s in starts {
-            events.extend(self.group_failure(s, FailureReason::ReassemblyError));
+            self.group_failure_into(s, FailureReason::ReassemblyError, &mut events);
         }
         events
     }
@@ -1152,32 +1362,29 @@ impl Receiver {
             self.claimed.release(start);
             let freed: u64 = g.held.iter().map(|(c, _)| c.payload.len() as u64).sum();
             self.unstage(freed);
+            self.recycle_group(g);
+        } else if self.done.remove(&start).is_some() {
+            // A delivered group: its heavy state is long recycled; drop the
+            // verdict record and free the claims, as the legacy removal did.
+            self.claimed.release(start);
         }
     }
 
     /// The verified WSC-2 code of a delivered TPDU, or `None` if the group
     /// at `start` was never delivered (missing, failed, or still pending).
     ///
-    /// Delivered groups keep their invariant state, so the code a parallel
-    /// worker folds into its delivery transcript is exactly the one the ED
-    /// comparison accepted.
+    /// Delivered groups keep their verified code in the `done` tier, so the
+    /// code a parallel worker folds into its delivery transcript is exactly
+    /// the one the ED comparison accepted.
     pub fn delivered_code(&self, start: u64) -> Option<chunks_wsc::Wsc2> {
-        self.groups
-            .get(&start)
-            .filter(|g| g.reported && g.failed.is_none())
-            .map(|g| g.inv.code())
+        self.done.get(&start).map(|d| d.code)
     }
 
     /// `(start, digest)` for every delivered TPDU, sorted by start — the
     /// per-connection verification transcript the differential harness
     /// compares across pipelines.
     pub fn delivered_digests(&self) -> Vec<(u64, [u8; 8])> {
-        let mut v: Vec<(u64, [u8; 8])> = self
-            .groups
-            .iter()
-            .filter(|(_, g)| g.reported && g.failed.is_none())
-            .map(|(&s, g)| (s, g.inv.digest()))
-            .collect();
+        let mut v: Vec<(u64, [u8; 8])> = self.done.iter().map(|(&s, d)| (s, d.digest)).collect();
         v.sort_unstable();
         v
     }
@@ -1204,6 +1411,11 @@ fn overlay_into_chunk(
     if s >= e {
         return 0;
     }
+    // Must own: the staged payload is (in the zero-copy path) a slice of a
+    // shared packet buffer; rewriting bytes in place would corrupt every
+    // other view of that buffer. Overlap overwrite is the one receive-side
+    // operation that mutates payload bytes, so it pays for a private copy —
+    // and only on the chunks it actually rewrites.
     let mut raw = c.payload.to_vec();
     raw[(s - first) as usize * esize..(e - first) as usize * esize]
         .copy_from_slice(&new[(s - lo) as usize * esize..(e - lo) as usize * esize]);

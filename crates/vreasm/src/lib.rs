@@ -9,6 +9,9 @@
 //!
 //! * [`IntervalSet`] — a compact set of received `[start, end)` ranges with
 //!   overlap (duplicate) detection;
+//! * [`ArenaIntervalSet`] — the same semantics over a recycling node slab,
+//!   the allocation-free storage the receive hot path keeps per TPDU group
+//!   (with `IntervalSet` serving as its property-test oracle);
 //! * [`PduTracker`] — virtual reassembly of one PDU: completion detection
 //!   from the stop bit, duplicate rejection (needed so the incremental
 //!   checksum is not corrupted, §3.3), and inconsistency flags;
@@ -37,12 +40,14 @@
 
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod bounded;
 pub mod buffer;
 pub mod interval;
 pub mod reassembly;
 pub mod tracker;
 
+pub use arena::ArenaIntervalSet;
 pub use bounded::{BoundedEvent, BoundedTracker};
 pub use buffer::{BufferEvent, ReassemblyBuffer};
 pub use interval::IntervalSet;

@@ -230,7 +230,31 @@ impl Reassembly {
         out
     }
 
+    /// Claims `[start, end)` for `tag` when the caller has already verified
+    /// (via [`Self::overlap`] returning 0) that nothing in the span is
+    /// owned. This is the hot-path shortcut: unlike [`Self::claim`] it
+    /// builds no [`Claim`] and allocates nothing beyond amortised `Vec`
+    /// growth (see [`Self::reserve`]).
+    pub fn claim_uncontested(&mut self, start: u64, end: u64, tag: u64) {
+        debug_assert_eq!(
+            self.overlap(start, end),
+            0,
+            "claim_uncontested requires a clean span"
+        );
+        self.insert_owned(start, end, tag);
+    }
+
+    /// Pre-sizes the range table for `fragments` additional disjoint ranges,
+    /// so a steady-state claim stream stays allocation-free.
+    pub fn reserve(&mut self, fragments: usize) {
+        self.ranges.reserve(fragments);
+    }
+
     /// Inserts a range known to be disjoint from everything present.
+    ///
+    /// Written with `insert`/indexed writes rather than `Vec::splice`:
+    /// splice's pure-insertion case collects the replacement through a
+    /// temporary `Vec`, which would put one heap allocation on every claim.
     fn insert_owned(&mut self, start: u64, end: u64, tag: u64) {
         if start == end {
             return;
@@ -238,23 +262,31 @@ impl Reassembly {
         let at = self.ranges.partition_point(|&(s, _, _)| s < start);
         // Coalesce with same-tag neighbours that touch exactly.
         let mut new = (start, end, tag);
-        let mut splice_lo = at;
-        let mut splice_hi = at;
+        let mut merge_prev = false;
+        let mut merge_next = false;
         if at > 0 {
             let (ps, pe, pt) = self.ranges[at - 1];
             if pe == start && pt == tag {
                 new.0 = ps;
-                splice_lo = at - 1;
+                merge_prev = true;
             }
         }
         if at < self.ranges.len() {
             let (ns, ne, nt) = self.ranges[at];
             if ns == end && nt == tag {
                 new.1 = ne;
-                splice_hi = at + 1;
+                merge_next = true;
             }
         }
-        self.ranges.splice(splice_lo..splice_hi, [new]);
+        match (merge_prev, merge_next) {
+            (false, false) => self.ranges.insert(at, new),
+            (true, false) => self.ranges[at - 1] = new,
+            (false, true) => self.ranges[at] = new,
+            (true, true) => {
+                self.ranges[at - 1] = new;
+                self.ranges.remove(at);
+            }
+        }
     }
 
     /// Transfers ownership of every claimed position inside `[start, end)`
@@ -496,6 +528,19 @@ mod tests {
         }
         assert_eq!(OverlapPolicy::parse("bogus"), None);
         assert_eq!(OverlapPolicy::default(), OverlapPolicy::FirstWins);
+    }
+
+    #[test]
+    fn claim_uncontested_matches_claim_on_clean_spans() {
+        let mut a = Reassembly::new(OverlapPolicy::FirstWins);
+        let mut b = Reassembly::new(OverlapPolicy::FirstWins);
+        for (s, e, t) in [(0, 4, 1), (4, 8, 1), (20, 30, 2), (8, 20, 3)] {
+            assert!(a.claim(s, e, t).is_clean());
+            assert_eq!(b.overlap(s, e), 0);
+            b.claim_uncontested(s, e, t);
+            assert_eq!(a, b);
+        }
+        assert_eq!(a.fragments(), 3);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Per-PDU virtual reassembly.
 
-use crate::interval::IntervalSet;
+use crate::arena::ArenaIntervalSet;
 
 /// Outcome of offering a fragment to a [`PduTracker`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -25,7 +25,9 @@ pub enum TrackEvent {
 /// and where the PDU ends (learned from the fragment whose stop bit is set).
 #[derive(Clone, Debug, Default)]
 pub struct PduTracker {
-    received: IntervalSet,
+    /// Arena-backed so a tracker recycled across TPDUs (the receiver's
+    /// group pool) reaches steady state without touching the allocator.
+    received: ArenaIntervalSet,
     /// One-past-the-last element SN, known once an ST-bearing fragment
     /// arrives.
     end: Option<u64>,
@@ -53,7 +55,7 @@ impl PduTracker {
             return TrackEvent::Duplicate;
         }
         if st {
-            if self.received.ranges().last().is_some_and(|&(_, e)| e > end) {
+            if self.received.last_end().is_some_and(|e| e > end) {
                 return TrackEvent::Inconsistent;
             }
             self.end = Some(end);
@@ -90,6 +92,13 @@ impl PduTracker {
         self.duplicates
     }
 
+    /// How much of `[sn, sn+len)` has already been received. Allocation-free
+    /// — the hot path checks this before reaching for [`Self::uncovered`],
+    /// which builds a `Vec` and is only needed on the (cold) duplicate path.
+    pub fn overlap(&self, sn: u64, len: u64) -> u64 {
+        self.received.overlap(sn, sn + len)
+    }
+
     /// Sub-ranges of `[sn, sn+len)` not yet received — lets a receiver trim
     /// a partially-duplicate fragment (a retransmission cut at different
     /// points) down to its new data before processing.
@@ -103,10 +112,19 @@ impl PduTracker {
             Some(end) => self.received.gaps(end),
             None => {
                 // Without the stop bit we only know about interior gaps.
-                let last = self.received.ranges().last().map(|&(_, e)| e).unwrap_or(0);
+                let last = self.received.last_end().unwrap_or(0);
                 self.received.gaps(last)
             }
         }
+    }
+
+    /// Resets the tracker for reuse on a new PDU, recycling interval nodes
+    /// in place. The slab keeps its capacity — this is what lets a pooled
+    /// TPDU group be re-armed without allocating.
+    pub fn clear(&mut self) {
+        self.received.clear();
+        self.end = None;
+        self.duplicates = 0;
     }
 }
 
@@ -186,5 +204,32 @@ mod tests {
         t.offer(4, 2, false);
         assert_eq!(t.missing(), vec![(2, 4)]);
         assert_eq!(t.fragments(), 2);
+    }
+
+    #[test]
+    fn overlap_mirrors_uncovered_emptiness() {
+        let mut t = PduTracker::new();
+        t.offer(0, 4, false);
+        t.offer(8, 4, false);
+        assert_eq!(t.overlap(4, 4), 0);
+        assert_eq!(t.uncovered(4, 4), vec![(4, 8)]);
+        assert_eq!(t.overlap(2, 4), 2);
+        assert_eq!(t.overlap(0, 12), 8);
+    }
+
+    #[test]
+    fn clear_re_arms_for_a_new_pdu() {
+        let mut t = PduTracker::new();
+        t.offer(0, 4, false);
+        t.offer(0, 4, false); // duplicate
+        t.offer(4, 4, true);
+        assert!(t.is_complete());
+        t.clear();
+        assert!(!t.is_complete());
+        assert_eq!(t.known_end(), None);
+        assert_eq!(t.covered(), 0);
+        assert_eq!(t.duplicates(), 0);
+        assert_eq!(t.offer(0, 2, true), TrackEvent::Accepted);
+        assert!(t.is_complete());
     }
 }

@@ -151,6 +151,14 @@ impl TpduInvariant {
         self.layout
     }
 
+    /// Re-arms the accumulator for a new TPDU under the same layout.
+    /// [`Wsc2Stream`] is plain `Copy` state, so a pooled receiver group can
+    /// reset its invariant without touching the heap.
+    pub fn reset(&mut self) {
+        self.wsc = Wsc2Stream::new();
+        self.ids = None;
+    }
+
     /// Absorbs one data chunk of the TPDU.
     ///
     /// The caller (the transport's virtual reassembly) is responsible for

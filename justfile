@@ -4,9 +4,10 @@
 
 # Full lint gate: formatting, clippy, rustdoc — all warnings denied —
 # plus the release-mode test suite, the parallel-equivalence gate, the
-# BENCH regression gate, the reliability soak, the adversarial overlap
-# sweep, the lineage sweep, and the deterministic-trace replay.
-lint: check test-release test-parallel bench-check soak soak-overlap lineage trace
+# zero-allocation hot-path gate, the BENCH regression gate, the
+# reliability soak, the adversarial overlap sweep, the lineage sweep,
+# and the deterministic-trace replay.
+lint: check test-release test-parallel test-hotpath bench-check soak soak-overlap lineage trace
 
 # Static gate only: formatting, clippy, rustdoc.
 check: fmt clippy doc
@@ -52,6 +53,18 @@ test-parallel:
 # fingerprint-checks the pipeline against the serial demux per cell).
 bench-parallel:
     cargo run --release --bin experiments parallel --describe "$(git describe --always --dirty 2>/dev/null || echo unknown)"
+
+# Zero-allocation hot-path gate: a counting global allocator proves the
+# steady-state receive windows (serial and parallel) allocate exactly
+# nothing per chunk, release mode.
+test-hotpath:
+    cargo test -q --release --test hotpath_allocs
+
+# Regenerate the BENCH_hotpath.json receive-path sweep at the repo root:
+# chunks/s, MiB/s and allocs/chunk for the zero-copy, legacy-owned and
+# parallel legs (digest-compared; ≥ 96 MiB/s and 0 allocs/chunk gates).
+bench-hotpath:
+    cargo run --release --bin experiments hotpath --describe "$(git describe --always --dirty 2>/dev/null || echo unknown)"
 
 # Regenerate the BENCH_wsc.json backend × batch-width snapshot at the
 # repo root (sweeps every GF(2^32) backend this CPU supports).

@@ -2,7 +2,7 @@
 //! quantified claims of the paper.
 //!
 //! ```text
-//! experiments [--describe REV] [fig1|...|fig7|table1|b1|...|b8|soak|parallel|lineage|trace [SCENARIO]|bench-check|all]
+//! experiments [--describe REV] [fig1|...|fig7|table1|b1|...|b8|soak|parallel|hotpath|lineage|trace [SCENARIO]|bench-check|all]
 //! ```
 //!
 //! With no argument (or `all`) every experiment runs. Output is the content
@@ -15,9 +15,15 @@
 
 use chunks::experiments::{
     appendix_b, b1_receiver_modes, b2_frag_systems, b3_lockup, b4_codes, b5_compress, b6_demux,
-    b7_turner, b8_gap_budget, bench_check, figures, lineage, overlap, parallel, soak, table1,
-    trace, SEED, SEED2,
+    b7_turner, b8_gap_budget, bench_check, figures, hotpath, lineage, overlap, parallel, soak,
+    table1, trace, SEED, SEED2,
 };
+
+// The hotpath sweep reports allocations-per-chunk on the receive path; the
+// counting allocator forwards to `System` and costs one relaxed atomic add
+// per allocation, negligible for every other experiment.
+#[global_allocator]
+static ALLOC: hotpath::alloc_count::CountingAlloc = hotpath::alloc_count::CountingAlloc;
 
 /// One parsed invocation: an experiment name plus its optional argument.
 struct Job {
@@ -105,6 +111,15 @@ fn run_one(job: &Job, describe: &str) -> bool {
             }
             deterministic && r1.passes() && r2.passes()
         }
+        "hotpath" => {
+            let r = hotpath::run(SEED);
+            println!("{r}");
+            if let Err(e) = std::fs::write("BENCH_hotpath.json", hotpath::bench_json(&r, describe))
+            {
+                eprintln!("could not write BENCH_hotpath.json: {e}");
+            }
+            r.passes()
+        }
         "parallel" => {
             let r = parallel::run(SEED);
             println!("{r}");
@@ -189,6 +204,7 @@ fn main() {
         "b8",
         "soak",
         "parallel",
+        "hotpath",
         "overlap",
         "lineage",
         "trace",

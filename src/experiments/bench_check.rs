@@ -202,6 +202,7 @@ pub fn run() -> BenchCheckResult {
                 overlap::bench_json(&overlap::run(SEED), describe)
             }),
             check_file("BENCH_parallel.json", false, |_| String::new()),
+            check_file("BENCH_hotpath.json", false, |_| String::new()),
             check_file("BENCH_wsc.json", false, |_| String::new()),
         ],
     }

@@ -23,6 +23,7 @@ pub mod b8_gap_budget;
 pub mod bench_check;
 pub mod benchjson;
 pub mod figures;
+pub mod hotpath;
 pub mod lineage;
 pub mod overlap;
 pub mod parallel;

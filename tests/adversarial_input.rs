@@ -291,3 +291,138 @@ fn packet_unpack_survives_systematic_mangling() {
         Err(CoreError::OversizedLen { .. })
     ));
 }
+
+/// A real multi-chunk frame from the sender (data + ED + padding marker).
+fn real_frame() -> Vec<u8> {
+    let mut tx = Sender::new(SenderConfig {
+        params: params(),
+        layout: layout(),
+        mtu: 512,
+        min_tpdu_elements: 4,
+        max_tpdu_elements: 32,
+    });
+    tx.submit_simple(&[0x3Cu8; 96], 0xE, false);
+    let packets = tx.packets_for_pending().unwrap();
+    packets[0].bytes.to_vec()
+}
+
+/// Every truncation of a real frame — including the cuts that land
+/// mid-label, inside the 32-byte header — must be rejected by the zero-copy
+/// path without panicking, exactly as the owned `unpack` rejects it. A
+/// truncated packet is whole-packet-rejected: nothing is delivered from it.
+#[test]
+fn zero_copy_path_rejects_every_mid_label_truncation() {
+    use chunks::core::packet::{unpack, validate};
+
+    let frame = real_frame();
+    for cut in 0..frame.len() {
+        let packet = Packet {
+            bytes: frame[..cut].to_vec().into(),
+        };
+        let v = validate(&packet);
+        let u = unpack(&packet);
+        assert_eq!(
+            v.is_err(),
+            u.is_err(),
+            "cut at {cut}: validate and unpack must agree"
+        );
+        let mut rx = Receiver::new(DeliveryMode::Immediate, params(), layout(), 4096);
+        let _ = rx.handle_packet(&packet, 0);
+        if v.is_err() {
+            assert_eq!(rx.stats.bad_packets, 1, "cut at {cut} must count as bad");
+            assert_eq!(rx.stats.chunks_accepted, 0, "atomic reject at cut {cut}");
+        }
+    }
+}
+
+/// The streaming span walk never yields a span past the `Bytes` tail, even
+/// on mangled frames, and every span a validated packet yields decodes to a
+/// payload that *borrows* the packet's buffer — pointer-provably no copy.
+#[test]
+fn spans_stay_inside_the_buffer_and_payloads_borrow_it() {
+    use chunks::core::packet::{spans, validate};
+
+    let original = real_frame();
+    let mut state = 0xBEEFu64;
+    let mut next = move |m: usize| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as usize) % m
+    };
+    for round in 0..4_000 {
+        let mut buf = original.clone();
+        // Rounds 0.. mangle 0–3 bytes (round 0 leaves the frame valid).
+        for _ in 0..next(4).min(round) {
+            let at = next(buf.len());
+            buf[at] = next(256) as u8;
+        }
+        let packet = Packet { bytes: buf.into() };
+        if validate(&packet).is_err() {
+            continue;
+        }
+        let range = packet.bytes.as_ptr_range();
+        for (at, end) in spans(&packet) {
+            assert!(
+                end <= packet.bytes.len() && at < end,
+                "span ({at}, {end}) exceeds {} bytes",
+                packet.bytes.len()
+            );
+            let (chunk, used) = wire::decode_chunk_at(&packet.bytes, at)
+                .expect("validated packet must decode at every span");
+            assert_eq!(at + used, end, "span length disagrees with decode");
+            if !chunk.payload.is_empty() {
+                let p = chunk.payload.as_ptr_range();
+                assert!(
+                    p.start >= range.start && p.end <= range.end,
+                    "payload was copied out of the packet buffer"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A batch boundary that splits a chunk header across two packets must
+    /// reject both fragments cleanly — serial `ingest_batch` and the
+    /// parallel dispatcher alike — with no panic and no partial delivery
+    /// from the malformed halves.
+    #[test]
+    fn batch_boundary_splitting_a_chunk_header_rejects_cleanly(split in 1usize..512) {
+        use chunks::core::packet::{spans, validate};
+        use chunks::transport::{ConnSpec, Engine, ParallelReceiver, Schedule};
+
+        let frame = real_frame();
+        let split = split % frame.len();
+        prop_assume!(split != 0);
+        // Only cuts that land strictly *inside* a chunk: a boundary-aligned
+        // split yields two well-formed packets, which is not this test.
+        let whole = Packet { bytes: frame.clone().into() };
+        prop_assume!(!spans(&whole).any(|(at, end)| split == at || split == end));
+        let batch = [
+            Packet { bytes: frame[..split].to_vec().into() },
+            Packet { bytes: frame[split..].to_vec().into() },
+        ];
+        let bad = batch.iter().filter(|p| validate(p).is_err()).count() as u64;
+        // A mid-chunk cut corrupts at least the head fragment (its last
+        // chunk is truncated), usually the tail too.
+        prop_assert!(bad >= 1);
+
+        let mut rx = Receiver::new(DeliveryMode::Immediate, params(), layout(), 4096);
+        let mut out = Vec::new();
+        rx.ingest_batch(&batch, 0, &mut out);
+        prop_assert_eq!(rx.stats.bad_packets, bad);
+
+        let mut pr = ParallelReceiver::new(
+            2,
+            Engine::Virtual(Schedule::Fair),
+            vec![ConnSpec::new(params(), layout(), DeliveryMode::Immediate, 4096)],
+        );
+        pr.ingest_batch(&batch, 0);
+        let outcome = pr.finish();
+        prop_assert_eq!(outcome.dispatch.bad_packets, bad);
+        prop_assert_eq!(outcome.dispatch.decode_errors, 0);
+    }
+}

@@ -5,11 +5,12 @@
 
 use chunks::experiments::benchjson::{parse, Value};
 
-const BENCH_FILES: [&str; 5] = [
+const BENCH_FILES: [&str; 6] = [
     "BENCH_lineage.json",
     "BENCH_soak.json",
     "BENCH_overlap.json",
     "BENCH_parallel.json",
+    "BENCH_hotpath.json",
     "BENCH_wsc.json",
 ];
 
@@ -87,6 +88,42 @@ fn wsc_rows_pin_backend_and_batch_width() {
             batch >= 1.0 && batch.fract() == 0.0,
             "{id}: batch width must be a positive integer, got {batch}"
         );
+    }
+}
+
+#[test]
+fn hotpath_rows_pin_the_three_legs_and_the_alloc_columns() {
+    // The receive hot-path snapshot must carry all three legs, and every
+    // row must say how fast it went and how much it allocated — the
+    // allocs_per_chunk column is the whole point of the file. Wall-clock
+    // numbers vary by host, so only shapes are pinned here; the zero-copy
+    // throughput and zero-allocation bars are enforced by the experiment's
+    // own passes() when the file is regenerated.
+    let v = load("BENCH_hotpath.json");
+    let results = v.get("results").and_then(Value::as_arr).unwrap();
+    let mut legs: Vec<&str> = Vec::new();
+    for row in results {
+        let leg = row
+            .get("leg")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("hotpath row without a `leg` string"));
+        legs.push(leg);
+        for key in [
+            "chunks",
+            "wire_bytes",
+            "mib_s",
+            "chunks_per_s",
+            "steady_allocs",
+            "allocs_per_chunk",
+            "delivered_bytes",
+        ] {
+            row.get(key)
+                .and_then(Value::as_f64)
+                .unwrap_or_else(|| panic!("{leg}: no numeric `{key}`"));
+        }
+    }
+    for want in ["zero-copy", "legacy-owned", "parallel"] {
+        assert!(legs.contains(&want), "missing hotpath leg {want:?}");
     }
 }
 

@@ -209,6 +209,93 @@ proptest! {
     }
 
     #[test]
+    fn borrowed_spans_decode_bitwise_equal_to_owned(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..120), 1..8),
+        mtu in 256usize..1500,
+    ) {
+        // The zero-copy walk (validate → spans → decode_chunk_at) and the
+        // borrowed view (decode_chunk_ref) must reproduce the owned decode
+        // (unpack) bit for bit, for arbitrary packed chunk sequences — and
+        // the borrowed payloads must point *into* the packet buffer.
+        use chunks::core::packet::{pack, spans, unpack, validate};
+        use chunks::core::wire::{decode_chunk_at, decode_chunk_ref};
+
+        let chunks: Vec<Chunk> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                byte_chunk(
+                    FramingTuple::new(7, (i * 256) as u32, false),
+                    FramingTuple::new(0x51, (i * 256) as u32, i + 1 == payloads.len()),
+                    FramingTuple::new(0xE0, 0, false),
+                    p,
+                )
+            })
+            .collect();
+        for packet in pack(chunks, mtu).unwrap() {
+            let owned = unpack(&packet).unwrap();
+            prop_assert!(validate(&packet).is_ok());
+            let range = packet.bytes.as_ptr_range();
+            let mut walked = Vec::new();
+            for (at, end) in spans(&packet) {
+                let (chunk, used) = decode_chunk_at(&packet.bytes, at).unwrap();
+                prop_assert_eq!(at + used, end);
+                let (cref, used_ref) = decode_chunk_ref(&packet.bytes[at..]).unwrap();
+                prop_assert_eq!(used_ref, used);
+                prop_assert_eq!(&cref.to_chunk(), &chunk);
+                prop_assert_eq!(&chunk.payload[..], cref.payload);
+                if !chunk.payload.is_empty() {
+                    let p = chunk.payload.as_ptr_range();
+                    prop_assert!(p.start >= range.start && p.end <= range.end,
+                        "decode_chunk_at copied the payload");
+                }
+                walked.push(chunk);
+            }
+            prop_assert_eq!(walked, owned);
+        }
+    }
+
+    #[test]
+    fn arena_interval_set_matches_vec_oracle(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u64..512, 1u64..96), 1..200),
+        probes in proptest::collection::vec((0u64..640, 1u64..64), 8),
+    ) {
+        // The slab-backed set the hot path uses, against the Vec-backed
+        // oracle, under random insert/subtract — every observable compared
+        // after every op.
+        use chunks::vreasm::{ArenaIntervalSet, IntervalSet};
+
+        let mut arena = ArenaIntervalSet::new();
+        let mut oracle = IntervalSet::new();
+        for &(is_insert, start, len) in &ops {
+            let end = start + len;
+            if is_insert {
+                prop_assert_eq!(arena.insert(start, end), oracle.insert(start, end));
+            } else {
+                prop_assert_eq!(arena.subtract(start, end), oracle.subtract(start, end));
+            }
+            let ranges: Vec<(u64, u64)> = arena.iter().collect();
+            prop_assert_eq!(&ranges[..], oracle.ranges());
+            prop_assert_eq!(arena.covered(), oracle.covered());
+            prop_assert_eq!(arena.fragments(), oracle.fragments());
+            for &(s, l) in &probes {
+                prop_assert_eq!(arena.overlap(s, s + l), oracle.overlap(s, s + l));
+                prop_assert_eq!(arena.contains(s, s + l), oracle.contains(s, s + l));
+                prop_assert_eq!(arena.uncovered(s, s + l), oracle.uncovered(s, s + l));
+                prop_assert_eq!(arena.gaps(s + l), oracle.gaps(s + l));
+                prop_assert_eq!(arena.is_contiguous_to(s), oracle.is_contiguous_to(s));
+            }
+        }
+        // `clear` recycles every node; the set behaves as new.
+        arena.clear();
+        prop_assert_eq!(arena.covered(), 0);
+        prop_assert_eq!(arena.insert(3, 9), 0, "clean insert overlaps nothing");
+        prop_assert_eq!(arena.covered(), 6);
+    }
+
+    #[test]
     fn invariant_fold_rejects_disagreeing_partials(
         payload in proptest::collection::vec(any::<u8>(), 4..64),
         flip in 1u32..u32::MAX,
