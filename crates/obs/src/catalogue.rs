@@ -273,6 +273,31 @@ pub const CATALOGUE: &[Spec] = &[
         "Session::pump invocations (one per virtual-clock tick)",
     ),
     counter(
+        "transport.table.admissions",
+        "connections",
+        "ConnTable admitted a connection (fresh receiver or re-armed pooled shell)",
+    ),
+    counter(
+        "transport.table.evictions",
+        "connections",
+        "ConnTable evicted a connection (capacity LRU, idle sweep, or explicit retire)",
+    ),
+    histogram(
+        "transport.table.occupancy",
+        "connections",
+        "live connections in ConnTable, observed at each admission",
+    ),
+    histogram(
+        "transport.table.probe_len",
+        "slots",
+        "robin-hood probe-sequence length walked by each ConnTable index insert",
+    ),
+    counter(
+        "transport.table.refusals",
+        "connections",
+        "ConnTable refused an admission: table full and nothing evictable",
+    ),
+    counter(
         "vreasm.tracker.accepts",
         "fragments",
         "PduTracker::offer admitted a consistent, novel fragment",

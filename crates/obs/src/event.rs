@@ -132,6 +132,23 @@ pub enum Event {
         /// What ran out: `"groups"`, `"bytes"` or `"fragments"`.
         cause: &'static str,
     },
+    /// The connection table admitted a connection (fresh or pooled shell).
+    ConnAdmitted {
+        /// The admitted `C.ID`.
+        conn_id: u32,
+        /// Live connections after the admission.
+        occupancy: u32,
+    },
+    /// The connection table evicted a connection (capacity pressure, idle
+    /// sweep, or explicit retirement).
+    ConnEvicted {
+        /// The evicted `C.ID`.
+        conn_id: u32,
+        /// Virtual-clock nanoseconds since the connection's last touch.
+        idle: u64,
+        /// Why it went: `"capacity"`, `"idle"` or `"retire"`.
+        cause: &'static str,
+    },
     /// A session reached a terminal reliability verdict for a TPDU.
     VerdictReached {
         /// Connection the verdict applies to.
@@ -158,6 +175,8 @@ impl Event {
             Event::PathChosen { .. } => "PathChosen",
             Event::OverlapConflict { .. } => "OverlapConflict",
             Event::GroupEvicted { .. } => "GroupEvicted",
+            Event::ConnAdmitted { .. } => "ConnAdmitted",
+            Event::ConnEvicted { .. } => "ConnEvicted",
             Event::VerdictReached { .. } => "VerdictReached",
         }
     }
@@ -255,6 +274,19 @@ impl Event {
                     "\"cid\": {conn_id}, \"start\": {start}, \"bytes\": {bytes}, \"cause\": \"{cause}\""
                 );
             }
+            Event::ConnAdmitted { conn_id, occupancy } => {
+                let _ = write!(out, "\"cid\": {conn_id}, \"occupancy\": {occupancy}");
+            }
+            Event::ConnEvicted {
+                conn_id,
+                idle,
+                cause,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"cid\": {conn_id}, \"idle\": {idle}, \"cause\": \"{cause}\""
+                );
+            }
             Event::VerdictReached {
                 conn_id,
                 verdict,
@@ -331,6 +363,14 @@ impl Event {
                 bytes,
                 cause,
             } => format!("evict        C.ID {conn_id} T.SN {start} ({bytes} B, budget {cause})"),
+            Event::ConnAdmitted { conn_id, occupancy } => {
+                format!("conn admit   C.ID {conn_id} ({occupancy} live)")
+            }
+            Event::ConnEvicted {
+                conn_id,
+                idle,
+                cause,
+            } => format!("conn evict   C.ID {conn_id} (idle {idle} ns, {cause})"),
             Event::VerdictReached {
                 conn_id,
                 verdict,

@@ -27,7 +27,11 @@
 //! * [`parallel`] — the order-free parallel receive pipeline: arriving
 //!   chunks fan out to shard-per-worker receivers by connection label, with
 //!   a merge stage that folds per-worker verification transcripts; provably
-//!   equivalent to the serial path (`tests/parallel_differential.rs`).
+//!   equivalent to the serial path (`tests/parallel_differential.rs`);
+//! * [`table`] — the open-addressed, Fibonacci-hashed `C.ID → Receiver`
+//!   table behind both demux paths: robin-hood probing, pooled receiver
+//!   shells for allocation-free admission, deterministic virtual-clock LRU
+//!   eviction, and capacity back-pressure (see `docs/SCALE.md`).
 //!
 //! The shortest closed loop — one sender's initial transmission processed
 //! on arrival by one receiver:
@@ -72,6 +76,7 @@ pub mod rto;
 pub mod sender;
 pub mod session;
 pub mod stream;
+pub mod table;
 
 pub use ack::AckInfo;
 pub use budget::{GlobalBudget, ResourceBudget};
@@ -88,3 +93,4 @@ pub use rto::{DegradePolicy, RetransmitTimer, RtoConfig, TimerVerdict, Transport
 pub use sender::{Sender, SenderConfig};
 pub use session::{ReliabilityStats, Session};
 pub use stream::{StreamReceiver, StreamStats};
+pub use table::{AdmitOutcome, ConnSet, ConnTable, TableConfig, TableStats};

@@ -12,16 +12,16 @@
 //! routes data and ED chunks to per-connection receivers, and acks and
 //! signals to their handlers, in one pass.
 
-use std::collections::HashMap;
-
 use chunks_core::chunk::Chunk;
 use chunks_core::error::CoreError;
 use chunks_core::label::ChunkType;
-use chunks_core::packet::{pack, unpack, Packet};
+use chunks_core::packet::{pack, spans, unpack, validate, Packet};
+use chunks_core::wire::decode_chunk_at;
 
 use crate::ack::AckInfo;
 use crate::conn::Signal;
 use crate::receiver::{Receiver, RxEvent};
+use crate::table::{ConnTable, TableConfig};
 
 /// Collects chunks from any number of sources — data from several
 /// connections, acks travelling the reverse direction, signalling — and
@@ -97,72 +97,136 @@ pub enum DemuxEvent {
 /// Routes the chunks of incoming packets by `TYPE` and `C.ID` in a single
 /// pass: data/ED to the matching [`Receiver`], acks and signals out as
 /// events.
+///
+/// Receivers live in a [`ConnTable`] — the open-addressed, lifecycle-managed
+/// connection table — so the serial demux scales to millions of live
+/// connections with pooled admission, LRU eviction, and capacity
+/// back-pressure. The classic `register`/`receiver`/`handle_packet` surface
+/// is unchanged; [`Self::table`]/[`Self::table_mut`] expose the lifecycle
+/// operations (admit, retire, idle sweep, stats).
 #[derive(Debug, Default)]
 pub struct ConnectionDemux {
-    receivers: HashMap<u32, Receiver>,
+    receivers: ConnTable,
     /// Chunks routed, by wire type byte (index = `ChunkType::to_u8`).
     pub routed: [u64; 5],
+    /// Reused per-chunk event staging — keeps the steady state of
+    /// [`Self::handle_packet_into`] allocation-free.
+    scratch: Vec<RxEvent>,
 }
 
 impl ConnectionDemux {
-    /// Creates an empty demultiplexer.
+    /// Creates an empty demultiplexer with an unbounded table.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates a demultiplexer over a table with the given sizing and
+    /// eviction policy.
+    pub fn with_table(cfg: TableConfig) -> Self {
+        ConnectionDemux {
+            receivers: ConnTable::new(cfg),
+            routed: [0; 5],
+            scratch: Vec::new(),
+        }
+    }
+
     /// Registers the receiver for a connection.
     pub fn register(&mut self, conn_id: u32, receiver: Receiver) {
-        self.receivers.insert(conn_id, receiver);
+        self.receivers.insert(conn_id, receiver, 0);
     }
 
     /// Access to a registered receiver.
     pub fn receiver(&self, conn_id: u32) -> Option<&Receiver> {
-        self.receivers.get(&conn_id)
+        self.receivers.get(conn_id)
     }
 
     /// Mutable access to a registered receiver.
     pub fn receiver_mut(&mut self, conn_id: u32) -> Option<&mut Receiver> {
-        self.receivers.get_mut(&conn_id)
+        self.receivers.get_mut(conn_id)
     }
 
-    /// Handles one packet, routing every chunk it carries.
+    /// The connection table: occupancy, stats, pressure.
+    pub fn table(&self) -> &ConnTable {
+        &self.receivers
+    }
+
+    /// Mutable table access for lifecycle operations: admission with pooled
+    /// shells, explicit retirement, idle eviction sweeps.
+    pub fn table_mut(&mut self) -> &mut ConnTable {
+        &mut self.receivers
+    }
+
+    /// Handles one packet, routing every chunk it carries. Each data/ED
+    /// chunk routed to a live receiver bumps that connection's LRU touch.
     pub fn handle_packet(&mut self, packet: &Packet, now: u64) -> Vec<DemuxEvent> {
+        let mut events = Vec::new();
+        self.handle_packet_into(packet, now, &mut events);
+        events
+    }
+
+    /// Like [`Self::handle_packet`], appending into a caller-owned buffer.
+    pub fn handle_packet_into(&mut self, packet: &Packet, now: u64, events: &mut Vec<DemuxEvent>) {
         let chunks = match unpack(packet) {
             Ok(c) => c,
-            Err(_) => return Vec::new(),
+            Err(_) => return,
         };
-        let mut events = Vec::new();
         for chunk in chunks {
-            self.routed[chunk.header.ty.to_u8() as usize] += 1;
-            match chunk.header.ty {
-                ChunkType::Ack => {
-                    if let Ok(ack) = AckInfo::from_chunk(&chunk) {
-                        events.push(DemuxEvent::Ack {
-                            conn_id: chunk.header.conn.id,
-                            ack,
-                        });
-                    }
-                }
-                ChunkType::Signal => {
-                    if let Ok(s) = Signal::from_chunk(&chunk) {
-                        events.push(DemuxEvent::Signal(s));
-                    }
-                }
-                ChunkType::Data | ChunkType::ErrorDetection => {
-                    let conn_id = chunk.header.conn.id;
-                    match self.receivers.get_mut(&conn_id) {
-                        Some(rx) => {
-                            for event in rx.handle_chunk(chunk, now) {
-                                events.push(DemuxEvent::Connection { conn_id, event });
-                            }
-                        }
-                        None => events.push(DemuxEvent::UnknownConnection { conn_id }),
-                    }
-                }
-                ChunkType::Padding => {}
-            }
+            self.route_chunk(chunk, now, events);
         }
-        events
+    }
+
+    /// Zero-copy packet ingest: one validation scan, then a streaming span
+    /// walk whose decoded payloads borrow the packet's `Bytes` — the serial
+    /// twin of [`ParallelReceiver::ingest`](crate::parallel::ParallelReceiver::ingest)
+    /// and the entry the million-connection scale harness drives. Identical
+    /// routing to [`Self::handle_packet`]; a malformed chunk rejects the
+    /// whole packet, exactly like `unpack`.
+    pub fn ingest(&mut self, packet: &Packet, now: u64, events: &mut Vec<DemuxEvent>) {
+        if validate(packet).is_err() {
+            return;
+        }
+        for (at, _end) in spans(packet) {
+            // The validation scan already vetted this span.
+            let Ok((chunk, _)) = decode_chunk_at(&packet.bytes, at) else {
+                continue;
+            };
+            self.route_chunk(chunk, now, events);
+        }
+    }
+
+    /// Routes one decoded chunk — shared tail of both decode paths.
+    fn route_chunk(&mut self, chunk: Chunk, now: u64, events: &mut Vec<DemuxEvent>) {
+        self.routed[chunk.header.ty.to_u8() as usize] += 1;
+        match chunk.header.ty {
+            ChunkType::Ack => {
+                if let Ok(ack) = AckInfo::from_chunk(&chunk) {
+                    events.push(DemuxEvent::Ack {
+                        conn_id: chunk.header.conn.id,
+                        ack,
+                    });
+                }
+            }
+            ChunkType::Signal => {
+                if let Ok(s) = Signal::from_chunk(&chunk) {
+                    events.push(DemuxEvent::Signal(s));
+                }
+            }
+            ChunkType::Data | ChunkType::ErrorDetection => {
+                let conn_id = chunk.header.conn.id;
+                let scratch = &mut self.scratch;
+                match self.receivers.lookup(conn_id, now) {
+                    Some(rx) => {
+                        scratch.clear();
+                        rx.handle_chunk_into(chunk, now, scratch);
+                        for event in scratch.drain(..) {
+                            events.push(DemuxEvent::Connection { conn_id, event });
+                        }
+                    }
+                    None => events.push(DemuxEvent::UnknownConnection { conn_id }),
+                }
+            }
+            ChunkType::Padding => {}
+        }
     }
 }
 

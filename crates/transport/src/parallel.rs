@@ -55,6 +55,7 @@ use crate::ack::AckInfo;
 use crate::budget::ResourceBudget;
 use crate::conn::{ConnectionParams, Signal};
 use crate::receiver::{DeliveryMode, Receiver, RxEvent};
+use crate::table::{ConnSet, ConnTable, TableConfig};
 
 /// Depth of each worker's bounded work queue (threads engine). Ingest blocks
 /// when a queue fills — backpressure instead of unbounded buffering.
@@ -283,6 +284,13 @@ enum Work {
     /// Pre-size every owned receiver (and the worker's event buffers) for
     /// an expected load, so the steady state that follows allocates nothing.
     Reserve { tpdus: usize, fragments: usize },
+    /// Admit a connection mid-stream: the owning worker re-arms a pooled
+    /// shell (or builds a fresh receiver) in its connection table. Ordered
+    /// with the connection's chunks — it travels the same FIFO.
+    Admit { spec: ConnSpec, now: u64 },
+    /// Retire a connection mid-stream: the owning worker quiesces its
+    /// receiver into the shell pool.
+    Retire { conn_id: u32, now: u64 },
     /// Barrier: reply with per-connection snapshots (threads engine).
     Sync(mpsc::Sender<Vec<SyncSnapshot>>),
 }
@@ -305,7 +313,9 @@ pub struct SyncSnapshot {
 /// eventual merge inputs.
 struct Shard {
     index: usize,
-    receivers: HashMap<u32, Receiver>,
+    /// The worker's slice of the connection table: open-addressed, pooled
+    /// shells, same lifecycle as the serial demux's table.
+    receivers: ConnTable,
     events: HashMap<u32, Vec<RxEvent>>,
     /// XOR-fold of verified TPDU codes delivered by this worker.
     transcript: Wsc2Stream,
@@ -321,9 +331,11 @@ struct Shard {
 impl Shard {
     fn new(index: usize, obs: Arc<dyn ObsSink>) -> Self {
         let obs_on = obs.enabled();
+        let mut receivers = ConnTable::new(TableConfig::default());
+        receivers.set_obs(obs.clone());
         Shard {
             index,
-            receivers: HashMap::new(),
+            receivers,
             events: HashMap::new(),
             transcript: Wsc2Stream::new(),
             chunks: 0,
@@ -357,7 +369,7 @@ impl Shard {
                     }
                 };
                 let conn_id = chunk.header.conn.id;
-                let Some(rx) = self.receivers.get_mut(&conn_id) else {
+                let Some(rx) = self.receivers.lookup(conn_id, now) else {
                     // Dispatch only routes registered connections here.
                     self.decode_errors += 1;
                     return;
@@ -378,18 +390,47 @@ impl Shard {
                 }
             }
             Work::Reset { conn_id, start } => {
-                if let Some(rx) = self.receivers.get_mut(&conn_id) {
+                if let Some(rx) = self.receivers.get_mut(conn_id) {
                     rx.reset_group(start);
                 }
             }
             Work::Reserve { tpdus, fragments } => {
-                for (&id, rx) in self.receivers.iter_mut() {
+                for (id, rx) in self.receivers.iter_mut() {
                     rx.reserve(tpdus, fragments);
                     // Deliveries dominate the event stream: one TpduDelivered
                     // per TPDU plus occasional control events; 2× covers the
                     // measurement windows the alloc gate drives.
                     self.events.entry(id).or_default().reserve(tpdus * 2);
                 }
+            }
+            Work::Admit { spec, now } => {
+                let sink = self.obs.clone();
+                self.receivers.admit(
+                    spec.params,
+                    now,
+                    || {
+                        let mut rx = Receiver::new(
+                            spec.mode,
+                            spec.params,
+                            spec.layout,
+                            spec.capacity_elements,
+                        );
+                        rx.set_policy(spec.policy);
+                        rx.set_budget(spec.budget.clone());
+                        rx.set_obs(sink);
+                        rx
+                    },
+                    |rx| {
+                        // A pooled shell keeps mode/layout/capacity; policy
+                        // and budget are per-connection, so re-apply them
+                        // (neither setter allocates).
+                        rx.set_policy(spec.policy);
+                        rx.set_budget(spec.budget.clone());
+                    },
+                );
+            }
+            Work::Retire { conn_id, now } => {
+                self.receivers.retire(conn_id, now);
             }
             Work::Sync(reply) => {
                 let snapshots = self.snapshots();
@@ -404,7 +445,7 @@ impl Shard {
         let mut v: Vec<SyncSnapshot> = self
             .receivers
             .iter()
-            .map(|(&id, rx)| SyncSnapshot {
+            .map(|(id, rx)| SyncSnapshot {
                 conn_id: id,
                 ack: rx.make_ack(),
                 failed: rx.failed_starts(),
@@ -544,7 +585,10 @@ pub struct ParallelReceiver {
     /// restore one deterministic order.
     stamp: u64,
     control: Vec<ControlEvent>,
-    registered: Vec<u32>,
+    /// Dispatcher-side membership: which `C.ID`s currently route to a
+    /// worker. Open-addressed, O(1) per chunk — at a million connections
+    /// the `Vec::contains` scan it replaced was the whole dispatch cost.
+    registered: ConnSet,
     /// Observability sink (no-op by default).
     obs: Arc<dyn ObsSink>,
     /// Cached `obs.enabled()` so the disabled path costs one branch.
@@ -586,17 +630,17 @@ impl ParallelReceiver {
         assert!(workers > 0, "at least one worker");
         let obs_on = sink.enabled();
         let mut shards: Vec<Shard> = (0..workers).map(|i| Shard::new(i, sink.clone())).collect();
-        let mut registered = Vec::with_capacity(conns.len());
+        let mut registered = ConnSet::with_capacity(conns.len());
         for spec in conns {
             let conn_id = spec.params.conn_id;
-            registered.push(conn_id);
+            registered.insert(conn_id);
             let mut rx = Receiver::new(spec.mode, spec.params, spec.layout, spec.capacity_elements);
             rx.set_policy(spec.policy);
             rx.set_budget(spec.budget);
             rx.set_obs(sink.clone());
             shards[shard_of(conn_id, workers)]
                 .receivers
-                .insert(conn_id, rx);
+                .insert(conn_id, rx, 0);
         }
         let runtime = match engine {
             Engine::Threads => {
@@ -724,7 +768,7 @@ impl ParallelReceiver {
                 }
                 ChunkType::Data | ChunkType::ErrorDetection => {
                     let conn_id = header.conn.id;
-                    if self.registered.contains(&conn_id) {
+                    if self.registered.contains(conn_id) {
                         self.dispatch.chunks_dispatched += 1;
                         let worker = shard_of(conn_id, self.workers);
                         if self.obs_on {
@@ -757,6 +801,29 @@ impl ParallelReceiver {
                 }
                 ChunkType::Padding => {}
             }
+        }
+    }
+
+    /// Admits a connection mid-stream: registers it with the dispatcher and
+    /// queues the admission on the worker [`shard_of`] names. The worker
+    /// re-arms a pooled shell when one is free, so steady-state churn never
+    /// touches the allocator. Ordered with the connection's chunks: chunks
+    /// dispatched after this call find the receiver live.
+    pub fn admit(&mut self, spec: ConnSpec, now: u64) {
+        let conn_id = spec.params.conn_id;
+        self.registered.insert(conn_id);
+        let worker = shard_of(conn_id, self.workers);
+        self.send(worker, Work::Admit { spec, now });
+    }
+
+    /// Retires a connection mid-stream: deregisters it from the dispatcher
+    /// (subsequent chunks surface as `UnknownConnection` control events) and
+    /// queues the retirement; the owning worker quiesces the receiver into
+    /// its shell pool. Ordered with the connection's chunks.
+    pub fn retire(&mut self, conn_id: u32, now: u64) {
+        if self.registered.remove(conn_id) {
+            let worker = shard_of(conn_id, self.workers);
+            self.send(worker, Work::Retire { conn_id, now });
         }
     }
 
@@ -902,9 +969,11 @@ impl ParallelReceiver {
             self.dispatch.decode_errors += shard.decode_errors;
             process_max_ns = process_max_ns.max(shard.busy_ns);
             process_total_ns += shard.busy_ns;
-            let ids: Vec<u32> = shard.receivers.keys().copied().collect();
-            for conn_id in ids {
-                let receiver = shard.receivers.remove(&conn_id).expect("present");
+            // Drain the worker's table: live connections move out sorted by
+            // `C.ID` (pooled shells of retired connections are dropped, and
+            // with them any events a retired connection left behind).
+            let table = std::mem::take(&mut shard.receivers);
+            for (conn_id, receiver) in table.into_entries() {
                 let events = shard.events.remove(&conn_id).unwrap_or_default();
                 conns.insert(
                     conn_id,

@@ -1370,6 +1370,54 @@ impl Receiver {
         }
     }
 
+    /// Quiesces the receiver into a reusable shell: every staged byte is
+    /// released (per-connection and global budget), every open group is
+    /// recycled into the pool, and all per-connection progress (claims,
+    /// delivery records, statistics, close bit) is cleared — while every
+    /// container keeps its capacity. A quiesced shell re-arms for a new
+    /// connection via [`Self::rearm`] without touching the allocator; the
+    /// connection table's admission pool is built on exactly this.
+    pub fn quiesce(&mut self) {
+        // One arithmetic release covers everything staged — reorder-queue
+        // chunks and held group chunks both flowed through `stage`.
+        let staged = self.stats.buffered_bytes;
+        self.unstage(staged);
+        while let Some(&start) = self.groups.keys().next() {
+            let g = self.groups.remove(&start).expect("key just observed");
+            self.recycle_group(g);
+        }
+        self.reorder_q.clear();
+        self.done.clear();
+        self.delivered.clear();
+        self.claimed.clear();
+        self.in_order = 0;
+        self.closed = false;
+        self.stats = RxStats::default();
+        self.last_now = 0;
+        self.app.fill(0);
+    }
+
+    /// Re-arms a quiesced shell for a new connection: [`Self::quiesce`]
+    /// then swap in the new parameters. The shell keeps its delivery mode,
+    /// invariant layout, application-space capacity, overlap policy, budget
+    /// and observability sink — re-arming is for homogeneous workloads
+    /// (same element size); callers with per-connection policy or budget
+    /// apply them after re-arm (`set_policy` / `set_budget`, neither
+    /// allocates).
+    pub fn rearm(&mut self, params: ConnectionParams) {
+        debug_assert_eq!(
+            params.elem_size, self.params.elem_size,
+            "re-arm keeps the application space; the element size must match"
+        );
+        self.quiesce();
+        self.params = params;
+    }
+
+    /// The connection parameters.
+    pub fn params(&self) -> &ConnectionParams {
+        &self.params
+    }
+
     /// The verified WSC-2 code of a delivered TPDU, or `None` if the group
     /// at `start` was never delivered (missing, failed, or still pending).
     ///

@@ -344,6 +344,14 @@ impl Reassembly {
         freed
     }
 
+    /// Releases every range, every owner — the wholesale form of
+    /// [`Self::release`] a receiver shell calls when it is quiesced for
+    /// reuse by a different connection. Keeps the interval table's
+    /// capacity, so a pooled shell re-arms without touching the allocator.
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+    }
+
     /// How much of `[start, end)` is claimed (by anyone).
     pub fn overlap(&self, start: u64, end: u64) -> u64 {
         let lo = self.ranges.partition_point(|&(_, e, _)| e <= start);

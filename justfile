@@ -4,10 +4,10 @@
 
 # Full lint gate: formatting, clippy, rustdoc — all warnings denied —
 # plus the release-mode test suite, the parallel-equivalence gate, the
-# zero-allocation hot-path gate, the BENCH regression gate, the
-# reliability soak, the adversarial overlap sweep, the lineage sweep,
-# and the deterministic-trace replay.
-lint: check test-release test-parallel test-hotpath bench-check soak soak-overlap lineage trace
+# zero-allocation hot-path gate, the connection-table scale gate, the
+# BENCH regression gate, the reliability soak, the adversarial overlap
+# sweep, the lineage sweep, and the deterministic-trace replay.
+lint: check test-release test-parallel test-hotpath test-scale bench-check soak soak-overlap lineage trace
 
 # Static gate only: formatting, clippy, rustdoc.
 check: fmt clippy doc
@@ -59,6 +59,21 @@ bench-parallel:
 # nothing per chunk, release mode.
 test-hotpath:
     cargo test -q --release --test hotpath_allocs
+
+# Connection-table scale gate: the shrunken scale soak (16 Ki connections,
+# churn, Zipf faults, both demux paths) replayed twice for determinism,
+# plus the table-vs-HashMap oracle property suite, release mode.
+test-scale:
+    cargo test -q --release --test scale_determinism
+    cargo test -q --release -p chunks-transport --test table_props
+
+# Regenerate the BENCH_scale.json million-connection soak at the repo
+# root: admit ≥ 1 Mi concurrent connections on the open-addressed table,
+# soak them with templated traffic, churn, Zipf skew and a Byzantine
+# fault matrix on the serial and parallel paths, and gate on delivery,
+# eviction accounting, bounded memory and replay determinism.
+scale:
+    cargo run --release --bin experiments scale --describe "$(git describe --always --dirty 2>/dev/null || echo unknown)"
 
 # Regenerate the BENCH_hotpath.json receive-path sweep at the repo root:
 # chunks/s, MiB/s and allocs/chunk for the zero-copy, legacy-owned and

@@ -2,7 +2,7 @@
 //! quantified claims of the paper.
 //!
 //! ```text
-//! experiments [--describe REV] [fig1|...|fig7|table1|b1|...|b8|soak|parallel|hotpath|lineage|trace [SCENARIO]|bench-check|all]
+//! experiments [--describe REV] [fig1|...|fig7|table1|b1|...|b8|soak|parallel|hotpath|lineage|scale|trace [SCENARIO]|bench-check|all]
 //! ```
 //!
 //! With no argument (or `all`) every experiment runs. Output is the content
@@ -15,8 +15,8 @@
 
 use chunks::experiments::{
     appendix_b, b1_receiver_modes, b2_frag_systems, b3_lockup, b4_codes, b5_compress, b6_demux,
-    b7_turner, b8_gap_budget, bench_check, figures, hotpath, lineage, overlap, parallel, soak,
-    table1, trace, SEED, SEED2,
+    b7_turner, b8_gap_budget, bench_check, figures, hotpath, lineage, overlap, parallel, scale,
+    soak, table1, trace, SEED, SEED2,
 };
 
 // The hotpath sweep reports allocations-per-chunk on the receive path; the
@@ -141,6 +141,14 @@ fn run_one(job: &Job, describe: &str) -> bool {
             }
             deterministic && r.passes()
         }
+        "scale" => {
+            let r = scale::run(SEED);
+            println!("{r}");
+            if let Err(e) = std::fs::write("BENCH_scale.json", scale::bench_json(&r, describe)) {
+                eprintln!("could not write BENCH_scale.json: {e}");
+            }
+            r.passes()
+        }
         "lineage" => {
             let r = lineage::run(SEED);
             println!("{r}");
@@ -207,6 +215,7 @@ fn main() {
         "hotpath",
         "overlap",
         "lineage",
+        "scale",
         "trace",
     ];
     // Pull out `--describe REV`, then pair `trace` with an optional

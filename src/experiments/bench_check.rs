@@ -9,7 +9,8 @@
 //!   committed `meta.describe` and diffs byte for byte. Tolerance is zero:
 //!   any drift means either the code's behaviour changed (commit the
 //!   regenerated file deliberately) or determinism broke (fix it).
-//! * **Structural** (`BENCH_parallel.json`, `BENCH_wsc.json`) — the
+//! * **Structural** (`BENCH_parallel.json`, `BENCH_hotpath.json`,
+//!   `BENCH_scale.json`, `BENCH_wsc.json`) — the
 //!   numbers are host wall-clock, so the gate only validates shape: the
 //!   file parses, opens with a complete `meta` block, and carries a
 //!   non-empty `results` array.
@@ -203,6 +204,7 @@ pub fn run() -> BenchCheckResult {
             }),
             check_file("BENCH_parallel.json", false, |_| String::new()),
             check_file("BENCH_hotpath.json", false, |_| String::new()),
+            check_file("BENCH_scale.json", false, |_| String::new()),
             check_file("BENCH_wsc.json", false, |_| String::new()),
         ],
     }

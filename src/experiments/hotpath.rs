@@ -62,6 +62,8 @@ pub mod alloc_count {
 
     /// Heap allocations since process start (alloc + alloc_zeroed + realloc).
     pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    /// Bytes currently live on the heap (allocated minus deallocated).
+    pub static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
 
     /// `System`, with every allocation counted.
     pub struct CountingAlloc;
@@ -69,20 +71,25 @@ pub mod alloc_count {
     unsafe impl GlobalAlloc for CountingAlloc {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
+            LIVE_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
             System.alloc(layout)
         }
 
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
+            LIVE_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
             System.alloc_zeroed(layout)
         }
 
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
+            LIVE_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
             System.realloc(ptr, layout, new_size)
         }
 
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
             System.dealloc(ptr, layout)
         }
     }
@@ -90,6 +97,12 @@ pub mod alloc_count {
     /// Current allocation count.
     pub fn allocs() -> u64 {
         ALLOCS.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently live on the heap; only meaningful while the counting
+    /// allocator is installed (otherwise stays 0).
+    pub fn live_bytes() -> u64 {
+        LIVE_BYTES.load(Ordering::Relaxed)
     }
 
     /// True when the counting allocator is actually installed as the global

@@ -27,6 +27,7 @@ pub mod hotpath;
 pub mod lineage;
 pub mod overlap;
 pub mod parallel;
+pub mod scale;
 pub mod soak;
 pub mod table1;
 pub mod trace;

@@ -5,12 +5,13 @@
 
 use chunks::experiments::benchjson::{parse, Value};
 
-const BENCH_FILES: [&str; 6] = [
+const BENCH_FILES: [&str; 7] = [
     "BENCH_lineage.json",
     "BENCH_soak.json",
     "BENCH_overlap.json",
     "BENCH_parallel.json",
     "BENCH_hotpath.json",
+    "BENCH_scale.json",
     "BENCH_wsc.json",
 ];
 
@@ -165,6 +166,76 @@ fn overlap_rows_pin_the_full_cell_coordinates_and_the_two_proofs() {
             Some(0.0),
             "committed overlap row must never deliver corrupted bytes"
         );
+    }
+}
+
+#[test]
+fn scale_rows_pin_all_six_cells_and_the_accounting_columns() {
+    // The scale snapshot must carry every cell of the sweep, and every row
+    // must say how many connections it held, what it delivered, and how the
+    // table accounted for admissions, pool reuse, evictions and memory —
+    // the accounting columns are what the file exists to witness. Rates are
+    // host wall-clock, so only shapes are pinned; the million-connection
+    // and zero-allocation bars are enforced by the experiment's own
+    // passes() when the file is regenerated.
+    let v = load("BENCH_scale.json");
+    for key in ["seed", "target_conns"] {
+        v.get(key)
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("scale: no numeric `{key}`"));
+    }
+    assert_eq!(
+        v.get("deterministic"),
+        Some(&Value::Bool(true)),
+        "committed scale snapshot must replay byte-identically"
+    );
+    let results = v.get("results").and_then(Value::as_arr).unwrap();
+    let mut cells: Vec<&str> = Vec::new();
+    for row in results {
+        let cell = row
+            .get("cell")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("scale row without a `cell` string"));
+        cells.push(cell);
+        for key in [
+            "conns",
+            "packets",
+            "chunks",
+            "wire_bytes",
+            "conns_per_s",
+            "mib_s",
+            "delivered_bytes",
+            "admissions",
+            "pooled",
+            "evictions",
+            "refusals",
+            "peak_live",
+            "max_probe",
+            "mem_per_conn",
+            "steady_allocs",
+            "p99_verify_ns",
+        ] {
+            row.get(key)
+                .and_then(Value::as_f64)
+                .unwrap_or_else(|| panic!("{cell}: no numeric `{key}`"));
+        }
+        for key in ["digests_match", "deterministic", "ok"] {
+            assert_eq!(
+                row.get(key),
+                Some(&Value::Bool(true)),
+                "{cell}: committed scale row must have {key} = true"
+            );
+        }
+    }
+    for want in [
+        "capacity-lru",
+        "churn-equiv",
+        "budget-bound",
+        "zipf-faults",
+        "million-serial",
+        "million-parallel",
+    ] {
+        assert!(cells.contains(&want), "missing scale cell {want:?}");
     }
 }
 

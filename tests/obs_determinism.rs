@@ -265,7 +265,7 @@ fn recording_sink_is_differentially_transparent_on_the_parallel_path() {
 /// Every event variant name (kept in sync by the match in the test body —
 /// adding a variant without extending this list fails the doc-sync test
 /// only if the docs also miss it, but `Event::name` is exercised above).
-const EVENT_NAMES: [&str; 12] = [
+const EVENT_NAMES: [&str; 14] = [
     "ChunkDecoded",
     "ChunkRejected",
     "ChunkMutated",
@@ -278,7 +278,69 @@ const EVENT_NAMES: [&str; 12] = [
     "ShardDispatched",
     "MergeFolded",
     "VerdictReached",
+    "ConnAdmitted",
+    "ConnEvicted",
 ];
+
+/// Extracts `](target)` markdown link targets. Deliberately dumb: code
+/// spans can false-positive, so callers filter to plausible relative paths.
+fn md_link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(k) = text[i..].find("](") {
+        let start = i + k + 2;
+        match text[start..].find(')') {
+            Some(end) => {
+                out.push(text[start..start + end].to_string());
+                i = start + end + 1;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+#[test]
+fn doc_relative_links_all_resolve() {
+    // Every relative link in README.md and docs/*.md must point at a file
+    // that exists — the docs overhaul cross-links heavily, and a renamed
+    // target must fail the suite, not a reader.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut docs = vec![root.join("README.md")];
+    for entry in std::fs::read_dir(root.join("docs")).expect("docs/ exists") {
+        let p = entry.expect("readable docs entry").path();
+        if p.extension().is_some_and(|e| e == "md") {
+            docs.push(p);
+        }
+    }
+    assert!(docs.len() > 5, "docs directory unexpectedly sparse");
+    let mut checked = 0;
+    for doc in &docs {
+        let text = std::fs::read_to_string(doc).expect("doc readable");
+        for target in md_link_targets(&text) {
+            // External links, pure anchors, and code-span false positives
+            // (anything with whitespace) are out of scope.
+            if target.is_empty()
+                || target.contains("://")
+                || target.starts_with('#')
+                || target.starts_with("mailto:")
+                || target.contains(char::is_whitespace)
+            {
+                continue;
+            }
+            let path = target.split('#').next().unwrap_or(&target);
+            let resolved = doc.parent().expect("doc has a parent").join(path);
+            assert!(
+                resolved.exists(),
+                "{}: broken relative link `{target}` (resolved to {})",
+                doc.display(),
+                resolved.display()
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 20, "link checker found suspiciously few links");
+}
 
 #[test]
 fn observability_doc_names_every_metric_and_event() {

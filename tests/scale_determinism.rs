@@ -1,0 +1,29 @@
+//! The scale sweep's standing gate: the shrunken soak — every cell of the
+//! million-connection experiment at 16 Ki connections — must pass its
+//! acceptance gates and replay byte-identically on its deterministic
+//! columns. The full 2^20-connection run is the same code at a bigger
+//! constant; opt in with `SCALE_FULL=1` (it is what `just scale` measures
+//! and what `BENCH_scale.json` records).
+//!
+//! This binary does not install the counting global allocator, so the
+//! allocation and memory-per-connection gates are skipped here; the
+//! `experiments` binary enforces them on every regeneration.
+
+use chunks::experiments::{scale, SEED};
+
+#[test]
+fn shrunken_scale_soak_passes_and_replays_identically() {
+    let r = scale::run_quick(SEED);
+    assert!(r.deterministic, "replay must reproduce every cell:\n{r}");
+    assert!(r.passes(), "{r}");
+}
+
+#[test]
+fn full_scale_soak_opt_in() {
+    if std::env::var("SCALE_FULL").as_deref() != Ok("1") {
+        return;
+    }
+    let r = scale::run(SEED);
+    assert!(r.deterministic, "replay must reproduce every cell:\n{r}");
+    assert!(r.passes(), "{r}");
+}
