@@ -83,6 +83,16 @@ pub const CATALOGUE: &[Spec] = &[
         "ChunkRouter split a chunk to fit its egress MTU (extra pieces made)",
     ),
     counter(
+        "obs.flight.dumps",
+        "dumps",
+        "AlwaysOnSink captured a flight-recorder postmortem (first trigger only)",
+    ),
+    counter(
+        "obs.flight.triggers",
+        "triggers",
+        "a degradation trigger fired against an always-on or recording sink",
+    ),
+    counter(
         "obs.span.links",
         "links",
         "a router recorded one parent-to-child fragmentation span link",
@@ -136,6 +146,16 @@ pub const CATALOGUE: &[Spec] = &[
         "transport.budget.shed_bytes",
         "bytes",
         "payload bytes the receiver shed because the resource budget was exhausted",
+    ),
+    counter(
+        "transport.health.events",
+        "events",
+        "a Watchdog threshold rule emitted a typed HealthEvent",
+    ),
+    counter(
+        "transport.health.reports",
+        "reports",
+        "a Watchdog tick aggregated a HealthReport on the virtual clock",
     ),
     counter(
         "transport.parallel.bad_packets",
@@ -287,6 +307,11 @@ pub const CATALOGUE: &[Spec] = &[
         "connections",
         "live connections in ConnTable, observed at each admission",
     ),
+    counter(
+        "transport.table.pressure_crossings",
+        "crossings",
+        "ConnTable::under_pressure crossed from false to true (a degradation trigger)",
+    ),
     histogram(
         "transport.table.probe_len",
         "slots",
@@ -324,8 +349,85 @@ pub const CATALOGUE: &[Spec] = &[
     ),
 ];
 
+/// Direct-mapped label acceleration table size (power of two). The paper's
+/// thesis applied to the registry itself: resolving a metric *label* to its
+/// cell must cost a hash and one verifying compare, not a binary search
+/// through names that share a `transport.` prefix — the search was the
+/// measurable part of the always-on hot-path overhead.
+const FAST_SLOTS: usize = 2048;
+
+/// Mixes a name's length, a window from its middle, and its last eight
+/// bytes into a table index under `seed`. The suffix alone is not enough:
+/// pairs like `transport.budget.shed_bytes` / `transport.rx.buffered_bytes`
+/// agree on length and final eight bytes, so the middle window is what
+/// separates them (the shared `transport.` prefix never would).
+#[inline]
+fn fast_idx(name: &str, seed: u64) -> usize {
+    let b = name.as_bytes();
+    let mut h = seed ^ b.len() as u64;
+    let mid = b.len() / 2;
+    for &c in &b[mid..(mid + 8).min(b.len())] {
+        h = h.wrapping_mul(0x100000001B3) ^ c as u64;
+    }
+    for &c in &b[b.len().saturating_sub(8)..] {
+        h = h.wrapping_mul(0x100000001B3) ^ c as u64;
+    }
+    (h ^ (h >> 29)) as usize & (FAST_SLOTS - 1)
+}
+
+/// The chosen hash seed plus `slot + 1` per table cell (0 = empty, fall
+/// back to binary search).
+static FAST: std::sync::OnceLock<(u64, [u16; FAST_SLOTS])> = std::sync::OnceLock::new();
+
+/// Builds the table under the first seed (tried in a fixed order, so the
+/// result is deterministic) that places every catalogued name without
+/// collision. The search is a handful of iterations for any plausible
+/// catalogue size; if 64 seeds all collide, the last table stands and the
+/// displaced names resolve through the binary-search fallback.
+fn fast_table() -> &'static (u64, [u16; FAST_SLOTS]) {
+    FAST.get_or_init(|| {
+        let mut last = (0, [0u16; FAST_SLOTS]);
+        for seed in 0..64u64 {
+            let mut t = [0u16; FAST_SLOTS];
+            let mut clean = true;
+            for (i, s) in CATALOGUE.iter().enumerate() {
+                let idx = fast_idx(s.name, seed);
+                clean &= t[idx] == 0;
+                if t[idx] == 0 {
+                    t[idx] = i as u16 + 1;
+                }
+            }
+            last = (seed, t);
+            if clean {
+                break;
+            }
+        }
+        last
+    })
+}
+
+/// True when every catalogued name resolves on the direct-mapped fast path
+/// (no entry was displaced to the binary-search fallback).
+pub fn fast_path_complete() -> bool {
+    let (_, t) = fast_table();
+    let placed = t.iter().filter(|&&v| v != 0).count();
+    placed == CATALOGUE.len()
+}
+
 /// Returns the catalogue slot index of `name`, if declared.
+#[inline]
 pub fn lookup(name: &str) -> Option<usize> {
+    if name.is_empty() {
+        return None;
+    }
+    let (seed, table) = fast_table();
+    let hit = table[fast_idx(name, *seed)];
+    if hit != 0 {
+        let cand = (hit - 1) as usize;
+        if CATALOGUE[cand].name == name {
+            return Some(cand);
+        }
+    }
     CATALOGUE.binary_search_by(|s| s.name.cmp(name)).ok()
 }
 
@@ -351,6 +453,16 @@ mod tests {
             assert_eq!(lookup(s.name), Some(i));
         }
         assert_eq!(lookup("no.such.metric"), None);
+        assert_eq!(lookup(""), None);
+    }
+
+    #[test]
+    fn fast_table_covers_the_whole_catalogue_without_collisions() {
+        // Every committed name must resolve on the direct-mapped fast path;
+        // a collision silently demotes a hot-path label back to the binary
+        // search, which is exactly the cost the table exists to remove. The
+        // seed search must therefore have found a collision-free placement.
+        assert!(fast_path_complete(), "no collision-free hash seed found");
     }
 
     #[test]

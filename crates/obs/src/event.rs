@@ -158,6 +158,15 @@ pub enum Event {
         /// `T.SN` of the TPDU that exhausted its budget.
         start: u32,
     },
+    /// A degradation trigger fired: the flight recorder marks the moment
+    /// (and, on the first trigger, captures its postmortem dump).
+    Degraded {
+        /// Connection the trigger concerns (0 when not connection-scoped).
+        conn_id: u32,
+        /// Stable trigger name: `"peer-unreachable"`, `"budget-exhausted"`,
+        /// `"verify-failure"`, `"pressure-crossing"` or `"eviction-storm"`.
+        trigger: &'static str,
+    },
 }
 
 impl Event {
@@ -178,6 +187,7 @@ impl Event {
             Event::ConnAdmitted { .. } => "ConnAdmitted",
             Event::ConnEvicted { .. } => "ConnEvicted",
             Event::VerdictReached { .. } => "VerdictReached",
+            Event::Degraded { .. } => "Degraded",
         }
     }
 
@@ -297,6 +307,9 @@ impl Event {
                     "\"cid\": {conn_id}, \"verdict\": \"{verdict}\", \"start\": {start}"
                 );
             }
+            Event::Degraded { conn_id, trigger } => {
+                let _ = write!(out, "\"cid\": {conn_id}, \"trigger\": \"{trigger}\"");
+            }
         }
     }
 
@@ -376,6 +389,9 @@ impl Event {
                 verdict,
                 start,
             } => format!("verdict      C.ID {conn_id} T.SN {start}: {verdict}"),
+            Event::Degraded { conn_id, trigger } => {
+                format!("degraded     C.ID {conn_id} ({trigger})")
+            }
         }
     }
 }

@@ -44,6 +44,8 @@
 
 pub mod catalogue;
 pub mod event;
+pub mod flight;
+pub mod health;
 pub mod lineage;
 pub mod metrics;
 pub mod sink;
@@ -52,8 +54,12 @@ pub mod trace;
 
 pub use catalogue::{Kind, Spec, CATALOGUE};
 pub use event::{Event, Labels};
+pub use flight::{FlightDump, FlightRing, DEFAULT_FLIGHT_CAPACITY};
+pub use health::{HealthEvent, HealthReport, Watchdog, WatchdogConfig};
 pub use lineage::{ChunkLineage, Lineage, StageEntry};
-pub use metrics::{AtomicMetrics, HistogramSnapshot, LocalMetrics, Metrics, Snapshot};
-pub use sink::{null, NullSink, ObsSink, RecordingSink};
+pub use metrics::{
+    AtomicMetrics, HistogramSnapshot, HotCounter, LocalMetrics, Metrics, ShardMetrics, Snapshot,
+};
+pub use sink::{null, AlwaysOnSink, NullSink, ObsSink, RecordingSink, ShardSink};
 pub use span::{SpanId, SpanLink, SpanRecord, SpanStore, Stage};
 pub use trace::{TimedEvent, TraceRing, DEFAULT_TRACE_CAPACITY};

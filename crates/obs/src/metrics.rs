@@ -11,6 +11,7 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::catalogue::{self, Kind, Spec, CATALOGUE};
 
@@ -27,6 +28,19 @@ pub trait Cells {
     fn add(&self, slot: usize, delta: u64);
     /// Reads cell `slot`.
     fn get(&self, slot: usize) -> u64;
+    /// Reads cell `slot` and resets it to zero (the drain primitive).
+    fn take(&self, slot: usize) -> u64;
+    /// Visits every nonzero cell in `0..len`, zeroing as it goes. The
+    /// default walks each cell; backends that track occupancy override it
+    /// to skip untouched cells wholesale (the barrier-drain fast path).
+    fn drain_each(&self, len: usize, f: &mut dyn FnMut(usize, u64)) {
+        for slot in 0..len {
+            let v = self.take(slot);
+            if v != 0 {
+                f(slot, v);
+            }
+        }
+    }
 }
 
 /// Lock-free backend: relaxed atomic adds, shareable across threads.
@@ -44,6 +58,10 @@ impl Cells for AtomicCells {
 
     fn get(&self, slot: usize) -> u64 {
         self.0[slot].load(Ordering::Relaxed)
+    }
+
+    fn take(&self, slot: usize) -> u64 {
+        self.0[slot].swap(0, Ordering::Relaxed)
     }
 }
 
@@ -64,6 +82,87 @@ impl Cells for LocalCells {
     fn get(&self, slot: usize) -> u64 {
         self.0[slot].get()
     }
+
+    fn take(&self, slot: usize) -> u64 {
+        self.0[slot].replace(0)
+    }
+}
+
+/// Sharded hot-path backend: `AtomicU64` storage for `Sync`/`Send`, but
+/// **owner-writes** updates — `add` is a plain load + store (no lock-prefix
+/// read-modify-write), so a single writer pays scalar-add cost while any
+/// thread may read. Exactly one thread may call `add` at a time (the shard's
+/// owner); `take`/`drain_each` are only safe at barriers where the owner is
+/// quiescent, which is when [`crate::ObsSink::flush`] runs.
+///
+/// Alongside the cells the shard keeps a dirty-word bitmap (one bit per
+/// cell, owner-written like the cells themselves). A hot path touches a
+/// handful of the catalogue's ~1300 cells between barriers; the bitmap lets
+/// the barrier drain skip the untouched rest at one load per 64 cells
+/// instead of one load per cell.
+#[derive(Debug)]
+pub struct ShardCells {
+    cells: Box<[AtomicU64]>,
+    dirty: Box<[AtomicU64]>,
+}
+
+impl Cells for ShardCells {
+    fn alloc(len: usize) -> Self {
+        ShardCells {
+            cells: (0..len).map(|_| AtomicU64::new(0)).collect(),
+            dirty: (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn add(&self, slot: usize, delta: u64) {
+        let c = &self.cells[slot];
+        c.store(
+            c.load(Ordering::Relaxed).wrapping_add(delta),
+            Ordering::Relaxed,
+        );
+        let w = &self.dirty[slot >> 6];
+        w.store(
+            w.load(Ordering::Relaxed) | 1 << (slot & 63),
+            Ordering::Relaxed,
+        );
+    }
+
+    fn get(&self, slot: usize) -> u64 {
+        self.cells[slot].load(Ordering::Relaxed)
+    }
+
+    fn take(&self, slot: usize) -> u64 {
+        let v = self.cells[slot].load(Ordering::Relaxed);
+        // Almost every cell is zero almost every time — skipping the store
+        // keeps a cold take at one load. The dirty bit stays set until the
+        // next drain_each, which clears whole words; a stale bit costs that
+        // drain one extra cell load, never correctness.
+        if v != 0 {
+            self.cells[slot].store(0, Ordering::Relaxed);
+        }
+        v
+    }
+
+    fn drain_each(&self, len: usize, f: &mut dyn FnMut(usize, u64)) {
+        for (wi, word) in self.dirty.iter().enumerate() {
+            let mut bits = word.load(Ordering::Relaxed);
+            if bits == 0 {
+                continue;
+            }
+            word.store(0, Ordering::Relaxed);
+            while bits != 0 {
+                let slot = (wi << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if slot >= len {
+                    break;
+                }
+                let v = self.cells[slot].swap(0, Ordering::Relaxed);
+                if v != 0 {
+                    f(slot, v);
+                }
+            }
+        }
+    }
 }
 
 /// A registry of every catalogued metric over backend `C`.
@@ -72,6 +171,8 @@ pub struct Metrics<C: Cells> {
     specs: &'static [Spec],
     /// Cell offset of each spec, parallel to `specs`.
     base: Vec<usize>,
+    /// Total number of cells (the layout length), fixed at construction.
+    total_cells: usize,
     cells: C,
 }
 
@@ -80,6 +181,10 @@ pub type AtomicMetrics = Metrics<AtomicCells>;
 
 /// The single-threaded registry.
 pub type LocalMetrics = Metrics<LocalCells>;
+
+/// A per-worker/per-receiver counter block: owner-writes cells over the
+/// full catalogue, drained into a root registry at pipeline barriers.
+pub type ShardMetrics = Metrics<ShardCells>;
 
 fn bucket_of(value: u64) -> usize {
     let b = 63 - value.max(1).leading_zeros() as usize;
@@ -106,7 +211,37 @@ impl<C: Cells> Metrics<C> {
         Metrics {
             specs,
             base,
+            total_cells: at,
             cells: C::alloc(at),
+        }
+    }
+
+    /// Moves every cell of this registry into `dst` (same spec list
+    /// required), zeroing this one. Allocation-free. Only safe when no other
+    /// thread is concurrently writing this registry — the caller provides
+    /// the barrier (the sharded backend's `add` is not atomic against a
+    /// concurrent `take`).
+    pub fn drain_into<D: Cells>(&self, dst: &Metrics<D>) {
+        assert!(
+            std::ptr::eq(self.specs, dst.specs),
+            "drain_into requires registries over the same spec list"
+        );
+        self.cells
+            .drain_each(self.total_cells, &mut |slot, v| dst.cells.add(slot, v));
+    }
+
+    /// Adds every cell of this registry into `dst` without zeroing (the
+    /// live-read fold used by snapshots).
+    pub fn fold_into<D: Cells>(&self, dst: &Metrics<D>) {
+        assert!(
+            std::ptr::eq(self.specs, dst.specs),
+            "fold_into requires registries over the same spec list"
+        );
+        for slot in 0..self.total_cells {
+            let v = self.cells.get(slot);
+            if v != 0 {
+                dst.cells.add(slot, v);
+            }
         }
     }
 
@@ -116,6 +251,18 @@ impl<C: Cells> Metrics<C> {
         } else {
             self.specs.binary_search_by(|s| s.name.cmp(name)).ok()
         }
+    }
+
+    /// The cell index of counter `name`, for pre-resolved hot handles.
+    pub(crate) fn counter_base(&self, name: &str) -> Option<usize> {
+        let i = self.slot(name)?;
+        (self.specs[i].kind == Kind::Counter).then(|| self.base[i])
+    }
+
+    /// Adds `delta` straight to an already-resolved cell (see
+    /// [`HotCounter`]) — no name lookup, no kind check.
+    pub(crate) fn add_cell(&self, cell: usize, delta: u64) {
+        self.cells.add(cell, delta);
     }
 
     /// Adds `delta` to the counter `name`. Unknown names are ignored (the
@@ -321,6 +468,57 @@ impl Snapshot {
     }
 }
 
+/// A counter whose label→cell resolution happened **once**, at
+/// [`crate::ObsSink::hot_counter`] time. This is the paper's data-labelling
+/// discipline applied to the registry itself: the hot path must not re-derive
+/// where a label's data lives on every update, so a resolved handle adds
+/// straight to the owner's shard cell (two plain stores), while an
+/// unresolved one falls back to the name-based [`crate::ObsSink::counter`]
+/// call — identical semantics either way.
+#[derive(Debug, Clone)]
+pub struct HotCounter {
+    name: &'static str,
+    cell: Option<(Arc<ShardMetrics>, usize)>,
+}
+
+impl HotCounter {
+    /// A handle that resolves nothing and always falls back to the
+    /// name-based sink call. What [`crate::ObsSink::hot_counter`]'s default
+    /// returns, and the right initial value before a sink is installed.
+    pub fn unresolved(name: &'static str) -> Self {
+        HotCounter { name, cell: None }
+    }
+
+    /// A handle bound to `cell` of `block` (the resolver's side).
+    pub(crate) fn resolved(name: &'static str, block: Arc<ShardMetrics>, cell: usize) -> Self {
+        HotCounter {
+            name,
+            cell: Some((block, cell)),
+        }
+    }
+
+    /// The catalogued name this handle stands for.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// True when `add` hits a pre-resolved shard cell rather than the
+    /// name-based fallback.
+    pub fn is_resolved(&self) -> bool {
+        self.cell.is_some()
+    }
+
+    /// Adds `delta`: straight to the resolved shard cell, or through
+    /// `sink.counter(name, delta)` when unresolved.
+    #[inline]
+    pub fn add(&self, sink: &dyn crate::ObsSink, delta: u64) {
+        match &self.cell {
+            Some((block, cell)) => block.add_cell(*cell, delta),
+            None => sink.counter(self.name, delta),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,6 +614,39 @@ mod tests {
         }
         assert_eq!(a.snapshot(), l.snapshot());
         assert_eq!(a.counter("transport.rx.chunks_accepted"), 3);
+    }
+
+    #[test]
+    fn shard_backend_agrees_and_drains_cleanly() {
+        let shard = ShardMetrics::new();
+        let root = AtomicMetrics::new();
+        shard.add("transport.rx.chunks_accepted", 5);
+        shard.observe("wsc.runs_per_tpdu", 64);
+        shard.observe("wsc.runs_per_tpdu", 200);
+
+        // fold_into reads without zeroing.
+        let fold = AtomicMetrics::new();
+        shard.fold_into(&fold);
+        assert_eq!(fold.counter("transport.rx.chunks_accepted"), 5);
+        assert_eq!(shard.counter("transport.rx.chunks_accepted"), 5);
+
+        // drain_into moves and zeroes; a second drain is a no-op.
+        shard.drain_into(&root);
+        assert_eq!(root.counter("transport.rx.chunks_accepted"), 5);
+        assert_eq!(shard.counter("transport.rx.chunks_accepted"), 0);
+        shard.drain_into(&root);
+        assert_eq!(root.counter("transport.rx.chunks_accepted"), 5);
+        let h = root.snapshot();
+        let h = h.histogram("wsc.runs_per_tpdu").unwrap();
+        assert_eq!((h.count, h.sum), (2, 264));
+        assert_eq!(
+            shard
+                .snapshot()
+                .histogram("wsc.runs_per_tpdu")
+                .unwrap()
+                .count,
+            0
+        );
     }
 
     #[test]

@@ -8,11 +8,13 @@
 //! [`RecordingSink`] swaps in a full [`AtomicMetrics`] registry plus a
 //! mutex-guarded [`TraceRing`] without the instrumented code changing.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::event::{Event, Labels};
+use crate::flight::{FlightDump, FlightRing, DEFAULT_FLIGHT_CAPACITY};
 use crate::lineage::Lineage;
-use crate::metrics::{AtomicMetrics, Snapshot};
+use crate::metrics::{AtomicMetrics, HotCounter, ShardMetrics, Snapshot};
 use crate::span::{SpanId, SpanLink, SpanRecord, SpanStore};
 use crate::trace::{TimedEvent, TraceRing, DEFAULT_TRACE_CAPACITY};
 
@@ -60,6 +62,63 @@ pub trait ObsSink: Send + Sync + std::fmt::Debug {
     fn span_link(&self, at_ns: u64, parent: Labels, child: Labels) {
         let _ = (at_ns, parent, child);
     }
+
+    /// True when the sink wants the *expensive* instrumentation too:
+    /// observed decode (which materialises payload copies), per-chunk
+    /// dispatch events and per-chunk lifecycle spans. A debugging
+    /// [`RecordingSink`] says yes; the production [`AlwaysOnSink`] says no,
+    /// keeping the obs-on hot path allocation-free. Callers cache
+    /// `enabled() && verbose()` next to their cached `enabled()`.
+    fn verbose(&self) -> bool {
+        true
+    }
+
+    /// Hands out a fresh per-worker/per-receiver counter block, registered
+    /// with the sink so [`ObsSink::flush`] can drain it and snapshots can
+    /// fold it. `None` (the default) means the sink does not shard: callers
+    /// keep routing counters through the sink itself.
+    fn worker_shard(&self) -> Option<Arc<ShardMetrics>> {
+        None
+    }
+
+    /// Resolves `name` to a pre-bound [`HotCounter`] once, so a per-chunk
+    /// site pays two plain stores per update instead of a label lookup.
+    /// Only a sharding facade ([`ShardSink`]) can bind a cell; the default
+    /// hands back an unresolved handle whose `add` falls through to
+    /// [`ObsSink::counter`] by name — identical behaviour, just slower.
+    fn hot_counter(&self, name: &'static str) -> HotCounter {
+        HotCounter::unresolved(name)
+    }
+
+    /// Drains every registered worker shard into the root registry. Only
+    /// sound at barriers where no shard owner is concurrently writing
+    /// (`drain()`/`sync()`/`finish()` of the parallel pipeline) — the
+    /// sharded backend's owner-writes `add` is not atomic against a
+    /// concurrent drain.
+    fn flush(&self) {}
+
+    /// A degradation trigger fired (`"peer-unreachable"`,
+    /// `"budget-exhausted"`, `"verify-failure"`, `"pressure-crossing"`,
+    /// `"eviction-storm"`). The always-on sink marks the flight ring and
+    /// captures its postmortem dump on the first trigger; the recording
+    /// sink traces it.
+    fn degraded(&self, at_ns: u64, trigger: &'static str, conn_id: u32) {
+        let _ = (at_ns, trigger, conn_id);
+    }
+
+    /// Advances the sink's monotonic virtual clock to at least `at_ns`.
+    /// Layers that stamp events *after* their own clock stops moving (the
+    /// parallel merge path) read it back via [`ObsSink::clock`], so merge
+    /// events can never carry an earlier timestamp than the worker events
+    /// they fold.
+    fn clock_advance(&self, at_ns: u64) {
+        let _ = at_ns;
+    }
+
+    /// The sink's monotonic virtual clock (0 when the sink keeps none).
+    fn clock(&self) -> u64 {
+        0
+    }
 }
 
 /// The default sink: records nothing, reports `enabled() == false`.
@@ -83,6 +142,7 @@ pub struct RecordingSink {
     metrics: AtomicMetrics,
     trace: Mutex<TraceRing>,
     spans: Mutex<SpanStore>,
+    clock: AtomicU64,
 }
 
 impl RecordingSink {
@@ -97,6 +157,7 @@ impl RecordingSink {
             metrics: AtomicMetrics::new(),
             trace: Mutex::new(TraceRing::new(cap)),
             spans: Mutex::new(SpanStore::new()),
+            clock: AtomicU64::new(0),
         })
     }
 
@@ -194,6 +255,243 @@ impl ObsSink for RecordingSink {
             .expect("span lock")
             .link(at_ns, parent, child);
     }
+
+    fn degraded(&self, at_ns: u64, trigger: &'static str, conn_id: u32) {
+        self.metrics.add("obs.flight.triggers", 1);
+        self.trace
+            .lock()
+            .expect("trace lock")
+            .push(at_ns, Event::Degraded { conn_id, trigger });
+    }
+
+    fn clock_advance(&self, at_ns: u64) {
+        self.clock.fetch_max(at_ns, Ordering::Relaxed);
+    }
+
+    fn clock(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+}
+
+/// The production sink: always on, never verbose.
+///
+/// Counters and histograms land either in the lock-free root registry or in
+/// per-worker [`ShardMetrics`] blocks handed out by
+/// [`ObsSink::worker_shard`] (owner-writes cells, drained into the root at
+/// pipeline barriers via [`ObsSink::flush`], folded live by
+/// [`AlwaysOnSink::snapshot`]). Rare events land in a fixed flight ring;
+/// the first degradation trigger captures a byte-stable postmortem
+/// [`FlightDump`]. Per-chunk verbose instrumentation (observed decode,
+/// dispatch events, lifecycle spans) is refused via `verbose() == false`,
+/// which is what keeps the obs-on hot path allocation-free.
+#[derive(Debug)]
+pub struct AlwaysOnSink {
+    root: AtomicMetrics,
+    shards: Mutex<Vec<Arc<ShardMetrics>>>,
+    flight: Mutex<FlightRing>,
+    dump: Mutex<Option<FlightDump>>,
+    clock: AtomicU64,
+}
+
+impl AlwaysOnSink {
+    /// Creates a shared always-on sink with the default flight capacity.
+    pub fn shared() -> Arc<Self> {
+        Self::with_flight_capacity(DEFAULT_FLIGHT_CAPACITY)
+    }
+
+    /// Creates a shared always-on sink whose flight ring holds `cap` events.
+    pub fn with_flight_capacity(cap: usize) -> Arc<Self> {
+        Arc::new(AlwaysOnSink {
+            root: AtomicMetrics::new(),
+            shards: Mutex::new(Vec::new()),
+            flight: Mutex::new(FlightRing::new(cap)),
+            dump: Mutex::new(None),
+            clock: AtomicU64::new(0),
+        })
+    }
+
+    /// Snapshots the folded registry: root plus every live worker shard
+    /// (read without zeroing, so a mid-run snapshot is safe at any time
+    /// and `flush` remains the only mutation point).
+    pub fn snapshot(&self) -> Snapshot {
+        let agg = AtomicMetrics::new();
+        self.root.fold_into(&agg);
+        for shard in self.shards.lock().expect("shard lock").iter() {
+            shard.fold_into(&agg);
+        }
+        agg.snapshot()
+    }
+
+    /// Worker shard blocks handed out so far.
+    pub fn shard_count(&self) -> usize {
+        self.shards.lock().expect("shard lock").len()
+    }
+
+    /// The flight ring's current contents, oldest first.
+    pub fn flight_events(&self) -> Vec<TimedEvent> {
+        self.flight.lock().expect("flight lock").events()
+    }
+
+    /// The postmortem captured by the first degradation trigger, if any.
+    pub fn flight_dump(&self) -> Option<FlightDump> {
+        self.dump.lock().expect("dump lock").clone()
+    }
+
+    /// The captured postmortem as JSON lines (None before any trigger).
+    pub fn dump_json_lines(&self) -> Option<String> {
+        self.flight_dump().map(|d| d.to_json_lines())
+    }
+}
+
+impl ObsSink for AlwaysOnSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn verbose(&self) -> bool {
+        false
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.root.add(name, delta);
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        self.root.observe(name, value);
+    }
+
+    fn event(&self, at_ns: u64, event: Event) {
+        self.flight.lock().expect("flight lock").push(at_ns, event);
+    }
+
+    fn worker_shard(&self) -> Option<Arc<ShardMetrics>> {
+        let block = Arc::new(ShardMetrics::new());
+        self.shards
+            .lock()
+            .expect("shard lock")
+            .push(Arc::clone(&block));
+        Some(block)
+    }
+
+    fn flush(&self) {
+        for shard in self.shards.lock().expect("shard lock").iter() {
+            shard.drain_into(&self.root);
+        }
+    }
+
+    fn degraded(&self, at_ns: u64, trigger: &'static str, conn_id: u32) {
+        self.root.add("obs.flight.triggers", 1);
+        let mut ring = self.flight.lock().expect("flight lock");
+        ring.push(at_ns, Event::Degraded { conn_id, trigger });
+        let mut dump = self.dump.lock().expect("dump lock");
+        if dump.is_none() {
+            *dump = Some(FlightDump::capture(trigger, conn_id, at_ns, &ring));
+            self.root.add("obs.flight.dumps", 1);
+        }
+    }
+
+    fn clock_advance(&self, at_ns: u64) {
+        self.clock.fetch_max(at_ns, Ordering::Relaxed);
+    }
+
+    fn clock(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+}
+
+/// A per-owner facade over a sharding parent sink: counters and histogram
+/// observations go to the owner's plain [`ShardMetrics`] block (owner-writes
+/// cells, no shared-line contention); everything else — events, spans,
+/// degradation triggers, the clock — forwards to the parent.
+#[derive(Debug)]
+pub struct ShardSink {
+    local: Arc<ShardMetrics>,
+    parent: Arc<dyn ObsSink>,
+    parent_verbose: bool,
+}
+
+impl ShardSink {
+    /// Builds the facade over an already-registered shard block.
+    pub fn new(local: Arc<ShardMetrics>, parent: Arc<dyn ObsSink>) -> Self {
+        let parent_verbose = parent.verbose();
+        ShardSink {
+            local,
+            parent,
+            parent_verbose,
+        }
+    }
+
+    /// Wraps `parent` in a fresh per-owner shard facade when the parent
+    /// shards ([`ObsSink::worker_shard`] returns a block); hands `parent`
+    /// back unchanged otherwise. The single registration point every
+    /// shard owner (parallel worker, demux, serial bench leg) goes through.
+    pub fn wrap(parent: Arc<dyn ObsSink>) -> Arc<dyn ObsSink> {
+        match parent.worker_shard() {
+            Some(local) => Arc::new(ShardSink::new(local, parent)),
+            None => parent,
+        }
+    }
+}
+
+impl ObsSink for ShardSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn verbose(&self) -> bool {
+        self.parent_verbose
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.local.add(name, delta);
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        self.local.observe(name, value);
+    }
+
+    fn event(&self, at_ns: u64, event: Event) {
+        self.parent.event(at_ns, event);
+    }
+
+    fn span_open(&self, at_ns: u64, id: SpanId) {
+        self.parent.span_open(at_ns, id);
+    }
+
+    fn span_close(&self, at_ns: u64, id: SpanId) {
+        self.parent.span_close(at_ns, id);
+    }
+
+    fn span_link(&self, at_ns: u64, parent: Labels, child: Labels) {
+        self.parent.span_link(at_ns, parent, child);
+    }
+
+    fn worker_shard(&self) -> Option<Arc<ShardMetrics>> {
+        self.parent.worker_shard()
+    }
+
+    fn hot_counter(&self, name: &'static str) -> HotCounter {
+        match self.local.counter_base(name) {
+            Some(cell) => HotCounter::resolved(name, Arc::clone(&self.local), cell),
+            None => HotCounter::unresolved(name),
+        }
+    }
+
+    fn flush(&self) {
+        self.parent.flush();
+    }
+
+    fn degraded(&self, at_ns: u64, trigger: &'static str, conn_id: u32) {
+        self.parent.degraded(at_ns, trigger, conn_id);
+    }
+
+    fn clock_advance(&self, at_ns: u64) {
+        self.parent.clock_advance(at_ns);
+    }
+
+    fn clock(&self) -> u64 {
+        self.parent.clock()
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +533,88 @@ mod tests {
         assert_eq!(s.events().len(), 1);
         assert!(s.trace_json_lines().starts_with("{\"t\": 77, "));
         assert_eq!(s.trace_dropped(), 0);
+    }
+
+    #[test]
+    fn always_on_sink_shards_flushes_and_folds() {
+        let s = AlwaysOnSink::shared();
+        let dyn_sink: Arc<dyn ObsSink> = s.clone();
+        assert!(dyn_sink.enabled());
+        assert!(!dyn_sink.verbose());
+
+        dyn_sink.counter("transport.parallel.packets", 2);
+        let worker = ShardSink::wrap(dyn_sink.clone());
+        worker.counter("transport.rx.chunks_accepted", 5);
+        worker.observe("wsc.runs_per_tpdu", 3);
+        assert_eq!(s.shard_count(), 1);
+
+        // Snapshot folds live shards without draining them.
+        let snap = s.snapshot();
+        assert_eq!(snap.counter("transport.parallel.packets"), 2);
+        assert_eq!(snap.counter("transport.rx.chunks_accepted"), 5);
+
+        // Flush drains the shard into the root; totals are unchanged.
+        dyn_sink.flush();
+        let snap = s.snapshot();
+        assert_eq!(snap.counter("transport.rx.chunks_accepted"), 5);
+        assert_eq!(snap.histogram("wsc.runs_per_tpdu").unwrap().count, 1);
+    }
+
+    #[test]
+    fn always_on_sink_captures_the_first_dump_only() {
+        let s = AlwaysOnSink::with_flight_capacity(16);
+        let dyn_sink: Arc<dyn ObsSink> = s.clone();
+        dyn_sink.event(
+            5,
+            Event::GroupDelivered {
+                conn_id: 1,
+                start: 0,
+                bytes: 64,
+            },
+        );
+        assert!(s.flight_dump().is_none());
+        dyn_sink.degraded(9, "budget-exhausted", 1);
+        dyn_sink.degraded(12, "peer-unreachable", 1);
+        let dump = s.flight_dump().expect("first trigger captured");
+        assert_eq!(dump.trigger, "budget-exhausted");
+        assert_eq!(dump.at_ns, 9);
+        assert_eq!(dump.events.len(), 2); // delivery + the Degraded marker
+        let snap = s.snapshot();
+        assert_eq!(snap.counter("obs.flight.triggers"), 2);
+        assert_eq!(snap.counter("obs.flight.dumps"), 1);
+        assert!(s
+            .dump_json_lines()
+            .unwrap()
+            .starts_with("{\"dump\": \"flight\", \"trigger\": \"budget-exhausted\""));
+        // Both triggers are in the ring even though only one dumped.
+        assert_eq!(s.flight_events().len(), 3);
+    }
+
+    #[test]
+    fn sink_clock_is_monotonic_and_shared_through_the_shard_facade() {
+        let s = RecordingSink::shared();
+        let dyn_sink: Arc<dyn ObsSink> = s.clone();
+        let worker = ShardSink::wrap(dyn_sink.clone());
+        dyn_sink.clock_advance(50);
+        worker.clock_advance(30); // stale worker time cannot move it back
+        assert_eq!(worker.clock(), 50);
+        worker.clock_advance(80);
+        assert_eq!(dyn_sink.clock(), 80);
+        // RecordingSink does not shard: wrap() hands the parent back, so
+        // counters keep landing in the shared registry.
+        worker.counter("wsc.verify_pass", 1);
+        assert_eq!(s.snapshot().counter("wsc.verify_pass"), 1);
+    }
+
+    #[test]
+    fn recording_sink_traces_degradation_triggers() {
+        let s = RecordingSink::shared();
+        let dyn_sink: Arc<dyn ObsSink> = s.clone();
+        dyn_sink.degraded(42, "verify-failure", 7);
+        assert_eq!(s.snapshot().counter("obs.flight.triggers"), 1);
+        let events = s.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].event.name(), "Degraded");
     }
 
     #[test]

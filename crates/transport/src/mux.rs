@@ -12,11 +12,14 @@
 //! routes data and ED chunks to per-connection receivers, and acks and
 //! signals to their handlers, in one pass.
 
+use std::sync::Arc;
+
 use chunks_core::chunk::Chunk;
 use chunks_core::error::CoreError;
 use chunks_core::label::ChunkType;
 use chunks_core::packet::{pack, spans, unpack, validate, Packet};
 use chunks_core::wire::decode_chunk_at;
+use chunks_obs::{ObsSink, ShardSink};
 
 use crate::ack::AckInfo;
 use crate::conn::Signal;
@@ -143,6 +146,21 @@ impl ConnectionDemux {
     /// Mutable access to a registered receiver.
     pub fn receiver_mut(&mut self, conn_id: u32) -> Option<&mut Receiver> {
         self.receivers.get_mut(conn_id)
+    }
+
+    /// Installs an observability sink on the connection table and on every
+    /// currently registered receiver. When the sink exposes per-worker
+    /// shard blocks ([`ObsSink::worker_shard`]), the demux records through
+    /// its own shard — plain owner-writes on the hot path, folded into the
+    /// root registry at the sink's flush barriers and on snapshot.
+    /// Receivers admitted later inherit the sink through the caller's
+    /// `reconfigure` closure, exactly as budgets and policies do.
+    pub fn set_obs(&mut self, sink: Arc<dyn ObsSink>) {
+        let sink = ShardSink::wrap(sink);
+        self.receivers.set_obs(Arc::clone(&sink));
+        for (_, rx) in self.receivers.iter_mut() {
+            rx.set_obs(Arc::clone(&sink));
+        }
     }
 
     /// The connection table: occupancy, stats, pressure.

@@ -47,7 +47,7 @@ use bytes::Bytes;
 use chunks_core::label::ChunkType;
 use chunks_core::packet::{spans, validate, Packet};
 use chunks_core::wire::{decode_chunk_at, decode_chunk_observed, labels_of};
-use chunks_obs::{Event, Labels, ObsSink, SpanId, Stage};
+use chunks_obs::{Event, HotCounter, Labels, ObsSink, ShardSink, SpanId, Stage};
 use chunks_vreasm::OverlapPolicy;
 use chunks_wsc::{InvariantLayout, Wsc2Stream};
 
@@ -322,15 +322,20 @@ struct Shard {
     chunks: u64,
     decode_errors: u64,
     busy_ns: u64,
-    /// Observability sink (no-op by default).
+    /// Observability sink (no-op by default). When the pipeline's sink
+    /// exposes per-worker shard blocks ([`ObsSink::worker_shard`]), this is
+    /// the worker's private [`ShardSink`] facade: counters are plain
+    /// owner-writes, folded into the root at flush barriers.
     obs: Arc<dyn ObsSink>,
-    /// Cached `obs.enabled()` so the disabled path costs one branch.
-    obs_on: bool,
+    /// Cached `obs.enabled() && obs.verbose()`: gates the observed decode
+    /// path, whose per-chunk trace events materialise payload copies.
+    obs_verbose: bool,
 }
 
 impl Shard {
     fn new(index: usize, obs: Arc<dyn ObsSink>) -> Self {
-        let obs_on = obs.enabled();
+        let obs = ShardSink::wrap(obs);
+        let obs_verbose = obs.enabled() && obs.verbose();
         let mut receivers = ConnTable::new(TableConfig::default());
         receivers.set_obs(obs.clone());
         Shard {
@@ -342,7 +347,7 @@ impl Shard {
             decode_errors: 0,
             busy_ns: 0,
             obs,
-            obs_on,
+            obs_verbose,
         }
     }
 
@@ -355,8 +360,9 @@ impl Shard {
                 // The zero-copy decode slices the chunk's payload straight
                 // out of the dispatched span (itself a slice of the arriving
                 // packet); only the observed decode still materialises a
-                // copy, in exchange for its per-chunk trace events.
-                let decoded = if self.obs_on {
+                // copy, in exchange for its per-chunk trace events — so a
+                // non-verbose (always-on) sink keeps the zero-copy path.
+                let decoded = if self.obs_verbose {
                     decode_chunk_observed(&raw, now, &*self.obs)
                 } else {
                     decode_chunk_at(&raw, 0)
@@ -593,12 +599,20 @@ pub struct ParallelReceiver {
     obs: Arc<dyn ObsSink>,
     /// Cached `obs.enabled()` so the disabled path costs one branch.
     obs_on: bool,
+    /// Cached `obs.enabled() && obs.verbose()`: gates per-chunk dispatch
+    /// events and merge-queue spans, which an always-on sink declines.
+    obs_verbose: bool,
     /// Last `now` seen by [`Self::ingest`], used to stamp merge-stage events
     /// (the merge has no clock of its own).
     last_now: u64,
     /// Labels of data/ED chunks with an open `merge-queue` span (dispatched
     /// but not yet folded). Populated only when `obs_on`.
     merge_open: Vec<Labels>,
+    /// Pre-resolved per-packet counter handle (label→cell looked up once at
+    /// construction, owner-writes stores per packet).
+    hot_packets: HotCounter,
+    /// Pre-resolved per-chunk counter handle for dispatched data/ED chunks.
+    hot_chunks_dispatched: HotCounter,
 }
 
 impl std::fmt::Debug for ParallelReceiver {
@@ -628,7 +642,12 @@ impl ParallelReceiver {
         sink: Arc<dyn ObsSink>,
     ) -> Self {
         assert!(workers > 0, "at least one worker");
+        // The dispatcher records through its own shard facade as well (the
+        // wrap is the identity for sinks without shard blocks), so per-packet
+        // dispatch counters are plain owner-writes just like worker counters.
+        let sink = ShardSink::wrap(sink);
         let obs_on = sink.enabled();
+        let obs_verbose = obs_on && sink.verbose();
         let mut shards: Vec<Shard> = (0..workers).map(|i| Shard::new(i, sink.clone())).collect();
         let mut registered = ConnSet::with_capacity(conns.len());
         for spec in conns {
@@ -637,10 +656,11 @@ impl ParallelReceiver {
             let mut rx = Receiver::new(spec.mode, spec.params, spec.layout, spec.capacity_elements);
             rx.set_policy(spec.policy);
             rx.set_budget(spec.budget);
-            rx.set_obs(sink.clone());
-            shards[shard_of(conn_id, workers)]
-                .receivers
-                .insert(conn_id, rx, 0);
+            let shard = &mut shards[shard_of(conn_id, workers)];
+            // The receiver records through its owning worker's shard facade,
+            // so its hot-path counters are plain owner-writes too.
+            rx.set_obs(shard.obs.clone());
+            shard.receivers.insert(conn_id, rx, 0);
         }
         let runtime = match engine {
             Engine::Threads => {
@@ -664,6 +684,8 @@ impl ParallelReceiver {
                 queues: (0..workers).map(|_| VecDeque::new()).collect(),
             },
         };
+        let hot_packets = sink.hot_counter("transport.parallel.packets");
+        let hot_chunks_dispatched = sink.hot_counter("transport.parallel.chunks_dispatched");
         ParallelReceiver {
             workers,
             runtime,
@@ -674,8 +696,11 @@ impl ParallelReceiver {
             registered,
             obs: sink,
             obs_on,
+            obs_verbose,
             last_now: 0,
             merge_open: Vec::new(),
+            hot_packets,
+            hot_chunks_dispatched,
         }
     }
 
@@ -695,6 +720,9 @@ impl ParallelReceiver {
     pub fn ingest(&mut self, packet: &Packet, now: u64) {
         let started = Instant::now();
         self.ingest_inner(packet, now);
+        if self.obs_on {
+            self.obs.clock_advance(now);
+        }
         self.dispatch_ns += started.elapsed().as_nanos() as u64;
     }
 
@@ -705,6 +733,12 @@ impl ParallelReceiver {
         let started = Instant::now();
         for packet in packets {
             self.ingest_inner(packet, now);
+        }
+        // The whole batch arrived at one virtual instant, so the sink's
+        // shared clock advances once per batch — not one fetch_max RMW
+        // per packet on the dispatch hot path.
+        if self.obs_on && !packets.is_empty() {
+            self.obs.clock_advance(now);
         }
         self.dispatch_ns += started.elapsed().as_nanos() as u64;
     }
@@ -723,7 +757,7 @@ impl ParallelReceiver {
         self.last_now = now;
         self.dispatch.packets += 1;
         if self.obs_on {
-            self.obs.counter("transport.parallel.packets", 1);
+            self.hot_packets.add(&*self.obs, 1);
         }
         // One allocation-free validation scan, then a streaming span walk:
         // the span list is never materialised.
@@ -772,7 +806,9 @@ impl ParallelReceiver {
                         self.dispatch.chunks_dispatched += 1;
                         let worker = shard_of(conn_id, self.workers);
                         if self.obs_on {
-                            self.obs.counter("transport.parallel.chunks_dispatched", 1);
+                            self.hot_chunks_dispatched.add(&*self.obs, 1);
+                        }
+                        if self.obs_verbose {
                             let labels = labels_of(&header);
                             self.obs.event(
                                 now,
@@ -846,9 +882,11 @@ impl ParallelReceiver {
             }
             Runtime::Virtual { queues, .. } => {
                 queues[worker].push_back(work);
-                if self.obs_on {
+                if self.obs_verbose {
                     // Queue depth is only observable on the virtual engine:
                     // the threads engine's SPSC queues hide their length.
+                    // Per-item histogram pressure is verbose-tier cost; the
+                    // always-on health surface reads depth at barriers.
                     self.obs.observe(
                         "transport.parallel.queue_depth",
                         queues[worker].len() as u64,
@@ -880,12 +918,18 @@ impl ParallelReceiver {
     /// threads engine the workers drain continuously and this is a no-op.
     pub fn drain(&mut self) {
         self.drain_virtual();
+        // Every worker is quiescent now (virtual engine only — the threads
+        // engine's workers keep running, so flushing their shard blocks here
+        // would race the owner-writes). Fold shard counters into the root.
+        if self.obs_on && matches!(self.runtime, Runtime::Virtual { .. }) {
+            self.obs.flush();
+        }
     }
 
     /// Mid-stream snapshot of every registered connection, sorted by
     /// `C.ID`. Acts as a barrier: all work queued so far is processed first.
     pub fn sync(&mut self) -> Vec<SyncSnapshot> {
-        match &mut self.runtime {
+        let snapshots = match &mut self.runtime {
             Runtime::Threads { senders, .. } => {
                 let mut replies = Vec::with_capacity(senders.len());
                 for tx in senders.iter() {
@@ -912,7 +956,14 @@ impl ParallelReceiver {
                     unreachable!()
                 }
             }
+        };
+        // A true barrier on both engines: every worker has answered (or been
+        // drained inline) and the only work producer is this caller, so the
+        // shard blocks are quiescent — fold them into the root registry.
+        if self.obs_on {
+            self.obs.flush();
         }
+        snapshots
     }
 
     /// Current acknowledgment for every registered connection, sorted by
@@ -946,6 +997,17 @@ impl ParallelReceiver {
             }
         };
 
+        // Workers have joined (threads) or drained inline (virtual): fold
+        // their shard blocks into the root registry, then stamp the merge
+        // on the sink's shared clock — never before the newest worker event,
+        // so a trace or flight dump cannot interleave merge records out of
+        // order with the work they summarise.
+        let merge_now = if self.obs_on {
+            self.obs.flush();
+            self.obs.clock().max(self.last_now)
+        } else {
+            self.last_now
+        };
         let merge_started = Instant::now();
         let mut conns = BTreeMap::new();
         let mut transcript = Wsc2Stream::new();
@@ -959,7 +1021,7 @@ impl ParallelReceiver {
                 self.obs
                     .observe("transport.parallel.worker_chunks", shard.chunks);
                 self.obs.event(
-                    self.last_now,
+                    merge_now,
                     Event::MergeFolded {
                         worker: shard.index as u32,
                         chunks: shard.chunks,
@@ -998,7 +1060,7 @@ impl ParallelReceiver {
             // store's LIFO discipline per label.
             for labels in std::mem::take(&mut self.merge_open).into_iter().rev() {
                 self.obs
-                    .span_close(self.last_now, SpanId::new(labels, Stage::MergeQueue));
+                    .span_close(merge_now, SpanId::new(labels, Stage::MergeQueue));
             }
         }
         let mut control = std::mem::take(&mut self.control);

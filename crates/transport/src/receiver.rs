@@ -30,7 +30,7 @@ use chunks_core::chunk::Chunk;
 use chunks_core::label::ChunkType;
 use chunks_core::packet::{spans, unpack, unpack_observed, validate, Packet};
 use chunks_core::wire::decode_chunk_at;
-use chunks_obs::{Event, Labels, ObsSink, SpanId, Stage};
+use chunks_obs::{Event, HotCounter, Labels, ObsSink, SpanId, Stage};
 use chunks_vreasm::{OverlapPolicy, PduTracker, Reassembly, Resolution, TrackEvent};
 use chunks_wsc::{InvariantLayout, TpduInvariant};
 
@@ -239,9 +239,52 @@ pub struct Receiver {
     obs: Arc<dyn ObsSink>,
     /// Cached `obs.enabled()`: the disabled hot path is this one branch.
     obs_on: bool,
+    /// Cached `obs.enabled() && obs.verbose()`: gates the *expensive*
+    /// instrumentation (observed decode with its payload copies, per-chunk
+    /// events) that the always-on production sink refuses so the obs-on hot
+    /// path stays allocation-free.
+    obs_verbose: bool,
     /// Last virtual-clock time seen by `handle_chunk`/`handle_packet`;
     /// stamps trace events emitted from call paths without a `now`.
     last_now: u64,
+    /// Pre-resolved handles for the per-chunk/per-TPDU counters, bound to
+    /// the sink's shard block at [`set_obs`](Self::set_obs) so the hot path
+    /// never repeats the label→cell lookup.
+    hot: HotRxCounters,
+}
+
+/// The receive path's pre-resolved counter handles (see
+/// [`chunks_obs::HotCounter`]): one label→cell resolution at `set_obs`,
+/// plain owner-writes stores per update.
+#[derive(Debug, Clone)]
+struct HotRxCounters {
+    chunks_accepted: HotCounter,
+    tracker_accepts: HotCounter,
+    data_touches: HotCounter,
+    tpdus_delivered: HotCounter,
+    verify_pass: HotCounter,
+}
+
+impl HotRxCounters {
+    fn unresolved() -> Self {
+        HotRxCounters {
+            chunks_accepted: HotCounter::unresolved("transport.rx.chunks_accepted"),
+            tracker_accepts: HotCounter::unresolved("vreasm.tracker.accepts"),
+            data_touches: HotCounter::unresolved("transport.rx.data_touches"),
+            tpdus_delivered: HotCounter::unresolved("transport.rx.tpdus_delivered"),
+            verify_pass: HotCounter::unresolved("wsc.verify_pass"),
+        }
+    }
+
+    fn resolve(sink: &dyn ObsSink) -> Self {
+        HotRxCounters {
+            chunks_accepted: sink.hot_counter("transport.rx.chunks_accepted"),
+            tracker_accepts: sink.hot_counter("vreasm.tracker.accepts"),
+            data_touches: sink.hot_counter("transport.rx.data_touches"),
+            tpdus_delivered: sink.hot_counter("transport.rx.tpdus_delivered"),
+            verify_pass: sink.hot_counter("wsc.verify_pass"),
+        }
+    }
 }
 
 impl Receiver {
@@ -272,7 +315,9 @@ impl Receiver {
             stats: RxStats::default(),
             obs: chunks_obs::null(),
             obs_on: false,
+            obs_verbose: false,
             last_now: 0,
+            hot: HotRxCounters::unresolved(),
         }
     }
 
@@ -287,6 +332,8 @@ impl Receiver {
     /// Installs an observability sink in place.
     pub fn set_obs(&mut self, sink: Arc<dyn ObsSink>) {
         self.obs_on = sink.enabled();
+        self.obs_verbose = self.obs_on && sink.verbose();
+        self.hot = HotRxCounters::resolve(&*sink);
         self.obs = sink;
     }
 
@@ -478,10 +525,11 @@ impl Receiver {
     }
 
     fn packet_inner(&mut self, packet: &Packet, now: u64, out: &mut Vec<RxEvent>) {
-        if self.obs_on || self.legacy_owned {
-            // Observed decode keeps per-chunk trace events in wire order;
-            // the legacy-owned oracle keeps the pre-refactor copying decode.
-            let parsed = if self.obs_on {
+        if self.obs_verbose || self.legacy_owned {
+            // Observed decode keeps per-chunk trace events in wire order
+            // (verbose sinks only — it copies each payload); the
+            // legacy-owned oracle keeps the pre-refactor copying decode.
+            let parsed = if self.obs_verbose {
                 unpack_observed(packet, now, &*self.obs)
             } else {
                 unpack(packet)
@@ -506,6 +554,9 @@ impl Receiver {
         // in place with its payload borrowing the packet's `Bytes`.
         if validate(packet).is_err() {
             self.stats.bad_packets += 1;
+            if self.obs_on {
+                self.obs.counter("transport.rx.bad_packets", 1);
+            }
             return;
         }
         for (at, _) in spans(packet) {
@@ -736,10 +787,15 @@ impl Receiver {
         group.elements += len;
         self.stats.chunks_accepted += 1;
         if self.obs_on {
-            self.obs.counter("transport.rx.chunks_accepted", 1);
-            self.obs.counter("vreasm.tracker.accepts", 1);
-            self.obs
-                .observe("vreasm.tracker.fragments", group.tracker.fragments() as u64);
+            self.hot.chunks_accepted.add(&*self.obs, 1);
+            self.hot.tracker_accepts.add(&*self.obs, 1);
+            // Tracker occupancy is a per-chunk histogram — diagnostics
+            // detail, not a health signal, so it rides the verbose tier
+            // (the always-on surface reads fragment state at barriers).
+            if self.obs_verbose {
+                self.obs
+                    .observe("vreasm.tracker.fragments", group.tracker.fragments() as u64);
+            }
         }
         if h.conn.st {
             self.closed = true;
@@ -891,6 +947,8 @@ impl Receiver {
         self.stats.shed_bytes += bytes;
         if self.obs_on {
             self.obs.counter("transport.budget.shed_bytes", bytes);
+            self.obs
+                .degraded(self.last_now, "budget-exhausted", self.params.conn_id);
         }
         out.push(RxEvent::ChunkShed { start, bytes });
     }
@@ -1086,8 +1144,7 @@ impl Receiver {
         self.app[at..at + payload.len()].copy_from_slice(payload);
         self.stats.data_touches += payload.len() as u64;
         if self.obs_on {
-            self.obs
-                .counter("transport.rx.data_touches", payload.len() as u64);
+            self.hot.data_touches.add(&*self.obs, payload.len() as u64);
         }
     }
 
@@ -1105,7 +1162,7 @@ impl Receiver {
                 .observe("transport.rx.buffered_bytes", self.stats.buffered_bytes);
             // Staged bytes are a touch too (they reach a buffer before the
             // application); mirror the stat the callers accumulate.
-            self.obs.counter("transport.rx.data_touches", bytes);
+            self.hot.data_touches.add(&*self.obs, bytes);
         }
     }
 
@@ -1188,13 +1245,15 @@ impl Receiver {
             self.unstage(freed);
             if self.obs_on {
                 self.obs.counter("wsc.verify_fail", 1);
+                self.obs
+                    .degraded(now, "verify-failure", self.params.conn_id);
             }
             return self.group_failure_into(start, FailureReason::EdMismatch, out);
         }
         let mut group = self.groups.remove(&start).expect("present");
         let elements = group.elements;
         if self.obs_on {
-            self.obs.counter("wsc.verify_pass", 1);
+            self.hot.verify_pass.add(&*self.obs, 1);
             self.obs
                 .observe("wsc.runs_per_tpdu", group.inv.absorbed_runs());
         }
@@ -1216,15 +1275,22 @@ impl Receiver {
         self.delivered.push(start);
         self.stats.tpdus_delivered += 1;
         if self.obs_on {
-            self.obs.counter("transport.rx.tpdus_delivered", 1);
-            self.obs.event(
-                now,
-                Event::GroupDelivered {
-                    conn_id: self.params.conn_id,
-                    start: start as u32,
-                    bytes: (elements * self.params.elem_size as u64) as u32,
-                },
-            );
+            self.hot.tpdus_delivered.add(&*self.obs, 1);
+            // A delivery is the routine case — one per TPDU at line rate.
+            // The verbose trace wants each one; the always-on flight ring
+            // records anomalies, and flooding it with deliveries would both
+            // evict the history a postmortem needs and put a mutex on the
+            // per-TPDU path.
+            if self.obs_verbose {
+                self.obs.event(
+                    now,
+                    Event::GroupDelivered {
+                        conn_id: self.params.conn_id,
+                        start: start as u32,
+                        bytes: (elements * self.params.elem_size as u64) as u32,
+                    },
+                );
+            }
             // Verdict reached: the verify span closes, and delivery is
             // marked with a zero-duration `deliver` span.
             let labels = self.group_labels(start);

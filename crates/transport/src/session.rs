@@ -12,7 +12,9 @@ use std::sync::Arc;
 
 use chunks_core::error::CoreError;
 use chunks_core::packet::{unpack, Packet};
-use chunks_obs::{Event, Labels, ObsSink, SpanId, Stage};
+use chunks_obs::{
+    Event, HealthEvent, HealthReport, Labels, ObsSink, SpanId, Stage, Watchdog, WatchdogConfig,
+};
 
 use crate::ack::AckInfo;
 use crate::conn::ConnectionParams;
@@ -107,6 +109,11 @@ pub struct Session {
     /// TPDU starts with an open `repair` span (RTO fired, ack still
     /// outstanding). Populated only when `obs_on`.
     repairing: std::collections::HashSet<u64>,
+    /// Periodic health aggregation and threshold rules (opt-in).
+    watchdog: Option<Watchdog>,
+    /// Typed health events the watchdog has emitted, oldest first. Drained
+    /// by [`Self::take_health_events`].
+    health_events: Vec<HealthEvent>,
 }
 
 impl Session {
@@ -137,6 +144,8 @@ impl Session {
             obs: chunks_obs::null(),
             obs_on: false,
             repairing: std::collections::HashSet::new(),
+            watchdog: None,
+            health_events: Vec::new(),
         }
     }
 
@@ -147,6 +156,43 @@ impl Session {
         self.obs_on = sink.enabled();
         self.obs = sink;
         self
+    }
+
+    /// Arms the periodic health watchdog: every `cfg.interval_ns` of
+    /// virtual time, [`Self::pump`] aggregates a [`HealthReport`] and runs
+    /// the threshold rules; any [`HealthEvent`]s they emit accumulate until
+    /// [`Self::take_health_events`] drains them.
+    pub fn with_watchdog(mut self, cfg: WatchdogConfig) -> Self {
+        self.watchdog = Some(Watchdog::new(cfg));
+        self
+    }
+
+    /// Aggregates the session's current health into one report stamped at
+    /// the virtual clock: receiver delivery/corruption counters, budget
+    /// occupancy, RTO state, and the emit backlog depth.
+    pub fn health_report(&self) -> HealthReport {
+        let rx = self.rx.stats;
+        HealthReport {
+            at_ns: self.clock,
+            live_conns: 1,
+            admissions: 0,
+            evictions: 0,
+            refusals: 0,
+            under_pressure: self.peer_pressure,
+            held_bytes: rx.buffered_bytes,
+            shed_bytes: rx.shed_bytes,
+            timer_fires: self.rto.fires,
+            timer_retransmits: self.stats.timer_retransmits,
+            rto_base_ns: self.rto.base_rto_ns(),
+            queue_depth: self.backlog.len() as u64,
+            tpdus_delivered: rx.tpdus_delivered,
+            tpdus_failed: rx.tpdus_failed,
+        }
+    }
+
+    /// Drains the typed health events the watchdog has emitted so far.
+    pub fn take_health_events(&mut self) -> Vec<HealthEvent> {
+        std::mem::take(&mut self.health_events)
     }
 
     /// Replaces the retransmission-timer configuration (call before the
@@ -274,6 +320,13 @@ impl Session {
             self.obs.counter("transport.session.pumps", 1);
             self.obs
                 .observe("transport.rto.base_rto_ns", self.rto.base_rto_ns());
+        }
+        if self.watchdog.as_ref().is_some_and(|wd| wd.due(self.clock)) {
+            let report = self.health_report();
+            let obs = Arc::clone(&self.obs);
+            if let Some(wd) = self.watchdog.as_mut() {
+                self.health_events.extend(wd.tick(&report, &*obs));
+            }
         }
         self.emit(true)
     }
@@ -425,6 +478,11 @@ impl Session {
                                         start: start as u32,
                                     },
                                 );
+                                // The sticky verdict is the canonical
+                                // degradation trigger: an always-on sink
+                                // captures its flight-recorder postmortem
+                                // here.
+                                self.obs.degraded(now, "peer-unreachable", self.local_conn);
                             }
                             return Err(err);
                         }

@@ -114,12 +114,33 @@ pub struct TableStats {
     /// Admissions refused because the table was full and nothing was
     /// evictable.
     pub refusals: u64,
+    /// Times [`ConnTable::under_pressure`] crossed from false to true — a
+    /// degradation trigger for the flight recorder.
+    pub pressure_crossings: u64,
     /// Index-array doublings.
     pub grows: u64,
     /// High-water mark of live connections.
     pub peak_live: usize,
     /// Longest probe sequence any insert ever walked.
     pub max_probe: u64,
+}
+
+impl TableStats {
+    /// The counters as `(catalogue name, value)` pairs, named exactly as
+    /// the `chunks-obs` registry exports them. `pooled_admissions`,
+    /// `grows`, `peak_live` and `max_probe` have no registry twin (the
+    /// latter two ride the occupancy and probe-length histograms instead).
+    pub fn as_metrics(&self) -> [(&'static str, u64); 4] {
+        [
+            ("transport.table.admissions", self.admissions),
+            ("transport.table.evictions", self.evictions),
+            ("transport.table.refusals", self.refusals),
+            (
+                "transport.table.pressure_crossings",
+                self.pressure_crossings,
+            ),
+        ]
+    }
 }
 
 /// Outcome of [`ConnTable::admit`].
@@ -157,6 +178,9 @@ pub struct ConnTable {
     pub stats: TableStats,
     obs: Arc<dyn ObsSink>,
     obs_on: bool,
+    /// Last observed [`Self::under_pressure`] value; a false→true edge is
+    /// counted and reported as a degradation trigger.
+    was_pressured: bool,
 }
 
 impl std::fmt::Debug for ConnTable {
@@ -192,6 +216,7 @@ impl ConnTable {
             stats: TableStats::default(),
             obs: chunks_obs::null(),
             obs_on: false,
+            was_pressured: false,
         }
     }
 
@@ -579,6 +604,7 @@ impl ConnTable {
                 },
             );
         }
+        self.note_pressure(now);
         key
     }
 
@@ -599,6 +625,22 @@ impl ConnTable {
                 },
             );
         }
+        self.note_pressure(now);
+    }
+
+    /// Re-samples [`Self::under_pressure`] after `live` changed; a
+    /// false→true edge is a degradation trigger (counted, and reported to
+    /// the sink so an always-on flight recorder can capture a postmortem).
+    fn note_pressure(&mut self, now: u64) {
+        let pressured = self.under_pressure();
+        if pressured && !self.was_pressured {
+            self.stats.pressure_crossings += 1;
+            if self.obs_on {
+                self.obs.counter("transport.table.pressure_crossings", 1);
+                self.obs.degraded(now, "pressure-crossing", 0);
+            }
+        }
+        self.was_pressured = pressured;
     }
 }
 

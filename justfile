@@ -7,7 +7,7 @@
 # zero-allocation hot-path gate, the connection-table scale gate, the
 # BENCH regression gate, the reliability soak, the adversarial overlap
 # sweep, the lineage sweep, and the deterministic-trace replay.
-lint: check test-release test-parallel test-hotpath test-scale bench-check soak soak-overlap lineage trace
+lint: check test-release test-parallel test-hotpath test-scale bench-check soak soak-overlap lineage trace obs-overhead health
 
 # Static gate only: formatting, clippy, rustdoc.
 check: fmt clippy doc
@@ -110,3 +110,17 @@ bench-check:
 # byte-identical, and print the metrics + event timeline.
 trace:
     cargo run --release --bin experiments trace
+
+# Always-on telemetry overhead gate: paired obs-off/obs-on runs of the
+# serial, parallel and demux workloads, gating the serial + parallel
+# on-null legs at ≤ 5% wall overhead with zero steady-state allocations
+# while proving the sink actually recorded. Rewrites BENCH_obs.json.
+obs-overhead:
+    cargo run --release --bin experiments obs-overhead --describe "$(git describe --always --dirty 2>/dev/null || echo unknown)"
+
+# Health surface gate: drive degradation scenarios through the watchdog,
+# assert each expected verdict (LivelockSuspected, EvictionStorm,
+# PressureStuck) fires, and prove the flight recorder dumps exactly once
+# per connection on first degradation with byte-stable output.
+health:
+    cargo run --release --bin experiments health

@@ -2,21 +2,23 @@
 //! quantified claims of the paper.
 //!
 //! ```text
-//! experiments [--describe REV] [fig1|...|fig7|table1|b1|...|b8|soak|parallel|hotpath|lineage|scale|trace [SCENARIO]|bench-check|all]
+//! experiments [--describe REV] [fig1|...|fig7|table1|b1|...|b8|soak|parallel|hotpath|lineage|scale|obs-overhead|health|trace [SCENARIO] [--json]|bench-check|all]
 //! ```
 //!
 //! With no argument (or `all`) every experiment runs. Output is the content
 //! EXPERIMENTS.md records. `--describe` stamps regenerated `BENCH_*.json`
 //! files with a source revision (the justfile passes `git describe`); the
 //! experiments themselves never shell out or read the wall clock.
-//! `trace` takes an optional soak-scenario name; an unknown name lists the
-//! valid ones. `bench-check` is the regression gate: it diffs regenerated
+//! `trace` takes an optional soak-scenario name (`--help` lists the valid
+//! ones; an unknown name does too) and `--json` switches the output to the
+//! machine-readable JSON-lines export — the same shape the flight recorder
+//! dumps. `bench-check` is the regression gate: it diffs regenerated
 //! summaries against the committed `BENCH_*.json` files.
 
 use chunks::experiments::{
     appendix_b, b1_receiver_modes, b2_frag_systems, b3_lockup, b4_codes, b5_compress, b6_demux,
-    b7_turner, b8_gap_budget, bench_check, figures, hotpath, lineage, overlap, parallel, scale,
-    soak, table1, trace, SEED, SEED2,
+    b7_turner, b8_gap_budget, bench_check, figures, health, hotpath, lineage, obs_overhead,
+    overlap, parallel, scale, soak, table1, trace, SEED, SEED2,
 };
 
 // The hotpath sweep reports allocations-per-chunk on the receive path; the
@@ -25,10 +27,11 @@ use chunks::experiments::{
 #[global_allocator]
 static ALLOC: hotpath::alloc_count::CountingAlloc = hotpath::alloc_count::CountingAlloc;
 
-/// One parsed invocation: an experiment name plus its optional argument.
+/// One parsed invocation: an experiment name plus its trailing arguments
+/// (only `trace` takes any: an optional scenario and/or `--json`/`--help`).
 struct Job {
     name: String,
-    arg: Option<String>,
+    args: Vec<String>,
 }
 
 fn run_one(job: &Job, describe: &str) -> bool {
@@ -158,17 +161,55 @@ fn run_one(job: &Job, describe: &str) -> bool {
             }
             r.passes()
         }
+        "obs-overhead" => {
+            let r = obs_overhead::run(SEED);
+            println!("{r}");
+            if let Err(e) = std::fs::write("BENCH_obs.json", obs_overhead::bench_json(&r, describe))
+            {
+                eprintln!("could not write BENCH_obs.json: {e}");
+            }
+            r.passes()
+        }
+        "health" => {
+            let r = health::run(SEED);
+            println!("{r}");
+            r.passes()
+        }
         "trace" => {
-            let scenario = job.arg.as_deref().unwrap_or(trace::DEFAULT_SCENARIO);
-            match trace::run(SEED, scenario) {
-                Ok(r) => {
-                    println!("{r}");
-                    r.passes()
+            let mut scenario: Option<&str> = None;
+            let mut json = false;
+            let mut help = false;
+            for a in &job.args {
+                match a.as_str() {
+                    "--json" => json = true,
+                    "--help" => help = true,
+                    other => scenario = Some(other),
                 }
-                Err(names) => {
-                    eprintln!("unknown trace scenario: {scenario}");
-                    eprintln!("available scenarios: {}", names.join(", "));
-                    false
+            }
+            if help {
+                println!("usage: experiments trace [SCENARIO] [--json]");
+                println!(
+                    "available scenarios: {}",
+                    trace::scenario_names().join(", ")
+                );
+                println!("default scenario: {}", trace::DEFAULT_SCENARIO);
+                true
+            } else {
+                let scenario = scenario.unwrap_or(trace::DEFAULT_SCENARIO);
+                match trace::run(SEED, scenario) {
+                    Ok(r) => {
+                        if json {
+                            print!("{}", r.json_lines);
+                        } else {
+                            println!("{r}");
+                        }
+                        r.passes()
+                    }
+                    Err(names) => {
+                        eprintln!("unknown trace scenario: {scenario}");
+                        eprintln!("available scenarios: {}", names.join(", "));
+                        false
+                    }
                 }
             }
         }
@@ -216,11 +257,13 @@ fn main() {
         "overlap",
         "lineage",
         "scale",
+        "obs-overhead",
+        "health",
         "trace",
     ];
-    // Pull out `--describe REV`, then pair `trace` with an optional
-    // scenario argument (any following token that is not itself an
-    // experiment name).
+    // Pull out `--describe REV`, then pair `trace` with its optional
+    // trailing arguments (a scenario name and/or `--json`/`--help` — any
+    // following tokens that are not themselves experiment names).
     let mut describe = String::from("unknown");
     let mut jobs: Vec<Job> = Vec::new();
     let mut run_all = raw.is_empty();
@@ -241,18 +284,20 @@ fn main() {
                 i += 1;
             }
             name => {
-                let takes_arg = name == "trace";
-                let arg = if takes_arg {
-                    raw.get(i + 1)
+                let takes_args = name == "trace";
+                let mut args = Vec::new();
+                if takes_args {
+                    while let Some(a) = raw
+                        .get(i + 1 + args.len())
                         .filter(|a| !all.contains(&a.as_str()) && *a != "--describe")
-                        .cloned()
-                } else {
-                    None
-                };
-                i += 1 + usize::from(arg.is_some());
+                    {
+                        args.push(a.clone());
+                    }
+                }
+                i += 1 + args.len();
                 jobs.push(Job {
                     name: name.to_owned(),
-                    arg,
+                    args,
                 });
             }
         }
@@ -262,7 +307,7 @@ fn main() {
             .iter()
             .map(|&name| Job {
                 name: name.to_owned(),
-                arg: None,
+                args: Vec::new(),
             })
             .collect();
     }

@@ -10,10 +10,12 @@
 //!   any drift means either the code's behaviour changed (commit the
 //!   regenerated file deliberately) or determinism broke (fix it).
 //! * **Structural** (`BENCH_parallel.json`, `BENCH_hotpath.json`,
-//!   `BENCH_scale.json`, `BENCH_wsc.json`) — the
+//!   `BENCH_scale.json`, `BENCH_wsc.json`, `BENCH_obs.json`) — the
 //!   numbers are host wall-clock, so the gate only validates shape: the
 //!   file parses, opens with a complete `meta` block, and carries a
-//!   non-empty `results` array.
+//!   non-empty `results` array. (`BENCH_obs.json` additionally has its
+//!   committed on-null rows value-gated — ≤ 5% overhead, zero steady
+//!   allocations — by `tests/bench_schema.rs`.)
 //!
 //! `just bench-check` runs this inside `just lint`, so a PR that changes
 //! observable behaviour without regenerating the summaries fails CI.
@@ -206,6 +208,7 @@ pub fn run() -> BenchCheckResult {
             check_file("BENCH_hotpath.json", false, |_| String::new()),
             check_file("BENCH_scale.json", false, |_| String::new()),
             check_file("BENCH_wsc.json", false, |_| String::new()),
+            check_file("BENCH_obs.json", false, |_| String::new()),
         ],
     }
 }

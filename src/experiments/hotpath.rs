@@ -23,9 +23,11 @@
 //! alloc columns report -1 and the alloc gate is skipped.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use chunks_core::packet::{spans, Packet};
+use chunks_obs::{ObsSink, ShardSink};
 use chunks_transport::{
     ConnSpec, ConnectionParams, DeliveryMode, Engine, ParallelReceiver, Receiver, Schedule, Sender,
     SenderConfig,
@@ -114,7 +116,7 @@ pub mod alloc_count {
     }
 }
 
-fn params(conn_id: u32) -> ConnectionParams {
+pub(crate) fn params(conn_id: u32) -> ConnectionParams {
     ConnectionParams {
         conn_id,
         elem_size: 1,
@@ -123,11 +125,11 @@ fn params(conn_id: u32) -> ConnectionParams {
     }
 }
 
-fn layout() -> InvariantLayout {
+pub(crate) fn layout() -> InvariantLayout {
     InvariantLayout::with_data_symbols(1 << 15)
 }
 
-fn capacity_elements() -> u64 {
+pub(crate) fn capacity_elements() -> u64 {
     MESSAGE_BYTES as u64 + 4 * TPDU_ELEMENTS as u64
 }
 
@@ -143,7 +145,7 @@ fn message(conn_id: u32, seed: u64) -> Vec<u8> {
         .collect()
 }
 
-fn stream(conn_id: u32, seed: u64) -> Vec<Packet> {
+pub(crate) fn stream(conn_id: u32, seed: u64) -> Vec<Packet> {
     let mut tx = Sender::new(SenderConfig {
         params: params(conn_id),
         layout: layout(),
@@ -155,7 +157,7 @@ fn stream(conn_id: u32, seed: u64) -> Vec<Packet> {
     tx.packets_for_pending().expect("clean stream packs")
 }
 
-fn chunk_count(packets: &[Packet]) -> u64 {
+pub(crate) fn chunk_count(packets: &[Packet]) -> u64 {
     packets.iter().map(|p| spans(p).count() as u64).sum()
 }
 
@@ -200,14 +202,26 @@ pub struct HotpathResult {
     pub divergences: u32,
 }
 
-struct RunOutcome {
-    wall_ns: u64,
-    steady_allocs: u64,
-    delivered_bytes: u64,
-    digests: Vec<(u64, [u8; 8])>,
+pub(crate) struct RunOutcome {
+    pub(crate) wall_ns: u64,
+    pub(crate) steady_allocs: u64,
+    pub(crate) delivered_bytes: u64,
+    pub(crate) digests: Vec<(u64, [u8; 8])>,
 }
 
 fn run_serial(packets: &[Packet], warm_batches: usize, legacy: bool) -> RunOutcome {
+    run_serial_with(packets, warm_batches, legacy, None)
+}
+
+/// Serial replay with an optional observability sink installed on the
+/// receiver (wrapped in a [`ShardSink`] facade when the sink shards) — the
+/// `obs-overhead` bench's instrument.
+pub(crate) fn run_serial_with(
+    packets: &[Packet],
+    warm_batches: usize,
+    legacy: bool,
+    sink: Option<Arc<dyn ObsSink>>,
+) -> RunOutcome {
     let tpdus = MESSAGE_BYTES / TPDU_ELEMENTS as usize + 2;
     let mut rx = Receiver::new(
         DeliveryMode::Immediate,
@@ -215,6 +229,9 @@ fn run_serial(packets: &[Packet], warm_batches: usize, legacy: bool) -> RunOutco
         layout(),
         capacity_elements(),
     );
+    if let Some(sink) = sink {
+        rx.set_obs(ShardSink::wrap(sink));
+    }
     rx.set_legacy_owned(legacy);
     rx.reserve(tpdus + 8, tpdus * 4 + 64);
     let mut out = Vec::with_capacity(tpdus * 4 + 64);
@@ -237,6 +254,16 @@ fn run_serial(packets: &[Packet], warm_batches: usize, legacy: bool) -> RunOutco
 }
 
 fn run_parallel(streams: &[Vec<Packet>], warm_batches: usize) -> RunOutcome {
+    run_parallel_with(streams, warm_batches, None)
+}
+
+/// Parallel replay with an optional observability sink shared by the
+/// dispatcher and every worker — the `obs-overhead` bench's instrument.
+pub(crate) fn run_parallel_with(
+    streams: &[Vec<Packet>],
+    warm_batches: usize,
+    sink: Option<Arc<dyn ObsSink>>,
+) -> RunOutcome {
     // Interleave the connections round-robin, as a shared link would.
     let longest = streams.iter().map(Vec::len).max().unwrap_or(0);
     let mut packets: Vec<Packet> = Vec::new();
@@ -257,7 +284,15 @@ fn run_parallel(streams: &[Vec<Packet>], warm_batches: usize) -> RunOutcome {
             )
         })
         .collect();
-    let mut pr = ParallelReceiver::new(PAR_WORKERS, Engine::Virtual(Schedule::Fair), specs);
+    let mut pr = match sink {
+        Some(sink) => ParallelReceiver::new_with_obs(
+            PAR_WORKERS,
+            Engine::Virtual(Schedule::Fair),
+            specs,
+            sink,
+        ),
+        None => ParallelReceiver::new(PAR_WORKERS, Engine::Virtual(Schedule::Fair), specs),
+    };
     let tpdus = (MESSAGE_BYTES / TPDU_ELEMENTS as usize + 2) * PAR_CONNS as usize;
     pr.reserve(tpdus + 8, tpdus * 4 + 64);
     let mut steady_from = 0u64;

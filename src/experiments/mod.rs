@@ -23,8 +23,10 @@ pub mod b8_gap_budget;
 pub mod bench_check;
 pub mod benchjson;
 pub mod figures;
+pub mod health;
 pub mod hotpath;
 pub mod lineage;
+pub mod obs_overhead;
 pub mod overlap;
 pub mod parallel;
 pub mod scale;

@@ -16,6 +16,7 @@ use chunks::transport::{
 };
 use chunks::wsc::InvariantLayout;
 use chunks_core::packet::Packet;
+use chunks_obs::{AlwaysOnSink, ShardSink};
 use common::alloc_counter::{self, CountingAllocator};
 
 #[global_allocator]
@@ -114,13 +115,54 @@ fn serial_receive_steady_state_is_allocation_free() {
 }
 
 #[test]
-fn parallel_receive_steady_state_is_allocation_free() {
-    const CONNS: u32 = 3;
-    const WORKERS: usize = 4;
+fn serial_receive_with_always_on_obs_is_allocation_free() {
+    // The tentpole bar: arming production telemetry — sharded counters,
+    // flight recorder, non-verbose events — must not reintroduce a single
+    // steady-state allocation on the serial receive path.
+    let packets = stream(1);
+    let total_tpdus = MESSAGE_LEN / TPDU_ELEMENTS as usize + 2;
+    let warmup = packets.len() / 4;
 
-    // Interleave the three connections' streams round-robin, as a shared
-    // link would.
-    let streams: Vec<Vec<Packet>> = (1..=CONNS).map(stream).collect();
+    let sink = AlwaysOnSink::shared();
+    let mut rx = Receiver::new(
+        DeliveryMode::Immediate,
+        params(1),
+        layout(),
+        capacity_elements(),
+    );
+    rx.set_obs(ShardSink::wrap(sink.clone()));
+    rx.reserve(total_tpdus + 8, total_tpdus * 4 + 64);
+    let mut out = Vec::with_capacity(total_tpdus * 4 + 64);
+
+    const BATCH: usize = 16;
+    for (i, batch) in packets[..warmup].chunks(BATCH).enumerate() {
+        rx.ingest_batch(batch, i as u64, &mut out);
+    }
+
+    let measured = &packets[warmup..];
+    let measured_chunks = chunk_count(measured);
+    let before = alloc_counter::snapshot();
+    for (i, batch) in measured.chunks(BATCH).enumerate() {
+        assert_no_alloc!(
+            rx.ingest_batch(batch, (warmup + i) as u64, &mut out),
+            "serial obs-on batch {i}"
+        );
+    }
+    let after = alloc_counter::snapshot();
+    let (allocs, _) = alloc_counter::delta(before, after);
+    assert_eq!(allocs, 0, "obs-on allocs/chunk must be 0/{measured_chunks}");
+
+    // The telemetry was really on: the shard block saw the hot path.
+    assert_eq!(rx.verified_prefix(), MESSAGE_LEN as u64);
+    let snap = sink.snapshot();
+    assert!(snap.counter("transport.rx.chunks_accepted") > 0);
+    assert!(snap.counter("transport.rx.tpdus_delivered") > 0);
+}
+
+/// Round-robin interleave of the three connections' streams, as a shared
+/// link would deliver them.
+fn interleaved(conns: u32) -> Vec<Packet> {
+    let streams: Vec<Vec<Packet>> = (1..=conns).map(stream).collect();
     let longest = streams.iter().map(Vec::len).max().unwrap();
     let mut packets: Vec<Packet> = Vec::new();
     for i in 0..longest {
@@ -130,7 +172,15 @@ fn parallel_receive_steady_state_is_allocation_free() {
             }
         }
     }
+    packets
+}
 
+#[test]
+fn parallel_receive_steady_state_is_allocation_free() {
+    const CONNS: u32 = 3;
+    const WORKERS: usize = 4;
+
+    let packets = interleaved(CONNS);
     let specs: Vec<ConnSpec> = (1..=CONNS)
         .map(|id| {
             ConnSpec::new(
@@ -180,4 +230,69 @@ fn parallel_receive_steady_state_is_allocation_free() {
             "conn {id} must fully verify"
         );
     }
+}
+
+#[test]
+fn parallel_receive_with_always_on_obs_is_allocation_free() {
+    const CONNS: u32 = 3;
+    const WORKERS: usize = 4;
+
+    let packets = interleaved(CONNS);
+    let specs: Vec<ConnSpec> = (1..=CONNS)
+        .map(|id| {
+            ConnSpec::new(
+                params(id),
+                layout(),
+                DeliveryMode::Immediate,
+                capacity_elements(),
+            )
+        })
+        .collect();
+    let sink = AlwaysOnSink::shared();
+    let mut pr = ParallelReceiver::new_with_obs(
+        WORKERS,
+        Engine::Virtual(Schedule::Fair),
+        specs,
+        sink.clone(),
+    );
+
+    let total_tpdus = (MESSAGE_LEN / TPDU_ELEMENTS as usize + 2) * CONNS as usize;
+    pr.reserve(total_tpdus + 8, total_tpdus * 4 + 64);
+
+    const BATCH: usize = 16;
+    let warmup = packets.len() / 4;
+    for (i, batch) in packets[..warmup].chunks(BATCH).enumerate() {
+        pr.ingest_batch(batch, i as u64);
+        pr.drain();
+    }
+
+    let measured = &packets[warmup..];
+    let measured_chunks = chunk_count(measured);
+    let before = alloc_counter::snapshot();
+    for (i, batch) in measured.chunks(BATCH).enumerate() {
+        assert_no_alloc!(
+            {
+                pr.ingest_batch(batch, (warmup + i) as u64);
+                pr.drain();
+            },
+            "parallel obs-on batch {i}"
+        );
+    }
+    let after = alloc_counter::snapshot();
+    let (allocs, _) = alloc_counter::delta(before, after);
+    assert_eq!(allocs, 0, "obs-on allocs/chunk must be 0/{measured_chunks}");
+
+    let out = pr.finish();
+    for id in 1..=CONNS {
+        assert_eq!(
+            out.conns[&id].receiver.verified_prefix(),
+            MESSAGE_LEN as u64,
+            "conn {id} must fully verify"
+        );
+    }
+    // The telemetry was really on, sharded per worker plus the dispatcher.
+    assert!(sink.shard_count() >= WORKERS);
+    let snap = sink.snapshot();
+    assert!(snap.counter("transport.parallel.packets") > 0);
+    assert!(snap.counter("transport.rx.chunks_accepted") > 0);
 }

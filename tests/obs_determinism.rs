@@ -17,7 +17,7 @@
 
 use chunks::experiments::{lineage, soak};
 use chunks_netsim::Profile;
-use chunks_obs::{RecordingSink, CATALOGUE};
+use chunks_obs::{AlwaysOnSink, RecordingSink, CATALOGUE};
 use chunks_transport::{
     shard_of, ConnSpec, ConnectionParams, DeliveryMode, Engine, ParallelReceiver, Schedule, Sender,
     SenderConfig,
@@ -265,7 +265,7 @@ fn recording_sink_is_differentially_transparent_on_the_parallel_path() {
 /// Every event variant name (kept in sync by the match in the test body —
 /// adding a variant without extending this list fails the doc-sync test
 /// only if the docs also miss it, but `Event::name` is exercised above).
-const EVENT_NAMES: [&str; 14] = [
+const EVENT_NAMES: [&str; 15] = [
     "ChunkDecoded",
     "ChunkRejected",
     "ChunkMutated",
@@ -280,7 +280,11 @@ const EVENT_NAMES: [&str; 14] = [
     "VerdictReached",
     "ConnAdmitted",
     "ConnEvicted",
+    "Degraded",
 ];
+
+/// Every watchdog verdict name — the health surface the docs must cover.
+const HEALTH_EVENT_NAMES: [&str; 3] = ["LivelockSuspected", "EvictionStorm", "PressureStuck"];
 
 /// Extracts `](target)` markdown link targets. Deliberately dumb: code
 /// spans can false-positive, so callers filter to plausible relative paths.
@@ -360,6 +364,62 @@ fn observability_doc_names_every_metric_and_event() {
         assert!(
             doc.contains(name),
             "docs/OBSERVABILITY.md does not document event `{name}`"
+        );
+    }
+    for name in HEALTH_EVENT_NAMES {
+        assert!(
+            doc.contains(name),
+            "docs/OBSERVABILITY.md does not document health event `{name}`"
+        );
+    }
+}
+
+// --- flight recorder: dump-on-degradation is deterministic evidence ---------
+
+#[test]
+fn flight_recorder_dumps_are_byte_identical_across_replays() {
+    // A seeded Byzantine ack blackout under `DegradePolicy::Abort` must end
+    // in the typed `PeerUnreachable` verdict, and the always-on sink's
+    // flight recorder must capture a postmortem on the `peer-unreachable`
+    // trigger. Replaying the same seed must reproduce the dump byte for
+    // byte — the postmortem is evidence, not a sample.
+    let sc = scenario("ack-blackout-abort");
+    let (s1, s2) = (AlwaysOnSink::shared(), AlwaysOnSink::shared());
+    let r1 = soak::run_scenario_observed(&sc, SEED, s1.clone());
+    let r2 = soak::run_scenario_observed(&sc, SEED, s2.clone());
+    assert_eq!(r1, r2, "blackout rows diverged across identical runs");
+    assert_eq!(r1.outcome, soak::Outcome::Aborted);
+
+    let d1 = s1.dump_json_lines().expect("abort must arm a flight dump");
+    let d2 = s2.dump_json_lines().expect("abort must arm a flight dump");
+    assert_eq!(d1, d2, "flight dumps not byte-identical");
+
+    let header = d1.lines().next().expect("dump has a header line");
+    assert!(
+        header.contains("\"trigger\": \"peer-unreachable\""),
+        "dump header must name the trigger: {header}"
+    );
+    assert!(
+        d1.lines().count() > 1,
+        "dump must carry the recent-event window, not just the header"
+    );
+    // The always-on sink recorded the degradation in its registry too.
+    assert_eq!(s1.snapshot().counter("obs.flight.dumps"), 1);
+    assert!(s1.snapshot().counter("obs.flight.triggers") >= 1);
+    assert_eq!(s1.snapshot(), s2.snapshot(), "metric snapshots diverged");
+}
+
+#[test]
+fn always_on_sink_is_differentially_transparent_on_the_session_path() {
+    // The production configuration (sharded counters, flight recorder
+    // armed, verbose tracing off) must not change outcomes either.
+    for name in SCENARIOS {
+        let sc = scenario(name);
+        let baseline = soak::run_scenario(&sc, SEED);
+        let observed = soak::run_scenario_observed(&sc, SEED, AlwaysOnSink::shared());
+        assert_eq!(
+            baseline, observed,
+            "{name}: the always-on sink changed the run's outcome"
         );
     }
 }
